@@ -1,0 +1,75 @@
+"""Section-3.3 benchmark: incremental analysis vs from-scratch analysis.
+
+Three regimes on csa32.2:
+* cold     — characterize + propagate,
+* warm     — new arrival condition, models reused (propagation only),
+* post-ECO — one module replaced, only it re-characterized.
+
+The paper's claim: warm and post-ECO runs avoid repeating the expensive
+characterization, while flat analysis restarts from scratch each time.
+
+Run: pytest benchmarks/bench_incremental.py --benchmark-only
+"""
+
+import pytest
+
+from repro.circuits.adders import carry_skip_block, cascade_adder
+from repro.core.hier import HierarchicalAnalyzer, IncrementalAnalyzer
+
+
+def eco_block():
+    block = carry_skip_block(2)
+    return block.with_delays(
+        lambda g: g.delay + (1.0 if g.gtype.value == "XOR" else 0.0),
+        name="csa_block2_eco",
+    )
+
+
+def test_cold_analysis(benchmark):
+    def run():
+        return HierarchicalAnalyzer(cascade_adder(32, 2)).analyze()
+
+    result = benchmark(run)
+    assert result.characterized == ("csa_block2",)
+
+
+def test_warm_reanalysis(benchmark):
+    analyzer = HierarchicalAnalyzer(cascade_adder(32, 2))
+    base = analyzer.analyze().delay
+
+    def run():
+        return analyzer.analyze({"c_in": 10.0})
+
+    result = benchmark(run)
+    assert result.characterized == ()
+    assert result.delay >= base
+
+
+def test_post_eco_reanalysis(benchmark):
+    analyzer = IncrementalAnalyzer(cascade_adder(32, 2))
+    analyzer.analyze()
+    replacement = eco_block()
+
+    def setup():
+        analyzer.replace_module("csa_block2", replacement)
+        return (), {}
+
+    def run():
+        return analyzer.analyze()
+
+    result = benchmark.pedantic(run, setup=setup, rounds=3)
+    assert result.characterized == ("csa_block2",)
+
+
+def test_arrival_sweep_throughput(benchmark):
+    """10 arrival conditions on cached models — the Section-3.3 use case."""
+    analyzer = HierarchicalAnalyzer(cascade_adder(32, 2))
+    analyzer.characterize_all()
+
+    def sweep():
+        return [
+            analyzer.analyze({"c_in": float(k)}).delay for k in range(10)
+        ]
+
+    delays = benchmark(sweep)
+    assert delays == sorted(delays)  # later carry-in never helps

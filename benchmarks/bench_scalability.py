@@ -1,0 +1,54 @@
+"""Scalability: hierarchical analysis where flat analysis cannot go.
+
+The paper's closing argument: "Given that false path analysis can only be
+applied up to circuits of a certain size, it is clear that hierarchical
+analysis is more scalable."  This bench runs the demand-driven analyzer on
+cascades far past the point where the flat baseline becomes impractical
+(csa32.2 flat already costs ~17 s here; csa256.2 flat would be hours) and
+asserts the closed-form answers, demonstrating that hierarchical cost is
+governed by the *module*, not the circuit.
+
+Run: pytest benchmarks/bench_scalability.py --benchmark-only
+"""
+
+import pytest
+
+from repro.circuits.adders import cascade_adder
+from repro.core.demand import DemandDrivenAnalyzer
+from repro.core.hier import HierarchicalAnalyzer
+
+
+@pytest.mark.parametrize("bits", [64, 128, 256])
+def test_demand_driven_large_cascades(benchmark, bits):
+    design = cascade_adder(bits, 2)
+
+    def run():
+        return DemandDrivenAnalyzer(design).analyze()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    blocks = bits // 2
+    # closed form: last carry at 2n+6; circuit delay via the top sum bit
+    assert result.output_times[f"c{bits}"] == 2 * blocks + 6
+    assert result.delay == 2 * (blocks - 1) + 6 + 4
+
+
+@pytest.mark.parametrize("bits", [64, 128])
+def test_two_step_large_cascades(benchmark, bits):
+    design = cascade_adder(bits, 2)
+
+    def run():
+        return HierarchicalAnalyzer(design).analyze()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.output_times[f"c{bits}"] == bits + 6
+
+
+def test_wide_blocks(benchmark):
+    """A 16-bit leaf block: characterization dominates, still seconds."""
+    design = cascade_adder(32, 16)
+
+    def run():
+        return DemandDrivenAnalyzer(design).analyze()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.delay < result.topological_delay

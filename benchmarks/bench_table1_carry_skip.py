@@ -1,0 +1,57 @@
+"""Table 1 benchmark: carry-skip adder cascades, hierarchical vs flat.
+
+Shape asserted (matching the paper):
+* hierarchical estimated delay == flat estimated delay on every circuit,
+* both are far below the topological delay,
+* hierarchical CPU time is a small fraction of flat CPU time, with the
+  gap widening as the cascades grow.
+
+Run: pytest benchmarks/bench_table1_carry_skip.py --benchmark-only
+Full printed table: python -m repro.bench.table1
+"""
+
+import pytest
+
+from repro.bench.table1 import run_row
+from repro.circuits.adders import cascade_adder
+from repro.core.demand import DemandDrivenAnalyzer, flat_functional_delay
+
+#: Grid used for timed benchmarking (kept modest; the printed table in
+#: ``python -m repro.bench.table1`` covers the full 9-circuit grid).
+BENCH_GRID = [(8, 2), (16, 2), (16, 4), (32, 2)]
+
+
+@pytest.mark.parametrize("n,m", BENCH_GRID)
+def test_hierarchical_analysis_speed(benchmark, n, m):
+    design = cascade_adder(n, m)
+
+    def run():
+        return DemandDrivenAnalyzer(design).analyze()
+
+    result = benchmark(run)
+    # paper shape: hierarchical delay well below topological
+    assert result.delay < result.topological_delay
+
+
+@pytest.mark.parametrize("n,m", [(8, 2), (16, 2)])
+def test_flat_analysis_speed(benchmark, n, m):
+    design = cascade_adder(n, m)
+
+    def run():
+        return flat_functional_delay(design)
+
+    flat_delay, _, _ = benchmark.pedantic(run, rounds=1, iterations=1)
+    hier = DemandDrivenAnalyzer(design).analyze()
+    # paper shape: accuracy fully preserved
+    assert hier.delay == flat_delay
+
+
+@pytest.mark.parametrize("n,m", [(8, 2), (8, 4), (16, 2), (16, 4), (16, 8)])
+def test_accuracy_preserved_row(benchmark, n, m):
+    """One full Table-1 row: topo / hier / flat agree with the paper shape."""
+    row = benchmark.pedantic(
+        lambda: run_row(n, m), rounds=1, iterations=1
+    )
+    assert row.exact, f"csa{n}.{m}: hier {row.hierarchical_delay} != flat"
+    assert row.hierarchical_delay < row.topological_delay
+    assert row.speedup > 1.0, "hierarchical must beat flat on regular adders"

@@ -1,0 +1,26 @@
+"""Table 3 (ours) benchmark: datapath workloads beyond the paper's suite.
+
+Run: pytest benchmarks/bench_table3_datapath.py --benchmark-only
+Full printed table: python -m repro.bench.table3
+"""
+
+import pytest
+
+from repro.bench.table3 import TABLE3_ROWS, run_row
+
+#: Rows where hierarchical analysis is exact vs conservatively over.
+EXACT_ROWS = ("wal5x5", "bshift8", "bshift16", "csel8.2", "csel12.3", "alu8")
+OVER_ROWS = ("mul4x4", "mul5x5", "wal4x4")
+
+
+@pytest.mark.parametrize("name", sorted(TABLE3_ROWS))
+def test_row(benchmark, name):
+    row = benchmark.pedantic(lambda: run_row(name), rounds=1, iterations=1)
+    assert row.overestimate >= -1e-9  # never optimistic
+    assert row.hierarchical_delay <= row.topological_delay + 1e-9
+    if name in EXACT_ROWS:
+        assert row.exact
+    else:
+        # the multipliers' top-bit falsity spans the level cut: small
+        # conservative overestimation, mirroring Table 2's gfp row
+        assert 0 < row.overestimate <= 2

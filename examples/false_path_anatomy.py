@@ -1,0 +1,80 @@
+"""Anatomy of a false path: analytic and dynamic views of the skip MUX.
+
+Dissects the 2-bit carry-skip adder's famous c_in -> c_out false path four
+ways:
+
+1. path enumeration — the 6-unit ripple path exists structurally;
+2. XBD0 analysis — with a late carry-in, c_out is stable long before the
+   ripple path could have delivered;
+3. event-driven simulation — *no* input stimulus ever produces a c_out
+   event after the analytic bound (exhaustive over all 992 vector pairs);
+4. netlist style — decomposing the MUX into AND-OR logic destroys the
+   consensus term and the falsity with it.
+
+Run:  python examples/false_path_anatomy.py
+"""
+
+from repro import carry_skip_block
+from repro.core.xbd0 import StabilityAnalyzer, functional_delays
+from repro.netlist.transform import decompose_complex
+from repro.sim.waveform import last_transition_bound
+from repro.sta.paths import k_worst_paths
+from repro.sta.report import functional_timing_report
+
+
+def main() -> None:
+    block = carry_skip_block(2)
+    arrival = {"c_in": 6.0}
+
+    print("1. The structural paths from c_in to c_out:")
+    for path, delay in k_worst_paths(block, "c_out", 8, arrival):
+        if path[0] == "c_in":
+            print(f"     length {delay - arrival['c_in']:g} "
+                  f"(arrives {delay:g}): {' -> '.join(path)}")
+
+    print("\n2. XBD0 functional analysis with arr(c_in) = 6:")
+    analyzer = StabilityAnalyzer(block, arrival)
+    stable = analyzer.functional_delay("c_out")
+    print(f"     c_out stable at {stable:g} "
+          "(the 6-unit ripple path would predict 12)")
+    print(f"     stability checks used: "
+          f"{analyzer.stats['stability_checks']}, "
+          f"SAT calls: {analyzer.stats['sat_calls']}")
+
+    print("\n3. Dynamic falsification attempt (all vector pairs):")
+    dynamic = last_transition_bound(block, "c_out", arrival)
+    print(f"     latest c_out event over every stimulus: {dynamic:g} "
+          f"<= {stable:g}  -- no counterexample exists")
+
+    print("\n4. Netlist style matters (MUX vs AND-OR):")
+    print("     In the skip adder the select settles before the late "
+          "carry, so both forms")
+    dec = decompose_complex(block)
+    loose = functional_delays(dec, arrival)["c_out"]
+    print(f"     agree here (MUX {stable:g}, AND-OR {loose:g}).  The "
+          "consensus term separates")
+    print("     them when the select arrives LAST while both data agree:")
+    from repro.netlist.network import Network
+
+    demo = Network("consensus_demo")
+    demo.add_inputs(["sel", "d"])
+    demo.add_gate("z", "MUX", ["sel", "d", "d"], 1.0)
+    demo.set_outputs(["z"])
+    late_sel = {"sel": 10.0}
+    mux_delay = functional_delays(demo, late_sel)["z"]
+    andor_delay = functional_delays(
+        decompose_complex(demo), late_sel
+    )["z"]
+    print(f"       z = MUX(sel, d, d), arr(sel) = 10:")
+    print(f"       primitive MUX : stable at {mux_delay:g} "
+          "(consensus — sel is irrelevant)")
+    print(f"       AND-OR mux    : stable at {andor_delay:g} "
+          "(static hazard waits for sel)")
+    print("     XBD0 is telling the truth about both netlist styles.")
+
+    print("\nFull functional report under arr(c_in) = 6:")
+    print(functional_timing_report(block, arrival))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Black-box IP timing abstraction (paper Section 7).
+
+An "IP vendor" characterizes a carry-skip adder block once and ships only
+its timing abstraction (a JSON timing library) — no netlist.  An
+"integrator" then builds a system around the black box and runs accurate
+hierarchical timing analysis without ever seeing the block's internals.
+
+Run:  python examples/ip_block_characterization.py
+"""
+
+import io
+
+from repro import HierDesign, carry_skip_block, characterize_network
+from repro.core.hier import HierarchicalAnalyzer, topological_models
+from repro.core.ipblock import (
+    black_box_from_library,
+    export_timing_library,
+)
+
+
+def vendor_side() -> tuple[str, str]:
+    """Characterize the secret netlist; ship only abstractions.
+
+    Ships two libraries: the legacy one (worst-case topological pin-to-pin
+    delays, what a datasheet would list) and the functional one produced
+    by required-time analysis, which encodes the block's false paths.
+    """
+    secret_netlist = carry_skip_block(4)
+    legacy = topological_models(secret_netlist)
+    functional = characterize_network(secret_netlist)
+    libraries = []
+    for tag, models in (("legacy", legacy), ("functional", functional)):
+        buffer = io.StringIO()
+        export_timing_library(
+            "vendor_adder4",
+            secret_netlist.inputs,
+            secret_netlist.outputs,
+            models,
+            buffer,
+        )
+        libraries.append(buffer.getvalue())
+        print(f"vendor: shipping {tag} library "
+              f"({len(buffer.getvalue())} bytes)")
+    print("vendor: the netlist itself "
+          f"({secret_netlist.num_gates()} gates) stays in-house")
+    return libraries[0], libraries[1]
+
+
+def build_system(module) -> tuple[HierDesign, str]:
+    """A 16-bit adder from four opaque vendor blocks."""
+    design = HierDesign("system16")
+    design.add_module(module)
+    design.add_input("c_in")
+    for i in range(16):
+        design.add_input(f"a{i}")
+        design.add_input(f"b{i}")
+    carry = "c_in"
+    outputs = []
+    for blk in range(4):
+        conns = {"c_in": carry}
+        for i in range(4):
+            bit = blk * 4 + i
+            conns[f"a{i}"] = f"a{bit}"
+            conns[f"b{i}"] = f"b{bit}"
+            conns[f"s{i}"] = f"s{bit}"
+            outputs.append(f"s{bit}")
+        carry = f"c{(blk + 1) * 4}"
+        conns["c_out"] = carry
+        design.add_instance(f"ip{blk}", module.name, conns)
+    outputs.append(carry)
+    design.set_outputs(outputs)
+    return design, carry
+
+
+def integrator_side(legacy_json: str, functional_json: str) -> None:
+    results = {}
+    for tag, library in (("legacy", legacy_json),
+                         ("functional", functional_json)):
+        module, models = black_box_from_library(io.StringIO(library))
+        design, carry = build_system(module)
+        analyzer = HierarchicalAnalyzer(design)
+        analyzer.preload_models(module.name, models)  # never characterizes
+        result = analyzer.analyze()
+        assert result.characterized == (), "black box must stay opaque"
+        results[tag] = result
+        print(f"\nintegrator[{tag} library]: system delay "
+              f"{result.delay:g}, final carry at "
+              f"{result.output_times[carry]:g}")
+    saved = results["legacy"].delay - results["functional"].delay
+    print(f"\nintegrator: the functional abstraction removes {saved:g} "
+          "units of carry-chain pessimism without disclosing the netlist")
+
+
+def main() -> None:
+    legacy, functional = vendor_side()
+    integrator_side(legacy, functional)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Sequential timing: false paths buy clock frequency (paper footnote 3).
+
+An 8-bit accumulator built on a carry-skip adder: the register-to-register
+paths ride the skip chain, so the functional minimum clock period beats
+the topological one by the same margin Table 1 shows for the combinational
+adder.  Also demonstrates input/output constraint handling and the
+critical-endpoint query.
+
+Run:  python examples/sequential_clocking.py
+"""
+
+from repro.seq.generators import accumulator, shift_register
+
+
+def main() -> None:
+    seq = accumulator(bits=8, block_bits=2)
+    print(f"circuit: {seq.name} "
+          f"({seq.core.num_gates()} gates, {len(seq.flops)} flops)")
+    print(f"  primary inputs : {', '.join(seq.primary_inputs[:6])}, ...")
+    print(f"  endpoints      : {', '.join(seq.endpoints())}")
+
+    topo = seq.min_clock_period(functional=False)
+    func = seq.min_clock_period(functional=True)
+    print(f"\nminimum clock period, topological analysis: {topo:g}")
+    print(f"minimum clock period, functional (XBD0):    {func:g}")
+    print(f"  -> {topo - func:g} time units of false-path pessimism; "
+          f"{(topo / func - 1) * 100:.0f}% higher clock frequency proven safe")
+
+    pin, time = seq.critical_endpoint()
+    print(f"\ncritical endpoint: {pin} (stable at {time:g} after the edge)")
+
+    realistic = seq.min_clock_period(
+        clk_to_q=1.0, setup=0.5, input_arrival={"c_in": 2.0}
+    )
+    print(f"with clk->q = 1.0, setup = 0.5, arr(c_in) = 2.0: "
+          f"period {realistic:g}")
+
+    lfsr = shift_register(8, taps=3)
+    print(f"\n{lfsr.name}: period {lfsr.min_clock_period():g} "
+          "(feedback XOR dominates; no false paths in a shifter)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Timing meets testability (paper reference [7], Saldanha).
+
+The carry-skip adder's false path and its redundant stuck-at fault are the
+same piece of hardware: the skip MUX changes no logic function (when every
+stage propagates, the ripple carry already equals c_in) — it exists purely
+to make the carry *fast*.  This example lets both engines rediscover that
+fact independently:
+
+* the timing engine proves the ripple path false (effective c_in->c_out
+  delay 2, not 6);
+* the ATPG engine proves ``skip`` stuck-at-0 untestable (the MUX is
+  redundant);
+* removing the MUX (committing the redundancy) restores full testability
+  and surrenders the speed.
+
+Run:  python examples/timing_meets_testability.py
+"""
+
+from repro import carry_skip_block, characterize_network
+from repro.atpg import (
+    StuckAtFault,
+    enumerate_faults,
+    generate_test_set,
+    inject_fault,
+    untestable_faults,
+)
+from repro.circuits.adders import ripple_adder
+from repro.core.xbd0 import functional_delays
+from repro.netlist.transform import propagate_constants, sweep
+from repro.sta.topological import pin_to_pin_delay
+
+
+def main() -> None:
+    block = carry_skip_block(2)
+
+    print("=== the timing view ===")
+    model = characterize_network(block)["c_out"]
+    topo = pin_to_pin_delay(block, "c_in", "c_out")
+    print(f"  c_in -> c_out: topological {topo:g}, "
+          f"effective {model.delay_from('c_in'):g}  (false ripple path)")
+
+    print("\n=== the testability view ===")
+    untestable = untestable_faults(block)
+    print(f"  faults: {len(enumerate_faults(block))}, untestable: "
+          f"{[str(f) for f in untestable]}")
+    print("  skip/s-a-0 is redundant: when both stages propagate, the "
+          "ripple carry already equals c_in")
+
+    print("\n=== committing the redundancy ===")
+    committed = sweep(
+        propagate_constants(
+            inject_fault(block, StuckAtFault("skip", False), name="committed")
+        )
+    )
+    print(f"  gates: {block.num_gates()} -> {committed.num_gates()} "
+          "(the skip logic dissolves)")
+    remaining = untestable_faults(committed)
+    print(f"  untestable faults after commit: "
+          f"{[str(f) for f in remaining] or 'none'}")
+    fast = functional_delays(block, {'c_in': 6.0})['c_out']
+    slow = functional_delays(committed, {'c_in': 6.0})['c_out']
+    print(f"  ...but with arr(c_in)=6, c_out moves {fast:g} -> {slow:g}: "
+          "the redundancy WAS the speed")
+
+    print("\n=== test set for the production circuit ===")
+    tests, untestable = generate_test_set(ripple_adder(2))
+    print(f"  2-bit ripple adder: {len(tests)} vectors cover all "
+          f"{len(enumerate_faults(ripple_adder(2)))} faults "
+          f"({len(untestable)} untestable)")
+
+
+if __name__ == "__main__":
+    main()

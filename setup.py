@@ -1,0 +1,6 @@
+"""Setup shim for environments whose pip cannot build PEP 517 editable wheels
+offline (no `wheel` package).  All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

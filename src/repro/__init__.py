@@ -1,0 +1,68 @@
+"""repro: hierarchical functional timing analysis under the XBD0 model.
+
+Reproduction of Kukimoto & Brayton, "Hierarchical Functional Timing
+Analysis", DAC 1998.
+
+Quick start::
+
+    from repro import carry_skip_block, cascade_adder
+    from repro import StabilityAnalyzer, HierarchicalAnalyzer
+
+    block = carry_skip_block(2)                      # the paper's Figure 1
+    HierarchicalAnalyzer(cascade_adder(16, 2)).analyze().delay
+
+The public API re-exports the main types; subpackages hold the substrates:
+
+* :mod:`repro.netlist`  — gates, networks, hierarchy
+* :mod:`repro.parsers`  — ISCAS .bench and BLIF
+* :mod:`repro.sat`      — CDCL solver + Tseitin encoding
+* :mod:`repro.bdd`      — ROBDD package
+* :mod:`repro.sim`      — logic & timed (XBD0 oracle) simulation
+* :mod:`repro.sta`      — topological STA + path-length machinery
+* :mod:`repro.core`     — XBD0 engine, required times, hierarchical and
+  demand-driven analysis
+* :mod:`repro.circuits` — benchmark generators and partitioning
+* :mod:`repro.bench`    — table/figure regenerators
+"""
+
+from repro.circuits.adders import carry_skip_block, cascade_adder
+from repro.core.budget import input_budgets
+from repro.core.conditional import ConditionalAnalyzer
+from repro.core.demand import DemandDrivenAnalyzer, flat_functional_delay
+from repro.core.hier import HierarchicalAnalyzer, IncrementalAnalyzer
+from repro.core.required import characterize_network, characterize_output
+from repro.core.timing_model import TimingModel
+from repro.core.xbd0 import StabilityAnalyzer, circuit_delay, functional_delays
+from repro.netlist.aig import equivalent
+from repro.netlist.hierarchy import HierDesign, Instance, Module
+from repro.netlist.network import Gate, GateType, Network
+from repro.seq.circuit import Flop, SequentialCircuit
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConditionalAnalyzer",
+    "DemandDrivenAnalyzer",
+    "Flop",
+    "Gate",
+    "GateType",
+    "HierDesign",
+    "HierarchicalAnalyzer",
+    "IncrementalAnalyzer",
+    "Instance",
+    "Module",
+    "Network",
+    "SequentialCircuit",
+    "StabilityAnalyzer",
+    "TimingModel",
+    "carry_skip_block",
+    "cascade_adder",
+    "characterize_network",
+    "characterize_output",
+    "circuit_delay",
+    "equivalent",
+    "flat_functional_delay",
+    "functional_delays",
+    "input_budgets",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Testability substrate: stuck-at faults and SAT-based ATPG (ref. [7])."""
+
+from repro.atpg.faults import (
+    StuckAtFault,
+    detects,
+    enumerate_faults,
+    fault_coverage,
+    inject_fault,
+    iter_output_faults,
+)
+from repro.atpg.generate import (
+    TestResult,
+    generate_test,
+    generate_test_set,
+    untestable_faults,
+)
+
+__all__ = [
+    "StuckAtFault",
+    "TestResult",
+    "detects",
+    "enumerate_faults",
+    "fault_coverage",
+    "generate_test",
+    "generate_test_set",
+    "inject_fault",
+    "iter_output_faults",
+    "untestable_faults",
+]

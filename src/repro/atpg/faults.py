@@ -1,0 +1,121 @@
+"""Stuck-at fault machinery.
+
+Reference [7] of the paper (Saldanha, *Performance and testability
+interactions in logic synthesis*) is where the carry-skip example comes
+from: false paths, redundancy and testability are two views of the same
+phenomenon — a stuck-at fault is *untestable* exactly when the logic it
+feeds is redundant, and redundant logic is where false paths live.  This
+package provides the testability view: fault lists, fault injection,
+SAT-based test generation, and fault simulation, so the connection can be
+demonstrated on the same circuits the timing analyses run on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import NetlistError
+from repro.netlist.network import Network
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """Signal ``signal`` permanently stuck at ``value``."""
+
+    signal: str
+    value: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.signal}/s-a-{int(self.value)}"
+
+
+def enumerate_faults(network: Network) -> list[StuckAtFault]:
+    """All single stuck-at faults on the network's signals.
+
+    One fault pair per *signal* (input or gate output).  Classic fault
+    collapsing across fanout branches is not modelled — signals here are
+    nets, which already merges the branch faults the simple equivalences
+    would collapse.
+    """
+    faults: list[StuckAtFault] = []
+    for s in network.signals():
+        faults.append(StuckAtFault(s, False))
+        faults.append(StuckAtFault(s, True))
+    return faults
+
+
+def inject_fault(
+    network: Network, fault: StuckAtFault, name: str | None = None
+) -> Network:
+    """Copy of the network with the fault wired in.
+
+    The faulty signal keeps its name (so output lists stay valid); its
+    original driver is renamed aside and the signal becomes a constant.
+    """
+    if not network.has_signal(fault.signal):
+        raise NetlistError(f"unknown signal {fault.signal!r}")
+    faulty = Network(name or f"{network.name}.{fault.signal}"
+                     f".sa{int(fault.value)}")
+    const_type = "CONST1" if fault.value else "CONST0"
+    if network.is_input(fault.signal):
+        # keep every port for interface compatibility (the faulty one
+        # dangles); all uses are redirected to the constant
+        for x in network.inputs:
+            faulty.add_input(x)
+        faulty.add_gate(f"{fault.signal}$flt", const_type, (), 0.0)
+        rename = {fault.signal: f"{fault.signal}$flt"}
+    else:
+        for x in network.inputs:
+            faulty.add_input(x)
+        rename = {}
+    for s in network.topological_order():
+        if network.is_input(s):
+            continue
+        g = network.gate(s)
+        fanins = [rename.get(f, f) for f in g.fanins]
+        if s == fault.signal:
+            # original logic preserved under a side name, output replaced
+            faulty.add_gate(f"{s}$good", g.gtype, fanins, g.delay)
+            faulty.add_gate(s, const_type, (), 0.0)
+        else:
+            faulty.add_gate(s, g.gtype, fanins, g.delay)
+    outputs = []
+    for o in network.outputs:
+        outputs.append(rename.get(o, o))
+    faulty.set_outputs(outputs)
+    return faulty
+
+
+def detects(
+    network: Network, fault: StuckAtFault, vector: dict[str, bool]
+) -> bool:
+    """True iff ``vector`` produces different outputs good vs faulty."""
+    good = network.output_values(vector)
+    bad = inject_fault(network, fault).output_values(vector)
+    if set(good) != set(bad):
+        # input fault: output signal renamed; align by position
+        return list(good.values()) != list(bad.values())
+    return good != bad
+
+
+def fault_coverage(
+    network: Network,
+    vectors: list[dict[str, bool]],
+    faults: list[StuckAtFault] | None = None,
+) -> tuple[float, list[StuckAtFault]]:
+    """Fraction of faults detected by the vector set, plus the misses."""
+    faults = faults if faults is not None else enumerate_faults(network)
+    missed: list[StuckAtFault] = []
+    for fault in faults:
+        if not any(detects(network, fault, v) for v in vectors):
+            missed.append(fault)
+    covered = len(faults) - len(missed)
+    return (covered / len(faults) if faults else 1.0), missed
+
+
+def iter_output_faults(network: Network) -> Iterator[StuckAtFault]:
+    """Faults on primary outputs only (a quick smoke subset)."""
+    for o in network.outputs:
+        yield StuckAtFault(o, False)
+        yield StuckAtFault(o, True)

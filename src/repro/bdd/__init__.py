@@ -1,0 +1,5 @@
+"""ROBDD substrate."""
+
+from repro.bdd.manager import BDDError, BDDManager
+
+__all__ = ["BDDError", "BDDManager"]

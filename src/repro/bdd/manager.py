@@ -1,0 +1,391 @@
+"""Reduced Ordered Binary Decision Diagrams.
+
+A compact ROBDD package with a unique table and memoized ``ite``: enough to
+serve as an alternative tautology engine for XBD0 stability checks and as a
+cross-check against the SAT engine.  Variables are identified by integer
+*levels* (0 = top of the order); callers may attach names via
+:meth:`BDDManager.declare`.
+
+No complement edges — nodes are plain ``(level, low, high)`` triples interned
+in the unique table, with two terminal sentinels.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import ReproError
+
+
+class BDDError(ReproError):
+    """Misuse of the BDD package."""
+
+
+class BDDManager:
+    """Owns the unique table; all nodes are indices into internal arrays."""
+
+    #: Terminal node ids.
+    ZERO = 0
+    ONE = 1
+
+    def __init__(self, max_nodes: int = 5_000_000):
+        self._level = [2**31, 2**31]  # terminals sit below every variable
+        self._low = [-1, -1]
+        self._high = [-1, -1]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self._names: dict[str, int] = {}
+        self._level_names: list[str] = []
+        self._max_nodes = max_nodes
+
+    # ----------------------------------------------------------- variables
+    def declare(self, name: str) -> int:
+        """Declare a named variable at the next level; returns its level."""
+        if name in self._names:
+            return self._names[name]
+        level = len(self._level_names)
+        self._names[name] = level
+        self._level_names.append(name)
+        return level
+
+    def var_level(self, name: str) -> int:
+        """Level of a declared variable."""
+        try:
+            return self._names[name]
+        except KeyError:
+            raise BDDError(f"undeclared variable {name!r}") from None
+
+    def num_vars(self) -> int:
+        """Number of declared variables."""
+        return len(self._level_names)
+
+    def var(self, name_or_level: str | int) -> int:
+        """BDD node for a single positive variable."""
+        level = (
+            self.declare(name_or_level)
+            if isinstance(name_or_level, str)
+            else name_or_level
+        )
+        return self._mk(level, self.ZERO, self.ONE)
+
+    def nvar(self, name_or_level: str | int) -> int:
+        """BDD node for a single negated variable."""
+        return self.negate(self.var(name_or_level))
+
+    # ----------------------------------------------------------- structure
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        node = len(self._level)
+        if node > self._max_nodes:
+            raise BDDError(f"BDD exceeded {self._max_nodes} nodes")
+        self._level.append(level)
+        self._low.append(low)
+        self._high.append(high)
+        self._unique[key] = node
+        return node
+
+    def level_of(self, node: int) -> int:
+        """Variable level a node tests (terminals return a sentinel)."""
+        return self._level[node]
+
+    def cofactors(self, node: int) -> tuple[int, int]:
+        """(low, high) children of a non-terminal node."""
+        if node <= self.ONE:
+            raise BDDError("terminals have no cofactors")
+        return self._low[node], self._high[node]
+
+    def size(self) -> int:
+        """Total nodes interned so far (including terminals)."""
+        return len(self._level)
+
+    # ---------------------------------------------------------------- algebra
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f·g + ¬f·h`` (the universal connective)."""
+        if f == self.ONE:
+            return g
+        if f == self.ZERO:
+            return h
+        if g == h:
+            return g
+        if g == self.ONE and h == self.ZERO:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(self._level[f], self._level[g], self._level[h])
+        f0, f1 = self._split(f, top)
+        g0, g1 = self._split(g, top)
+        h0, h1 = self._split(h, top)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._mk(top, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def _split(self, node: int, level: int) -> tuple[int, int]:
+        if self._level[node] == level:
+            return self._low[node], self._high[node]
+        return node, node
+
+    def conj(self, f: int, g: int) -> int:
+        """AND."""
+        return self.ite(f, g, self.ZERO)
+
+    def disj(self, f: int, g: int) -> int:
+        """OR."""
+        return self.ite(f, self.ONE, g)
+
+    def negate(self, f: int) -> int:
+        """NOT."""
+        return self.ite(f, self.ZERO, self.ONE)
+
+    def xor(self, f: int, g: int) -> int:
+        """XOR."""
+        return self.ite(f, self.negate(g), g)
+
+    def conj_all(self, nodes: Iterable[int]) -> int:
+        """AND over an iterable (ONE for empty)."""
+        acc = self.ONE
+        for n in nodes:
+            acc = self.conj(acc, n)
+            if acc == self.ZERO:
+                return acc
+        return acc
+
+    def disj_all(self, nodes: Iterable[int]) -> int:
+        """OR over an iterable (ZERO for empty)."""
+        acc = self.ZERO
+        for n in nodes:
+            acc = self.disj(acc, n)
+            if acc == self.ONE:
+                return acc
+        return acc
+
+    def restrict(self, f: int, assignment: Mapping[int, bool]) -> int:
+        """Cofactor ``f`` by fixing the given levels to constants."""
+        if f <= self.ONE:
+            return f
+        cache: dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= self.ONE:
+                return node
+            hit = cache.get(node)
+            if hit is not None:
+                return hit
+            level = self._level[node]
+            low, high = self._low[node], self._high[node]
+            if level in assignment:
+                result = walk(high if assignment[level] else low)
+            else:
+                result = self._mk(level, walk(low), walk(high))
+            cache[node] = result
+            return result
+
+        return walk(f)
+
+    # --------------------------------------------------------------- queries
+    def is_tautology(self, f: int) -> bool:
+        """True iff ``f`` is the constant-1 function."""
+        return f == self.ONE
+
+    def is_satisfiable(self, f: int) -> bool:
+        """True iff ``f`` has at least one satisfying assignment."""
+        return f != self.ZERO
+
+    def any_model(self, f: int) -> dict[int, bool] | None:
+        """Some satisfying assignment (level → value), or None."""
+        if f == self.ZERO:
+            return None
+        model: dict[int, bool] = {}
+        node = f
+        while node > self.ONE:
+            low, high = self._low[node], self._high[node]
+            level = self._level[node]
+            if high != self.ZERO:
+                model[level] = True
+                node = high
+            else:
+                model[level] = False
+                node = low
+        return model
+
+    def count_models(self, f: int, num_vars: int | None = None) -> int:
+        """Number of satisfying assignments over ``num_vars`` variables."""
+        if num_vars is None:
+            num_vars = self.num_vars()
+        cache: dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            # models over variables strictly below level_of(node) count once
+            if node == self.ZERO:
+                return 0
+            if node == self.ONE:
+                return 1
+            hit = cache.get(node)
+            if hit is not None:
+                return hit
+            level = self._level[node]
+            low, high = self._low[node], self._high[node]
+            result = (
+                walk(low) << self._gap(level, low)
+            ) + (walk(high) << self._gap(level, high))
+            cache[node] = result
+            return result
+
+        top_gap = self._level[f] if f > self.ONE else num_vars
+        if f <= self.ONE:
+            return walk(f) << num_vars
+        return walk(f) << min(top_gap, num_vars)
+
+    def _gap(self, parent_level: int, child: int) -> int:
+        child_level = (
+            self.num_vars() if child <= self.ONE else self._level[child]
+        )
+        return max(0, child_level - parent_level - 1)
+
+    def evaluate(self, f: int, assignment: Mapping[int, bool]) -> bool:
+        """Evaluate ``f`` on a (complete enough) assignment level → bool."""
+        node = f
+        while node > self.ONE:
+            level = self._level[node]
+            if level not in assignment:
+                raise BDDError(f"level {level} unassigned")
+            node = self._high[node] if assignment[level] else self._low[node]
+        return node == self.ONE
+
+    def support(self, f: int) -> set[int]:
+        """Levels on which ``f`` structurally depends."""
+        seen: set[int] = set()
+        levels: set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= self.ONE or node in seen:
+                continue
+            seen.add(node)
+            levels.add(self._level[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return levels
+
+    def iter_models(
+        self, f: int, care_levels: Iterable[int]
+    ) -> Iterator[dict[int, bool]]:
+        """Enumerate all models of ``f`` over the given levels (complete)."""
+        care = sorted(set(care_levels))
+
+        def expand(partial: dict[int, bool]) -> Iterator[dict[int, bool]]:
+            free = [l for l in care if l not in partial]
+            for bits in itertools.product((False, True), repeat=len(free)):
+                full = dict(partial)
+                full.update(zip(free, bits))
+                yield full
+
+        def walk(node: int, partial: dict[int, bool]) -> Iterator[dict[int, bool]]:
+            if node == self.ZERO:
+                return
+            if node == self.ONE:
+                yield from expand(partial)
+                return
+            level = self._level[node]
+            for value, child in ((False, self._low[node]), (True, self._high[node])):
+                partial[level] = value
+                yield from walk(child, partial)
+                del partial[level]
+
+        yield from walk(f, {})
+
+
+    # ------------------------------------------------------- quantification
+    def exists(self, levels: Iterable[int], f: int) -> int:
+        """Existential quantification: OR of both cofactors per level."""
+        targets = set(levels)
+        if not targets or f <= self.ONE:
+            return f
+        cache: dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= self.ONE:
+                return node
+            hit = cache.get(node)
+            if hit is not None:
+                return hit
+            level = self._level[node]
+            low = walk(self._low[node])
+            high = walk(self._high[node])
+            if level in targets:
+                result = self.disj(low, high)
+            else:
+                result = self._mk(level, low, high)
+            cache[node] = result
+            return result
+
+        return walk(f)
+
+    def forall(self, levels: Iterable[int], f: int) -> int:
+        """Universal quantification: AND of both cofactors per level."""
+        targets = set(levels)
+        if not targets or f <= self.ONE:
+            return f
+        cache: dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= self.ONE:
+                return node
+            hit = cache.get(node)
+            if hit is not None:
+                return hit
+            level = self._level[node]
+            low = walk(self._low[node])
+            high = walk(self._high[node])
+            if level in targets:
+                result = self.conj(low, high)
+            else:
+                result = self._mk(level, low, high)
+            cache[node] = result
+            return result
+
+        return walk(f)
+
+    def compose(self, f: int, level: int, g: int) -> int:
+        """Substitute function ``g`` for the variable at ``level`` in ``f``.
+
+        ``compose(f, v, g) = g·f|_{v=1} + ¬g·f|_{v=0}`` — implemented by
+        Shannon expansion so variable orders need not nest.
+        """
+        if f <= self.ONE:
+            return f
+        cache: dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= self.ONE:
+                return node
+            hit = cache.get(node)
+            if hit is not None:
+                return hit
+            node_level = self._level[node]
+            if node_level == level:
+                result = self.ite(
+                    g, walk(self._high[node]), walk(self._low[node])
+                )
+            elif node_level > level:
+                # past the substituted variable: subtree unchanged
+                result = node
+            else:
+                result = self.ite(
+                    self.var(node_level),
+                    walk(self._high[node]),
+                    walk(self._low[node]),
+                )
+            cache[node] = result
+            return result
+
+        return walk(f)

@@ -1,0 +1,17 @@
+"""Benchmark harness: runnable regenerators for every paper table/figure."""
+
+from repro.bench.harness import (
+    COMPARISON_HEADERS,
+    ComparisonRow,
+    fmt,
+    render_table,
+    stopwatch,
+)
+
+__all__ = [
+    "COMPARISON_HEADERS",
+    "ComparisonRow",
+    "fmt",
+    "render_table",
+    "stopwatch",
+]

@@ -1,0 +1,111 @@
+"""Benchmark harness utilities: result records and ASCII tables."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@contextmanager
+def stopwatch():
+    """``with stopwatch() as t: ...; t.seconds`` wall-clock timer."""
+
+    class _Timer:
+        seconds = 0.0
+
+    timer = _Timer()
+    start = time.perf_counter()
+    try:
+        yield timer
+    finally:
+        timer.seconds = time.perf_counter() - start
+
+
+def fmt(value) -> str:
+    """Human formatting for table cells (floats trimmed, -inf as such)."""
+    if isinstance(value, float):
+        if value == float("-inf"):
+            return "-inf"
+        if value == float("inf"):
+            return "inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Monospace table in the style of the paper's Tables 1 and 2."""
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            " | ".join(c.rjust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class ComparisonRow:
+    """One benchmark circuit compared across analyses (a paper-table row)."""
+
+    circuit: str
+    topological_delay: float
+    hierarchical_delay: float
+    hierarchical_seconds: float
+    flat_delay: float
+    flat_seconds: float
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def exact(self) -> bool:
+        """Did hierarchical analysis match flat analysis?"""
+        return abs(self.hierarchical_delay - self.flat_delay) < 1e-9
+
+    @property
+    def overestimate(self) -> float:
+        """Hierarchical minus flat estimated delay (≥ 0 by Theorem 1)."""
+        return self.hierarchical_delay - self.flat_delay
+
+    @property
+    def speedup(self) -> float:
+        """Flat CPU divided by hierarchical CPU."""
+        if self.hierarchical_seconds <= 0:
+            return float("inf")
+        return self.flat_seconds / self.hierarchical_seconds
+
+    def cells(self) -> list[object]:
+        """Row values aligned with :data:`COMPARISON_HEADERS`."""
+        return [
+            self.circuit,
+            self.topological_delay,
+            self.hierarchical_delay,
+            round(self.hierarchical_seconds, 3),
+            self.flat_delay,
+            round(self.flat_seconds, 3),
+            f"{self.speedup:.1f}x",
+        ]
+
+
+COMPARISON_HEADERS = [
+    "circuit",
+    "topological delay",
+    "hier. delay",
+    "hier. CPU (s)",
+    "flat delay",
+    "flat CPU (s)",
+    "speedup",
+]

@@ -1,0 +1,61 @@
+"""Benchmark circuit generators and partitioning."""
+
+from repro.circuits.adders import (
+    carry_select_adder,
+    carry_skip_block,
+    cascade_adder,
+    full_adder,
+    ripple_adder,
+)
+from repro.circuits.datapath import (
+    array_multiplier,
+    barrel_shifter,
+    wallace_multiplier,
+)
+from repro.circuits.iscaslike import (
+    SUITE,
+    alu,
+    c17,
+    shared_select_chain,
+    table2_circuits,
+)
+from repro.circuits.partition import (
+    cascade_bipartition,
+    group_cascade,
+    subnetwork,
+)
+from repro.circuits.random_logic import random_network
+from repro.circuits.trees import (
+    and_or_tree,
+    carry_lookahead_adder,
+    comparator,
+    mux_tree,
+    parity_tree,
+    priority_encoder,
+)
+
+__all__ = [
+    "SUITE",
+    "alu",
+    "and_or_tree",
+    "array_multiplier",
+    "barrel_shifter",
+    "c17",
+    "group_cascade",
+    "shared_select_chain",
+    "carry_lookahead_adder",
+    "carry_select_adder",
+    "carry_skip_block",
+    "cascade_adder",
+    "cascade_bipartition",
+    "comparator",
+    "full_adder",
+    "mux_tree",
+    "parity_tree",
+    "priority_encoder",
+    "random_network",
+    "ripple_adder",
+    "subnetwork",
+    "table2_circuits",
+    "wallace_multiplier",
+]

@@ -1,0 +1,209 @@
+"""Adder generators, including the paper's carry-skip structures.
+
+:func:`carry_skip_block` reproduces Figure 1 of the paper (an m-bit ripple
+carry chain plus a skip multiplexer whose select is the AND of all propagate
+signals), with the Section 4 delay assignment: AND/OR gates delay 1,
+XOR/MUX gates delay 2.  :func:`cascade_adder` chains ``n/m`` such blocks
+into the ``csa n.m`` circuits of Table 1 as a depth-1 :class:`HierDesign`
+(Figure 2 shows the 4-bit instance).
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.hierarchy import HierDesign, Module
+from repro.netlist.network import Network
+
+#: Delay of AND/OR gates in the paper's example.
+AND_OR_DELAY = 1.0
+#: Delay of XOR/MUX gates in the paper's example.
+XOR_MUX_DELAY = 2.0
+
+
+def full_adder(name: str = "fa") -> Network:
+    """One full adder: inputs a, b, cin; outputs sum, cout (no skip)."""
+    net = Network(name)
+    a, b, cin = net.add_inputs(["a", "b", "cin"])
+    p = net.add_gate("p", "XOR", [a, b], XOR_MUX_DELAY)
+    g = net.add_gate("g", "AND", [a, b], AND_OR_DELAY)
+    net.add_gate("sum", "XOR", [p, cin], XOR_MUX_DELAY)
+    t = net.add_gate("t", "AND", [p, cin], AND_OR_DELAY)
+    net.add_gate("cout", "OR", [g, t], AND_OR_DELAY)
+    net.set_outputs(["sum", "cout"])
+    return net
+
+
+def ripple_adder(bits: int, name: str | None = None) -> Network:
+    """``bits``-bit ripple-carry adder (flat, no skip logic)."""
+    if bits < 1:
+        raise NetlistError("ripple_adder needs at least 1 bit")
+    net = Network(name or f"rca{bits}")
+    cin = net.add_input("c_in")
+    a = [net.add_input(f"a{i}") for i in range(bits)]
+    b = [net.add_input(f"b{i}") for i in range(bits)]
+    carry = cin
+    for i in range(bits):
+        p = net.add_gate(f"p{i}", "XOR", [a[i], b[i]], XOR_MUX_DELAY)
+        g = net.add_gate(f"g{i}", "AND", [a[i], b[i]], AND_OR_DELAY)
+        net.add_gate(f"s{i}", "XOR", [p, carry], XOR_MUX_DELAY)
+        t = net.add_gate(f"t{i}", "AND", [p, carry], AND_OR_DELAY)
+        carry = net.add_gate(f"c{i + 1}", "OR", [g, t], AND_OR_DELAY)
+    net.set_outputs([f"s{i}" for i in range(bits)] + [carry])
+    return net
+
+
+def carry_skip_block(bits: int = 2, name: str | None = None) -> Network:
+    """An m-bit carry-skip adder block (Figure 1 for ``bits=2``).
+
+    Inputs (in the paper's order): ``c_in, a0, b0, ..., a{m-1}, b{m-1}``.
+    Outputs: ``s0..s{m-1}, c_out``.  The ripple carry ``c_m`` feeds a MUX
+    that *skips* ``c_in`` straight to ``c_out`` when every stage propagates
+    — this creates the classic false path through the ripple chain.
+    """
+    if bits < 1:
+        raise NetlistError("carry_skip_block needs at least 1 bit")
+    net = Network(name or f"csa_block{bits}")
+    cin = net.add_input("c_in")
+    pins: list[str] = []
+    for i in range(bits):
+        pins.append(net.add_input(f"a{i}"))
+        pins.append(net.add_input(f"b{i}"))
+    carry = cin
+    propagates: list[str] = []
+    for i in range(bits):
+        a, b = f"a{i}", f"b{i}"
+        p = net.add_gate(f"p{i}", "XOR", [a, b], XOR_MUX_DELAY)
+        propagates.append(p)
+        g = net.add_gate(f"g{i}", "AND", [a, b], AND_OR_DELAY)
+        net.add_gate(f"s{i}", "XOR", [p, carry], XOR_MUX_DELAY)
+        t = net.add_gate(f"t{i}", "AND", [p, carry], AND_OR_DELAY)
+        carry = net.add_gate(f"c{i + 1}", "OR", [g, t], AND_OR_DELAY)
+    skip = net.add_gate("skip", "AND", propagates, AND_OR_DELAY)
+    # MUX(select, d0, d1): c_out = c_in when all stages propagate.
+    net.add_gate("c_out", "MUX", [skip, carry, cin], XOR_MUX_DELAY)
+    net.set_outputs([f"s{i}" for i in range(bits)] + ["c_out"])
+    return net
+
+
+def block_input_order(bits: int) -> list[str]:
+    """Port order used by :func:`carry_skip_block`."""
+    order = ["c_in"]
+    for i in range(bits):
+        order.extend([f"a{i}", f"b{i}"])
+    return order
+
+
+def cascade_adder(
+    total_bits: int, block_bits: int, name: str | None = None
+) -> HierDesign:
+    """``csa total_bits.block_bits``: cascade of carry-skip blocks (Fig. 2).
+
+    The design has ``total_bits // block_bits`` instances of the same leaf
+    module, with ``c_out`` of each block driving ``c_in`` of the next —
+    exactly the Table 1 circuits.
+    """
+    if total_bits % block_bits != 0:
+        raise NetlistError(
+            f"total_bits={total_bits} not divisible by block_bits={block_bits}"
+        )
+    blocks = total_bits // block_bits
+    if blocks < 1:
+        raise NetlistError("cascade_adder needs at least one block")
+    design = HierDesign(name or f"csa{total_bits}.{block_bits}")
+    module = Module(f"csa_block{block_bits}", carry_skip_block(block_bits))
+    design.add_module(module)
+    design.add_input("c_in")
+    for i in range(total_bits):
+        design.add_input(f"a{i}")
+        design.add_input(f"b{i}")
+    outputs: list[str] = []
+    carry = "c_in"
+    for blk in range(blocks):
+        conns = {"c_in": carry}
+        for i in range(block_bits):
+            bit = blk * block_bits + i
+            conns[f"a{i}"] = f"a{bit}"
+            conns[f"b{i}"] = f"b{bit}"
+            conns[f"s{i}"] = f"s{bit}"
+            outputs.append(f"s{bit}")
+        carry_net = f"c{(blk + 1) * block_bits}"
+        conns["c_out"] = carry_net
+        design.add_instance(f"u{blk}", module.name, conns)
+        carry = carry_net
+    outputs.append(carry)
+    design.set_outputs(outputs)
+    design.validate()
+    return design
+
+
+def carry_select_adder(
+    total_bits: int, block_bits: int, name: str | None = None
+) -> Network:
+    """Carry-select adder (flat): each block computed for cin=0 and cin=1.
+
+    A second false-path-rich adder style used by the extension benchmarks.
+    """
+    if total_bits % block_bits != 0:
+        raise NetlistError("total_bits must be divisible by block_bits")
+    net = Network(name or f"csel{total_bits}.{block_bits}")
+    cin = net.add_input("c_in")
+    for i in range(total_bits):
+        net.add_input(f"a{i}")
+        net.add_input(f"b{i}")
+
+    def ripple(prefix: str, blk: int, carry_sig: str | None, const: bool) -> tuple[list[str], str]:
+        carry = carry_sig
+        sums = []
+        for i in range(block_bits):
+            bit = blk * block_bits + i
+            p = net.add_gate(f"{prefix}p{bit}", "XOR", [f"a{bit}", f"b{bit}"],
+                             XOR_MUX_DELAY)
+            g = net.add_gate(f"{prefix}g{bit}", "AND", [f"a{bit}", f"b{bit}"],
+                             AND_OR_DELAY)
+            if carry is None:
+                # constant carry-in folded into the first stage
+                if const:
+                    s = net.add_gate(f"{prefix}s{bit}", "XNOR", [p],
+                                     XOR_MUX_DELAY)
+                    carry_next = net.add_gate(
+                        f"{prefix}c{bit + 1}", "OR", [g, p], AND_OR_DELAY
+                    )
+                else:
+                    s = net.add_gate(f"{prefix}s{bit}", "BUF", [p], 0.0)
+                    carry_next = net.add_gate(
+                        f"{prefix}c{bit + 1}", "BUF", [g], 0.0
+                    )
+            else:
+                s = net.add_gate(f"{prefix}s{bit}", "XOR", [p, carry],
+                                 XOR_MUX_DELAY)
+                t = net.add_gate(f"{prefix}t{bit}", "AND", [p, carry],
+                                 AND_OR_DELAY)
+                carry_next = net.add_gate(
+                    f"{prefix}c{bit + 1}", "OR", [g, t], AND_OR_DELAY
+                )
+            sums.append(s)
+            carry = carry_next
+        return sums, carry
+
+    outputs: list[str] = []
+    carry: str = cin
+    for blk in range(total_bits // block_bits):
+        if blk == 0:
+            # No select stage for the first block; its sums are the final
+            # outputs, so they take the canonical s{bit} names directly.
+            sums, carry = ripple("", blk, carry, False)
+            outputs.extend(sums)
+            continue
+        sums0, c0 = ripple(f"z{blk}_", blk, None, False)
+        sums1, c1 = ripple(f"o{blk}_", blk, None, True)
+        for i, (s0, s1) in enumerate(zip(sums0, sums1)):
+            bit = blk * block_bits + i
+            outputs.append(
+                net.add_gate(f"s{bit}", "MUX", [carry, s0, s1], XOR_MUX_DELAY)
+            )
+        carry = net.add_gate(
+            f"c{(blk + 1) * block_bits}", "MUX", [carry, c0, c1], XOR_MUX_DELAY
+        )
+    outputs.append(carry)
+    net.set_outputs(outputs)
+    return net

@@ -1,0 +1,205 @@
+"""Datapath workloads beyond the paper's adders.
+
+Array multipliers and barrel shifters are the classic next-hardest
+functional-timing workloads: multipliers are dense with reconvergent carry
+logic, barrel shifters with cascaded multiplexers.  Both use the Section-4
+delay style (AND/OR 1, XOR/MUX 2).
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.network import Network
+
+_AND_OR = 1.0
+_XOR_MUX = 2.0
+
+
+def array_multiplier(
+    width_a: int, width_b: int | None = None, name: str | None = None
+) -> Network:
+    """Ripple-carry array multiplier: ``p = a * b``.
+
+    Partial products feed a grid of half/full adder cells; the product is
+    ``width_a + width_b`` bits.
+    """
+    if width_b is None:
+        width_b = width_a
+    if width_a < 1 or width_b < 1:
+        raise NetlistError("multiplier widths must be positive")
+    net = Network(name or f"mul{width_a}x{width_b}")
+    a = [net.add_input(f"a{i}") for i in range(width_a)]
+    b = [net.add_input(f"b{j}") for j in range(width_b)]
+    pp = [
+        [
+            net.add_gate(f"pp{i}_{j}", "AND", [a[i], b[j]], _AND_OR)
+            for j in range(width_b)
+        ]
+        for i in range(width_a)
+    ]
+
+    def half_adder(tag: str, x: str, y: str) -> tuple[str, str]:
+        s = net.add_gate(f"hs{tag}", "XOR", [x, y], _XOR_MUX)
+        c = net.add_gate(f"hc{tag}", "AND", [x, y], _AND_OR)
+        return s, c
+
+    def full_adder(tag: str, x: str, y: str, z: str) -> tuple[str, str]:
+        p = net.add_gate(f"fp{tag}", "XOR", [x, y], _XOR_MUX)
+        s = net.add_gate(f"fs{tag}", "XOR", [p, z], _XOR_MUX)
+        g = net.add_gate(f"fg{tag}", "AND", [x, y], _AND_OR)
+        t = net.add_gate(f"ft{tag}", "AND", [p, z], _AND_OR)
+        c = net.add_gate(f"fc{tag}", "OR", [g, t], _AND_OR)
+        return s, c
+
+    # Row-by-row accumulation.  ``acc[k]`` holds bit (i + k) of the sum of
+    # rows 0..i-1; each row contributes its partial products at offset 0 of
+    # the current view, after which the lowest bit is final and emitted.
+    acc: list[str] = list(pp[0])
+    products: list[str] = [acc.pop(0)]  # bit 0 = pp0_0
+    for i in range(1, width_a):
+        row = pp[i]
+        summed: list[str] = []
+        carry: str | None = None
+        for k in range(max(width_b, len(acc))):
+            x = row[k] if k < width_b else None
+            y = acc[k] if k < len(acc) else None
+            tag = f"{i}_{k}"
+            operands = [v for v in (x, y, carry) if v is not None]
+            if len(operands) == 3:
+                s, carry = full_adder(tag, *operands)
+            elif len(operands) == 2:
+                s, carry = half_adder(tag, *operands)
+            elif len(operands) == 1:
+                s, carry = operands[0], None
+            else:  # pragma: no cover - loop bound prevents this
+                break
+            summed.append(s)
+        if carry is not None:
+            summed.append(carry)
+        products.append(summed.pop(0))
+        acc = summed
+    products.extend(acc)
+    outputs = []
+    for k, sig in enumerate(products):
+        outputs.append(net.add_gate(f"p{k}", "BUF", [sig], 0.0))
+    net.set_outputs(outputs)
+    return net
+
+
+def barrel_shifter(stages: int, name: str | None = None) -> Network:
+    """Logarithmic left barrel shifter: ``y = d << shamt`` (zero fill).
+
+    ``stages`` select bits shift a ``2**stages``-bit word; each stage is a
+    rank of MUXes controlled by one shift-amount bit.
+    """
+    if stages < 1:
+        raise NetlistError("barrel_shifter needs at least 1 stage")
+    width = 1 << stages
+    net = Network(name or f"bshift{width}")
+    shamt = [net.add_input(f"s{k}") for k in range(stages)]
+    word = [net.add_input(f"d{i}") for i in range(width)]
+    zero = net.add_gate("zero", "CONST0", (), 0.0)
+    current = word
+    for k, sel in enumerate(shamt):
+        offset = 1 << k
+        nxt = []
+        for i in range(width):
+            shifted = current[i - offset] if i >= offset else zero
+            nxt.append(
+                net.add_gate(
+                    f"m{k}_{i}", "MUX", [sel, current[i], shifted], _XOR_MUX
+                )
+            )
+        current = nxt
+    outputs = []
+    for i, sig in enumerate(current):
+        outputs.append(net.add_gate(f"y{i}", "BUF", [sig], 0.0))
+    net.set_outputs(outputs)
+    return net
+
+
+def wallace_multiplier(
+    width_a: int, width_b: int | None = None, name: str | None = None
+) -> Network:
+    """Carry-save (Wallace-style) multiplier with a ripple final adder.
+
+    Partial products per column are reduced three-at-a-time through
+    full-adder cells until every column holds at most two bits; a ripple
+    carry-propagate adder finishes.  Shallower (and busier) than the array
+    multiplier — the contrasting architecture for the Table-3 ablation.
+    """
+    if width_b is None:
+        width_b = width_a
+    if width_a < 1 or width_b < 1:
+        raise NetlistError("multiplier widths must be positive")
+    net = Network(name or f"wal{width_a}x{width_b}")
+    a = [net.add_input(f"a{i}") for i in range(width_a)]
+    b = [net.add_input(f"b{j}") for j in range(width_b)]
+    total = width_a + width_b
+    columns: list[list[str]] = [[] for _ in range(total)]
+    for i in range(width_a):
+        for j in range(width_b):
+            columns[i + j].append(
+                net.add_gate(f"pp{i}_{j}", "AND", [a[i], b[j]], _AND_OR)
+            )
+
+    counter = [0]
+
+    def fresh(prefix: str) -> str:
+        counter[0] += 1
+        return f"{prefix}{counter[0]}"
+
+    # carry-save reduction
+    while any(len(col) > 2 for col in columns):
+        nxt: list[list[str]] = [[] for _ in range(total)]
+        for k, col in enumerate(columns):
+            idx = 0
+            while len(col) - idx >= 3:
+                x, y, z = col[idx], col[idx + 1], col[idx + 2]
+                idx += 3
+                p = net.add_gate(fresh("wp"), "XOR", [x, y], _XOR_MUX)
+                s = net.add_gate(fresh("ws"), "XOR", [p, z], _XOR_MUX)
+                g = net.add_gate(fresh("wg"), "AND", [x, y], _AND_OR)
+                t = net.add_gate(fresh("wt"), "AND", [p, z], _AND_OR)
+                c = net.add_gate(fresh("wc"), "OR", [g, t], _AND_OR)
+                nxt[k].append(s)
+                if k + 1 < total:
+                    nxt[k + 1].append(c)
+            if len(col) - idx == 2:
+                x, y = col[idx], col[idx + 1]
+                s = net.add_gate(fresh("hs"), "XOR", [x, y], _XOR_MUX)
+                c = net.add_gate(fresh("hc"), "AND", [x, y], _AND_OR)
+                nxt[k].append(s)
+                if k + 1 < total:
+                    nxt[k + 1].append(c)
+            elif len(col) - idx == 1:
+                nxt[k].append(col[idx])
+        columns = nxt
+
+    # final carry-propagate (ripple) adder over the two remaining rows
+    outputs: list[str] = []
+    carry: str | None = None
+    for k, col in enumerate(columns):
+        operands = list(col)
+        if carry is not None:
+            operands.append(carry)
+        if not operands:
+            bit = net.add_gate(fresh("z"), "CONST0", (), 0.0)
+            carry = None
+        elif len(operands) == 1:
+            bit = operands[0]
+            carry = None
+        elif len(operands) == 2:
+            x, y = operands
+            bit = net.add_gate(fresh("fs"), "XOR", [x, y], _XOR_MUX)
+            carry = net.add_gate(fresh("fc"), "AND", [x, y], _AND_OR)
+        else:
+            x, y, z = operands
+            p = net.add_gate(fresh("cp"), "XOR", [x, y], _XOR_MUX)
+            bit = net.add_gate(fresh("cs"), "XOR", [p, z], _XOR_MUX)
+            g = net.add_gate(fresh("cg"), "AND", [x, y], _AND_OR)
+            t = net.add_gate(fresh("ct"), "AND", [p, z], _AND_OR)
+            carry = net.add_gate(fresh("cc"), "OR", [g, t], _AND_OR)
+        outputs.append(net.add_gate(f"p{k}", "BUF", [bit], 0.0))
+    net.set_outputs(outputs)
+    return net

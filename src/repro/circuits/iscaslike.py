@@ -1,0 +1,156 @@
+"""The Table-2 circuit suite.
+
+The paper runs Table 2 on six ISCAS-85 circuits.  The original netlists are
+not shipped in this offline environment, so the suite substitutes circuits
+of comparable flavour (see DESIGN.md):
+
+* ``c17`` — the real (public, 6-gate) ISCAS-85 circuit, embedded below;
+* ``alu4`` — a 4-bit function-select ALU (mux-heavy, like c880/c5315
+  control logic);
+* ``cla8`` — an 8-bit carry-lookahead adder (reconvergent g/p logic,
+  c432 arbitration flavour);
+* ``cmp8`` — an 8-bit ripple comparator;
+* ``par16`` — a 16-input parity tree (c499/c1355 XOR flavour);
+* ``rnd1`` / ``rnd2`` — seeded random reconvergent logic.
+
+Each is analyzed after :func:`repro.circuits.partition.cascade_bipartition`
+splits it into a two-module cascade, exactly as the paper constructs its
+hierarchical versions of the ISCAS circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.circuits.random_logic import random_network
+from repro.circuits.trees import (
+    carry_lookahead_adder,
+    comparator,
+    parity_tree,
+)
+from repro.errors import NetlistError
+from repro.netlist.network import Network
+from repro.parsers.bench import loads_bench
+
+#: The genuine ISCAS-85 c17 netlist (public domain, 6 NAND gates).
+C17_BENCH = """\
+# c17 — smallest ISCAS-85 benchmark
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+
+def c17() -> Network:
+    """The real ISCAS-85 c17 (unit gate delays)."""
+    return loads_bench(C17_BENCH, name="c17")
+
+
+def alu(width: int = 4, name: str | None = None) -> Network:
+    """Function-select ALU: op selects among AND/OR/XOR/ADD per bit.
+
+    Two select lines drive per-bit mux trees over the four operations; the
+    ADD result rides a ripple-carry chain, so for non-ADD opcodes the whole
+    chain is a (mux-guarded) false path — exactly the structure that
+    separates functional from topological analysis.
+    """
+    if width < 1:
+        raise NetlistError("alu needs width >= 1")
+    net = Network(name or f"alu{width}")
+    s0 = net.add_input("op0")
+    s1 = net.add_input("op1")
+    cin = net.add_input("c_in")
+    a = [net.add_input(f"a{i}") for i in range(width)]
+    b = [net.add_input(f"b{i}") for i in range(width)]
+    carry = cin
+    for i in range(width):
+        land = net.add_gate(f"and{i}", "AND", [a[i], b[i]], 1.0)
+        lor = net.add_gate(f"or{i}", "OR", [a[i], b[i]], 1.0)
+        lxor = net.add_gate(f"xor{i}", "XOR", [a[i], b[i]], 2.0)
+        # ripple adder stage
+        t = net.add_gate(f"t{i}", "AND", [lxor, carry], 1.0)
+        lsum = net.add_gate(f"sum{i}", "XOR", [lxor, carry], 2.0)
+        carry = net.add_gate(f"c{i + 1}", "OR", [land, t], 1.0)
+        # operation select: op1 chooses (arith vs logic), op0 the flavour
+        logic = net.add_gate(f"lmux{i}", "MUX", [s0, land, lor], 2.0)
+        arith = net.add_gate(f"amux{i}", "MUX", [s0, lxor, lsum], 2.0)
+        net.add_gate(f"y{i}", "MUX", [s1, logic, arith], 2.0)
+    net.add_gate("c_out", "AND", [s1, s0, carry], 1.0)
+    net.set_outputs([f"y{i}" for i in range(width)] + ["c_out"])
+    return net
+
+
+def shared_select_chain(chain: int = 6, name: str = "gfp") -> Network:
+    """A circuit with a *global* false path through two MUXes sharing a
+    select.
+
+    The inner MUX passes the long chain only when ``s = 0``; the outer MUX
+    passes the inner result only when ``s = 1`` — the chain→output path is
+    false, but proving it requires seeing both MUXes at once.  Cutting
+    between them (the ``load``-heavy bipartition used by the Table-2 bench)
+    makes hierarchical analysis overestimate: the paper's "global false
+    paths that are false due to the interaction of various leaf modules
+    are overlooked".
+    """
+    net = Network(name)
+    s = net.add_input("s")
+    a = net.add_input("a")
+    b = net.add_input("b")
+    c = net.add_input("c")
+    sig = a
+    for i in range(chain):
+        sig = net.add_gate(
+            f"ch{i}", "AND" if i % 2 else "OR", [sig, b], 1.0
+        )
+    inner = net.add_gate("inner", "MUX", [s, sig, b], 1.0)
+    net.add_gate("outer", "MUX", [s, c, inner], 1.0)
+    net.set_outputs(["outer"])
+    return net
+
+
+#: Name → generator for the Table-2 suite.
+SUITE: dict[str, Callable[[], Network]] = {
+    "c17": c17,
+    "alu4": lambda: alu(4, name="alu4"),
+    "cla8": lambda: carry_lookahead_adder(8, name="cla8"),
+    "cmp8": lambda: comparator(8, name="cmp8"),
+    "par16": lambda: parity_tree(16, name="par16"),
+    "rnd1": lambda: random_network(12, 60, seed=7, num_outputs=4, name="rnd1"),
+    "rnd2": lambda: random_network(14, 90, seed=23, num_outputs=5, name="rnd2"),
+}
+
+
+def _csaflat8() -> Network:
+    from repro.circuits.adders import cascade_adder
+
+    return cascade_adder(8, 2).flatten(name="csaflat8")
+
+
+#: Table-2 experiment rows: (circuit factory, bipartition cut fraction).
+#: The cut fraction controls where the cascade cut lands; ``gfp`` and
+#: ``csaflat8`` are deliberately cut so that some falsity becomes global,
+#: reproducing the paper's observed "small overestimation on some circuits".
+TABLE2_ROWS: dict[str, tuple[Callable[[], Network], float]] = {
+    "c17": (c17, 0.5),
+    "alu4": (SUITE["alu4"], 0.5),
+    "cla8": (SUITE["cla8"], 0.5),
+    "cmp8": (SUITE["cmp8"], 0.5),
+    "rnd2": (SUITE["rnd2"], 0.5),
+    "gfp": (lambda: shared_select_chain(6), 0.85),
+    "csaflat8": (_csaflat8, 0.5),
+}
+
+
+def table2_circuits() -> dict[str, Network]:
+    """Instantiate the whole suite."""
+    return {name: make() for name, make in SUITE.items()}

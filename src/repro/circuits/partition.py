@@ -1,0 +1,191 @@
+"""Partitioning flat circuits into hierarchical cascades.
+
+The paper constructs its Table-2 hierarchy by hand: "A benchmark circuit
+was partitioned into two circuits in a cascade structure so that one
+circuit drives the other."  :func:`cascade_bipartition` automates that cut
+by topological level: gates at or below the cut level form the driver
+module, the rest the load module, and every signal crossing the cut becomes
+a port/net of the depth-1 hierarchy.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.hierarchy import HierDesign, Module
+from repro.netlist.network import Network
+from repro.netlist.ops import levelize
+
+
+def subnetwork(
+    network: Network,
+    gate_names: set[str],
+    outputs: list[str],
+    name: str,
+) -> Network:
+    """Extract the gates in ``gate_names`` as a standalone network.
+
+    Any signal referenced but not produced inside the subset becomes a
+    primary input (PIs of the parent and foreign gate outputs alike).
+    """
+    sub = Network(name)
+    external: list[str] = []
+    seen_external: set[str] = set()
+    for s in network.topological_order():
+        if s in gate_names:
+            for f in network.gate(s).fanins:
+                if f not in gate_names and f not in seen_external:
+                    seen_external.add(f)
+                    external.append(f)
+    for x in external:
+        sub.add_input(x)
+    for s in network.topological_order():
+        if s in gate_names:
+            g = network.gate(s)
+            sub.add_gate(g.name, g.gtype, g.fanins, g.delay)
+    for o in outputs:
+        if not sub.has_signal(o):
+            raise NetlistError(f"subnetwork output {o!r} not produced")
+    sub.set_outputs(outputs)
+    return sub
+
+
+def cascade_bipartition(
+    network: Network,
+    cut_fraction: float = 0.5,
+    name: str | None = None,
+) -> HierDesign:
+    """Split a flat circuit into a two-module cascade ``driver → load``.
+
+    ``cut_fraction`` positions the cut within the level range (0.5 =
+    median depth).  Primary outputs produced by the driver half stay
+    driver outputs; everything crossing the cut becomes a top-level net.
+    """
+    if not 0.0 < cut_fraction < 1.0:
+        raise NetlistError("cut_fraction must be in (0, 1)")
+    if network.num_gates() < 2:
+        raise NetlistError("cannot bipartition a circuit with < 2 gates")
+    levels = levelize(network)
+    gate_levels = sorted(
+        levels[s] for s in network.gates
+    )
+    cut_level = gate_levels[
+        min(len(gate_levels) - 1, int(len(gate_levels) * cut_fraction))
+    ]
+    if cut_level >= gate_levels[-1]:
+        # Keep at least one gate on the load side.
+        below = [l for l in gate_levels if l < gate_levels[-1]]
+        if not below:
+            raise NetlistError("all gates share one level; cannot cut")
+        cut_level = below[-1]
+    driver_gates = {
+        s for s in network.gates if levels[s] <= cut_level
+    }
+    load_gates = set(network.gates) - driver_gates
+    if not driver_gates or not load_gates:
+        raise NetlistError(
+            "degenerate cut: adjust cut_fraction for this circuit"
+        )
+    # Signals exported by the driver: feed a load gate, or are POs.
+    exported: list[str] = []
+    for s in network.topological_order():
+        if s not in driver_gates:
+            continue
+        feeds_load = any(f in load_gates for f in network.fanouts(s))
+        is_po = s in network.outputs
+        if feeds_load or is_po:
+            exported.append(s)
+    load_outputs = [o for o in network.outputs if o in load_gates]
+    driver = subnetwork(
+        network, driver_gates, exported, f"{network.name}_driver"
+    )
+    load = subnetwork(
+        network, load_gates, load_outputs, f"{network.name}_load"
+    )
+    design = HierDesign(name or f"{network.name}_cascade")
+    design.add_module(Module(driver.name, driver))
+    design.add_module(Module(load.name, load))
+    for x in network.inputs:
+        design.add_input(x)
+    design.add_instance(
+        "u_driver", driver.name, {p: p for p in (*driver.inputs, *driver.outputs)}
+    )
+    design.add_instance(
+        "u_load", load.name, {p: p for p in (*load.inputs, *load.outputs)}
+    )
+    design.set_outputs(list(network.outputs))
+    design.validate()
+    return design
+
+
+def group_cascade(
+    design: HierDesign, num_groups: int, name: str | None = None
+) -> HierDesign:
+    """Re-chunk a single-chain cascade into ``num_groups`` super-modules.
+
+    Instances (in topological order) are split into contiguous groups;
+    each group is flattened into one new leaf module.  Used to build the
+    coarser hierarchies of the Table-1 ablation (``csa n.m`` with larger
+    effective blocks) and the boundary-falsity experiment: skip paths
+    crossing a group boundary become global and are no longer detected.
+    """
+    order = design.instance_order()
+    if num_groups < 1 or num_groups > len(order):
+        raise NetlistError(
+            f"num_groups={num_groups} out of range for {len(order)} instances"
+        )
+    grouped = HierDesign(name or f"{design.name}_g{num_groups}")
+    for x in design.inputs:
+        grouped.add_input(x)
+    chunk = (len(order) + num_groups - 1) // num_groups
+    for gidx in range(num_groups):
+        members = order[gidx * chunk: (gidx + 1) * chunk]
+        if not members:
+            continue
+        # Build a sub-design holding just these instances, then flatten it.
+        sub = HierDesign(f"{design.name}_grp{gidx}")
+        member_set = set(members)
+        produced: set[str] = set()
+        consumed: set[str] = set()
+        for inst_name in members:
+            inst = design.instances[inst_name]
+            module = design.module_of(inst)
+            if module.name not in sub.modules:
+                sub.add_module(module)
+            for port in module.inputs:
+                consumed.add(inst.net_of(port))
+            for port in module.outputs:
+                produced.add(inst.net_of(port))
+        group_inputs = sorted(
+            net
+            for net in consumed
+            if net not in produced
+        )
+        # Outputs: produced nets consumed outside the group or top outputs.
+        outside_consumed: set[str] = set()
+        for other_name, other in design.instances.items():
+            if other_name in member_set:
+                continue
+            other_module = design.module_of(other)
+            for port in other_module.inputs:
+                outside_consumed.add(other.net_of(port))
+        group_outputs = sorted(
+            net
+            for net in produced
+            if net in outside_consumed or net in design.outputs
+        )
+        for net in group_inputs:
+            sub.add_input(net)
+        for inst_name in members:
+            inst = design.instances[inst_name]
+            sub.add_instance(inst.name, inst.module_name, inst.connections)
+        sub.set_outputs(group_outputs)
+        flat = sub.flatten(name=f"{design.name}_grp{gidx}")
+        grouped.add_module(Module(flat.name, flat))
+        grouped.add_instance(
+            f"g{gidx}",
+            flat.name,
+            {p: p for p in (*flat.inputs, *flat.outputs)},
+        )
+    grouped.set_outputs(list(design.outputs))
+    grouped.validate()
+    return grouped

@@ -1,0 +1,164 @@
+"""Tree- and slice-structured building-block circuits."""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.network import Network
+
+
+def parity_tree(width: int, name: str | None = None) -> Network:
+    """Balanced XOR tree over ``width`` inputs (c499/c1355 flavour)."""
+    if width < 1:
+        raise NetlistError("parity_tree needs at least 1 input")
+    net = Network(name or f"parity{width}")
+    frontier = [net.add_input(f"x{i}") for i in range(width)]
+    level = 0
+    while len(frontier) > 1:
+        nxt = []
+        for i in range(0, len(frontier) - 1, 2):
+            nxt.append(
+                net.add_gate(
+                    f"p{level}_{i // 2}", "XOR",
+                    [frontier[i], frontier[i + 1]], 1.0,
+                )
+            )
+        if len(frontier) % 2:
+            nxt.append(frontier[-1])
+        frontier = nxt
+        level += 1
+    out = frontier[0]
+    if net.is_input(out):
+        out = net.add_gate("parity", "BUF", [out], 0.0)
+    net.set_outputs([out])
+    return net
+
+
+def mux_tree(select_bits: int, name: str | None = None) -> Network:
+    """A 2^k:1 multiplexer tree — dense with XBD0-visible false paths."""
+    if select_bits < 1:
+        raise NetlistError("mux_tree needs at least 1 select bit")
+    net = Network(name or f"mux{1 << select_bits}")
+    selects = [net.add_input(f"s{i}") for i in range(select_bits)]
+    frontier = [net.add_input(f"d{i}") for i in range(1 << select_bits)]
+    for level, sel in enumerate(selects):
+        nxt = []
+        for i in range(0, len(frontier), 2):
+            nxt.append(
+                net.add_gate(
+                    f"m{level}_{i // 2}", "MUX",
+                    [sel, frontier[i], frontier[i + 1]], 1.0,
+                )
+            )
+        frontier = nxt
+    net.set_outputs([frontier[0]])
+    return net
+
+
+def and_or_tree(depth: int, name: str | None = None) -> Network:
+    """Alternating AND/OR complete binary tree of the given depth."""
+    if depth < 1:
+        raise NetlistError("and_or_tree needs depth >= 1")
+    net = Network(name or f"andor{depth}")
+    frontier = [net.add_input(f"x{i}") for i in range(1 << depth)]
+    for level in range(depth):
+        op = "AND" if level % 2 == 0 else "OR"
+        nxt = []
+        for i in range(0, len(frontier), 2):
+            nxt.append(
+                net.add_gate(
+                    f"t{level}_{i // 2}", op,
+                    [frontier[i], frontier[i + 1]], 1.0,
+                )
+            )
+        frontier = nxt
+    net.set_outputs([frontier[0]])
+    return net
+
+
+def comparator(width: int, name: str | None = None) -> Network:
+    """Ripple magnitude comparator: outputs ``eq`` and ``gt`` (a > b)."""
+    if width < 1:
+        raise NetlistError("comparator needs width >= 1")
+    net = Network(name or f"cmp{width}")
+    eq_chain: str | None = None
+    gt_chain: str | None = None
+    # Most-significant bit first so the ripple runs MSB -> LSB.
+    for i in reversed(range(width)):
+        a = net.add_input(f"a{i}")
+        b = net.add_input(f"b{i}")
+        eq_i = net.add_gate(f"eq{i}", "XNOR", [a, b], 1.0)
+        nb = net.add_gate(f"nb{i}", "NOT", [b], 1.0)
+        gt_i = net.add_gate(f"gtb{i}", "AND", [a, nb], 1.0)
+        if eq_chain is None:
+            eq_chain = eq_i
+            gt_chain = gt_i
+        else:
+            new_gt = net.add_gate(
+                f"gtc{i}", "AND", [eq_chain, gt_i], 1.0
+            )
+            gt_chain = net.add_gate(
+                f"gt{i}", "OR", [gt_chain, new_gt], 1.0
+            )
+            eq_chain = net.add_gate(
+                f"eqc{i}", "AND", [eq_chain, eq_i], 1.0
+            )
+    net.add_gate("eq", "BUF", [eq_chain], 0.0)
+    net.add_gate("gt", "BUF", [gt_chain], 0.0)
+    net.set_outputs(["eq", "gt"])
+    return net
+
+
+def priority_encoder(width: int, name: str | None = None) -> Network:
+    """Priority encoder: ``valid`` plus one-hot ``y_i`` grant outputs."""
+    if width < 1:
+        raise NetlistError("priority_encoder needs width >= 1")
+    net = Network(name or f"prio{width}")
+    reqs = [net.add_input(f"r{i}") for i in range(width)]
+    blocked: str | None = None
+    grants = []
+    for i, r in enumerate(reqs):
+        if blocked is None:
+            g = net.add_gate(f"y{i}", "BUF", [r], 0.0)
+        else:
+            nb = net.add_gate(f"nb{i}", "NOT", [blocked], 1.0)
+            g = net.add_gate(f"y{i}", "AND", [r, nb], 1.0)
+        grants.append(g)
+        if blocked is None:
+            blocked = r
+        else:
+            blocked = net.add_gate(f"blk{i}", "OR", [blocked, r], 1.0)
+    valid = net.add_gate("valid", "BUF", [blocked], 0.0)
+    net.set_outputs(grants + [valid])
+    return net
+
+
+def carry_lookahead_adder(width: int, name: str | None = None) -> Network:
+    """Single-level carry-lookahead adder (reconvergent g/p logic)."""
+    if width < 1:
+        raise NetlistError("carry_lookahead_adder needs width >= 1")
+    net = Network(name or f"cla{width}")
+    cin = net.add_input("c_in")
+    gs, ps = [], []
+    for i in range(width):
+        a = net.add_input(f"a{i}")
+        b = net.add_input(f"b{i}")
+        gs.append(net.add_gate(f"g{i}", "AND", [a, b], 1.0))
+        ps.append(net.add_gate(f"p{i}", "XOR", [a, b], 1.0))
+    carries = [cin]
+    for i in range(width):
+        # c_{i+1} = g_i + p_i·g_{i-1} + ... + p_i···p_0·c_in
+        terms = [gs[i]]
+        for j in range(i - 1, -1, -1):
+            prefix = ps[j + 1: i + 1] + [gs[j]]
+            terms.append(
+                net.add_gate(f"t{i}_{j}", "AND", prefix, 1.0)
+            )
+        full_prefix = ps[: i + 1] + [cin]
+        terms.append(net.add_gate(f"t{i}_c", "AND", full_prefix, 1.0))
+        carries.append(net.add_gate(f"c{i + 1}", "OR", terms, 1.0))
+    sums = [
+        net.add_gate(f"s{i}", "XOR", [ps[i], carries[i]], 1.0)
+        for i in range(width)
+    ]
+    net.set_outputs(sums + [carries[width]])
+    return net

@@ -1,0 +1,259 @@
+"""Command-line interface.
+
+Usage (also exposed as ``python -m repro.cli``)::
+
+    repro-sta report circuit.bench --arrival c_in=5
+    repro-sta delay circuit.blif --engine bdd
+    repro-sta characterize circuit.bench -o circuit.timing.json
+    repro-sta table1 | table2 | figures
+
+``report`` prints a classic STA report plus the functional comparison;
+``delay`` prints per-output XBD0 stable times; ``characterize`` writes a
+black-box timing library (see :mod:`repro.core.ipblock`); the last three
+regenerate the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.required import characterize_network
+from repro.core.ipblock import export_timing_library
+from repro.core.xbd0 import functional_delays
+from repro.errors import ReproError
+from repro.netlist.network import Network
+from repro.parsers.bench import read_bench
+from repro.parsers.blif import read_blif
+from repro.sta.report import functional_timing_report, timing_report
+
+
+def load_circuit(path: str) -> Network:
+    """Load a flat netlist by extension (.bench, .blif, or .v).
+
+    Hierarchical Verilog files are flattened for the flat-analysis
+    commands (use the library API for hierarchical analysis).
+    """
+    file = Path(path)
+    with file.open() as fp:
+        if file.suffix == ".bench":
+            return read_bench(fp, name=file.stem)
+        if file.suffix == ".blif":
+            return read_blif(fp)
+        if file.suffix == ".v":
+            from repro.netlist.hierarchy import HierDesign
+            from repro.parsers.verilog import read_verilog
+
+            circuit = read_verilog(fp)
+            if isinstance(circuit, HierDesign):
+                return circuit.flatten(name=file.stem)
+            return circuit
+    raise ReproError(f"unsupported netlist format: {file.suffix!r}")
+
+
+def parse_arrivals(pairs: list[str]) -> dict[str, float]:
+    """Parse repeated ``--arrival name=time`` options."""
+    out: dict[str, float] = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not name or not value:
+            raise ReproError(f"bad --arrival {pair!r}; expected name=time")
+        try:
+            out[name] = float(value)
+        except ValueError:
+            raise ReproError(f"bad arrival time in {pair!r}") from None
+    return out
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    net = load_circuit(args.circuit)
+    arrival = parse_arrivals(args.arrival)
+    print(timing_report(net, arrival))
+    if not args.topological_only:
+        print(functional_timing_report(net, arrival, engine=args.engine))
+    return 0
+
+
+def cmd_delay(args: argparse.Namespace) -> int:
+    net = load_circuit(args.circuit)
+    arrival = parse_arrivals(args.arrival)
+    delays = functional_delays(net, arrival, engine=args.engine)
+    for out in net.outputs:
+        print(f"{out}\t{delays[out]:g}")
+    return 0
+
+
+def cmd_hier_report(args: argparse.Namespace) -> int:
+    from repro.core.design_report import design_timing_report
+    from repro.netlist.hierarchy import HierDesign
+    from repro.parsers.verilog import read_verilog
+
+    file = Path(args.circuit)
+    if file.suffix != ".v":
+        raise ReproError("hier-report expects a structural Verilog file")
+    with file.open() as fp:
+        circuit = read_verilog(fp)
+    if not isinstance(circuit, HierDesign):
+        raise ReproError(
+            "file holds a single flat module; use 'report' instead"
+        )
+    print(
+        design_timing_report(
+            circuit,
+            parse_arrivals(args.arrival),
+            engine=args.engine,
+            show_nets=args.nets,
+        )
+    )
+    return 0
+
+
+def cmd_sdc(args: argparse.Namespace) -> int:
+    from repro.core.sdc_export import export_design_sdc
+    from repro.netlist.hierarchy import HierDesign
+    from repro.parsers.verilog import read_verilog
+
+    file = Path(args.circuit)
+    if file.suffix != ".v":
+        raise ReproError("sdc export expects a structural Verilog file")
+    with file.open() as fp:
+        circuit = read_verilog(fp)
+    if not isinstance(circuit, HierDesign):
+        raise ReproError("file holds a single flat module; no hierarchy")
+    if args.output:
+        with Path(args.output).open("w") as out:
+            count = export_design_sdc(circuit, out, engine=args.engine)
+        print(f"wrote {count} constraints to {args.output}",
+              file=sys.stderr)
+    else:
+        count = export_design_sdc(circuit, sys.stdout, engine=args.engine)
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    net = load_circuit(args.circuit)
+    models = characterize_network(net, engine=args.engine)
+    target = Path(args.output) if args.output else None
+    if target is None:
+        export_timing_library(
+            net.name, net.inputs, net.outputs, models, sys.stdout
+        )
+    else:
+        with target.open("w") as fp:
+            export_timing_library(
+                net.name, net.inputs, net.outputs, models, fp
+            )
+        print(f"wrote {target}", file=sys.stderr)
+    return 0
+
+
+def cmd_table1(_args: argparse.Namespace) -> int:
+    from repro.bench.table1 import main as table1_main
+
+    table1_main()
+    return 0
+
+
+def cmd_table2(_args: argparse.Namespace) -> int:
+    from repro.bench.table2 import main as table2_main
+
+    table2_main()
+    return 0
+
+
+def cmd_figures(_args: argparse.Namespace) -> int:
+    from repro.bench.figures import main as figures_main
+
+    figures_main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sta",
+        description="Hierarchical functional timing analysis (XBD0).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_circuit_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument("circuit", help="netlist file (.bench or .blif)")
+        p.add_argument(
+            "--arrival",
+            action="append",
+            default=[],
+            metavar="PI=TIME",
+            help="input arrival time (repeatable; default 0.0)",
+        )
+        p.add_argument(
+            "--engine",
+            choices=("sat", "bdd", "brute"),
+            default="sat",
+            help="tautology engine for stability checks",
+        )
+
+    report = sub.add_parser("report", help="print a timing report")
+    add_circuit_opts(report)
+    report.add_argument(
+        "--topological-only",
+        action="store_true",
+        help="skip the functional (XBD0) comparison section",
+    )
+    report.set_defaults(func=cmd_report)
+
+    delay = sub.add_parser("delay", help="print per-output XBD0 delays")
+    add_circuit_opts(delay)
+    delay.set_defaults(func=cmd_delay)
+
+    hier = sub.add_parser(
+        "hier-report",
+        help="demand-driven report for a hierarchical Verilog design",
+    )
+    add_circuit_opts(hier)
+    hier.add_argument(
+        "--nets", action="store_true", help="include the per-net table"
+    )
+    hier.set_defaults(func=cmd_hier_report)
+
+    sdc = sub.add_parser(
+        "sdc",
+        help="export false-path SDC exceptions for a hierarchical design",
+    )
+    add_circuit_opts(sdc)
+    sdc.add_argument("-o", "--output", help="output file (default: stdout)")
+    sdc.set_defaults(func=cmd_sdc)
+
+    character = sub.add_parser(
+        "characterize", help="write a black-box timing library (JSON)"
+    )
+    add_circuit_opts(character)
+    character.add_argument(
+        "-o", "--output", help="output file (default: stdout)"
+    )
+    character.set_defaults(func=cmd_characterize)
+
+    for name, func, doc in (
+        ("table1", cmd_table1, "regenerate the paper's Table 1"),
+        ("table2", cmd_table2, "regenerate the paper's Table 2"),
+        ("figures", cmd_figures, "regenerate the paper's Figures 3-5"),
+    ):
+        p = sub.add_parser(name, help=doc)
+        p.set_defaults(func=func)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,416 @@
+"""Two-step hierarchical timing analysis (Section 3 of the paper).
+
+Step 1 — *timing characterization*: every distinct leaf module is analyzed
+once (regardless of instance count); each output gets a
+:class:`~repro.core.timing_model.TimingModel` whose tuples come from the
+approximate required-time analysis and therefore already account for false
+paths inside the module.
+
+Step 2 — *hierarchical delay computation*: instances are visited in
+topological order; the stable time of each instance output is the min-max
+combination of its input arrivals with the module's timing model.
+
+Theorem 1: the result conservatively approximates flat XBD0 analysis.
+
+Section 3.3's incremental analysis falls out of the structure: a module's
+model is environment-independent, so modifying one module invalidates only
+its own characterization; re-analysis reuses every other cached model.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.required import characterize_network
+from repro.core.timing_model import NEG_INF, POS_INF, TimingModel
+from repro.core.xbd0 import Engine
+from repro.errors import AnalysisError
+from repro.netlist.hierarchy import HierDesign, Module
+from repro.netlist.network import Network
+from repro.sta.paths import all_pin_path_lengths
+
+
+def topological_models(network: Network) -> dict[str, TimingModel]:
+    """Single-tuple models from longest topological pin-to-pin delays.
+
+    The baseline Step-1 alternative: what a purely topological hierarchical
+    analyzer would use.
+    """
+    pin_lengths = all_pin_path_lengths(network, cap=1)
+    models: dict[str, TimingModel] = {}
+    for output in network.outputs:
+        delays = {
+            x: pin_lengths[(x, output)][0]
+            for x in network.inputs
+            if (x, output) in pin_lengths
+        }
+        models[output] = TimingModel.topological(
+            output, network.inputs, delays
+        )
+    return models
+
+
+def characterize_module(
+    module: Module,
+    engine: Engine = "sat",
+    max_orders: int = 4,
+    max_tuples: int = 8,
+) -> dict[str, TimingModel]:
+    """Step 1 for one module: a timing model per output port."""
+    return characterize_network(
+        module.network, engine, max_orders, max_tuples
+    )
+
+
+@dataclass
+class HierResult:
+    """Outcome of a hierarchical analysis run."""
+
+    #: Stable time of every top-level net (PIs at their arrival times).
+    net_times: dict[str, float]
+    #: Stable time per primary output.
+    output_times: dict[str, float]
+    #: max over primary outputs.
+    delay: float
+    #: Modules characterized during this run (empty on a warm cache).
+    characterized: tuple[str, ...] = ()
+    #: Wall-clock seconds spent characterizing leaf modules (step 1).
+    characterization_seconds: float = 0.0
+    #: Wall-clock seconds spent propagating arrivals (step 2).
+    propagation_seconds: float = 0.0
+
+
+class HierarchicalAnalyzer:
+    """Stateful two-step analyzer with a per-module model cache.
+
+    Parameters
+    ----------
+    design:
+        Depth-1 hierarchical design (validated on construction).
+    engine:
+        XBD0 tautology engine used during characterization.
+    functional:
+        If False, use topological pin-to-pin models instead (the baseline
+        hierarchical-topological analyzer).
+    """
+
+    def __init__(
+        self,
+        design: HierDesign,
+        engine: Engine = "sat",
+        functional: bool = True,
+        max_orders: int = 4,
+        max_tuples: int = 8,
+    ):
+        design.validate()
+        self.design = design
+        self.engine: Engine = engine
+        self.functional = functional
+        self.max_orders = max_orders
+        self.max_tuples = max_tuples
+        self._models: dict[str, dict[str, TimingModel]] = {}
+
+    # ------------------------------------------------------------------ step 1
+    def preload_models(
+        self, module_name: str, models: Mapping[str, TimingModel]
+    ) -> None:
+        """Install externally supplied timing models for one module.
+
+        The module is never characterized from its netlist — the basis of
+        the black-box IP flow (Section 7; see :mod:`repro.core.ipblock`).
+        Models must cover every output port and be aligned with the module
+        input order.
+        """
+        module = self.design.modules.get(module_name)
+        if module is None:
+            raise AnalysisError(f"unknown module {module_name!r}")
+        for out in module.outputs:
+            if out not in models:
+                raise AnalysisError(
+                    f"preloaded models missing output {out!r}"
+                )
+            if tuple(models[out].inputs) != tuple(module.inputs):
+                raise AnalysisError(
+                    f"model for {out!r} not aligned with module inputs"
+                )
+        self._models[module_name] = dict(models)
+
+    def models_for(self, module_name: str) -> dict[str, TimingModel]:
+        """Cached timing models of one module (characterizing on miss)."""
+        if module_name not in self._models or any(
+            port not in self._models[module_name]
+            for port in self.design.modules[module_name].outputs
+        ):
+            module = self.design.modules[module_name]
+            if self.functional:
+                self._models[module_name] = characterize_module(
+                    module, self.engine, self.max_orders, self.max_tuples
+                )
+            else:
+                self._models[module_name] = topological_models(module.network)
+        return self._models[module_name]
+
+    def model_for(self, module_name: str, port: str) -> TimingModel:
+        """One output's model, characterized on demand (per-output lazy).
+
+        Unlike :meth:`models_for`, touching one port does not pay for the
+        module's other outputs — the basis of :meth:`analyze_lazy`, which
+        skips outputs that never reach a primary output (the simplest
+        observability don't-care).
+        """
+        models = self._models.setdefault(module_name, {})
+        if port not in models:
+            module = self.design.modules[module_name]
+            if port not in module.outputs:
+                raise AnalysisError(
+                    f"{port!r} is not an output of {module_name!r}"
+                )
+            network = module.network
+            if self.functional:
+                from repro.core.required import characterize_output
+                from repro.core.timing_model import prune_dominated
+
+                local = characterize_output(
+                    network, port, self.engine, self.max_orders,
+                    self.max_tuples,
+                )
+                expanded = tuple(
+                    tuple(
+                        dict(zip(local.inputs, tup)).get(x, NEG_INF)
+                        for x in network.inputs
+                    )
+                    for tup in local.tuples
+                )
+                models[port] = TimingModel(
+                    port, network.inputs, prune_dominated(expanded)
+                )
+            else:
+                models[port] = topological_models(network)[port]
+        return models[port]
+
+    def _useful_ports(self) -> dict[str, set[str]]:
+        """Per instance, the output ports reaching some primary output."""
+        design = self.design
+        useful_nets = set(design.outputs)
+        ports: dict[str, set[str]] = {}
+        for inst_name in reversed(design.instance_order()):
+            inst = design.instances[inst_name]
+            module = design.module_of(inst)
+            needed = {
+                port
+                for port in module.outputs
+                if inst.net_of(port) in useful_nets
+            }
+            ports[inst_name] = needed
+            if needed:
+                for port in module.inputs:
+                    useful_nets.add(inst.net_of(port))
+        return ports
+
+    def analyze_lazy(
+        self, arrival: Mapping[str, float] | None = None
+    ) -> HierResult:
+        """Like :meth:`analyze`, but characterizes only module outputs in
+        the transitive fanin of the design outputs.
+
+        ``net_times`` then covers only the useful nets.
+        """
+        design = self.design
+        arrival = arrival or {}
+        useful = self._useful_ports()
+        t0 = time.perf_counter()
+        before = {
+            name: set(models)
+            for name, models in self._models.items()
+        }
+        for inst_name in design.instance_order():
+            inst = design.instances[inst_name]
+            for port in useful[inst_name]:
+                self.model_for(inst.module_name, port)
+        fresh = tuple(
+            name
+            for name, models in self._models.items()
+            if set(models) != before.get(name, set())
+        )
+        t1 = time.perf_counter()
+        net_times: dict[str, float] = {
+            x: float(arrival.get(x, 0.0)) for x in design.inputs
+        }
+        for inst_name in design.instance_order():
+            inst = design.instances[inst_name]
+            module = design.module_of(inst)
+            if not useful[inst_name]:
+                continue
+            local_arrival = {
+                port: net_times[inst.net_of(port)]
+                for port in module.inputs
+            }
+            for port in useful[inst_name]:
+                net_times[inst.net_of(port)] = self.model_for(
+                    inst.module_name, port
+                ).stable_time(local_arrival)
+        missing = [o for o in design.outputs if o not in net_times]
+        if missing:
+            raise AnalysisError(f"undriven outputs {missing!r}")
+        output_times = {o: net_times[o] for o in design.outputs}
+        t2 = time.perf_counter()
+        return HierResult(
+            net_times=net_times,
+            output_times=output_times,
+            delay=max(output_times.values()) if output_times else NEG_INF,
+            characterized=fresh,
+            characterization_seconds=t1 - t0,
+            propagation_seconds=t2 - t1,
+        )
+
+    def characterize_all(self) -> tuple[str, ...]:
+        """Characterize every module not yet cached; returns their names."""
+        fresh = tuple(
+            name for name in self.design.modules if name not in self._models
+        )
+        for name in fresh:
+            self.models_for(name)
+        return fresh
+
+    # ------------------------------------------------------------------ step 2
+    def analyze(self, arrival: Mapping[str, float] | None = None) -> HierResult:
+        """Propagate arrivals through the instance DAG (Section 3.2)."""
+        design = self.design
+        arrival = arrival or {}
+        t0 = time.perf_counter()
+        fresh = self.characterize_all()
+        t1 = time.perf_counter()
+        net_times: dict[str, float] = {
+            x: float(arrival.get(x, 0.0)) for x in design.inputs
+        }
+        for inst_name in design.instance_order():
+            inst = design.instances[inst_name]
+            module = design.module_of(inst)
+            models = self.models_for(inst.module_name)
+            local_arrival = {
+                port: net_times[inst.net_of(port)] for port in module.inputs
+            }
+            for port in module.outputs:
+                stable = models[port].stable_time(local_arrival)
+                net_times[inst.net_of(port)] = stable
+        missing = [o for o in design.outputs if o not in net_times]
+        if missing:
+            raise AnalysisError(f"undriven outputs {missing!r}")
+        output_times = {o: net_times[o] for o in design.outputs}
+        t2 = time.perf_counter()
+        return HierResult(
+            net_times=net_times,
+            output_times=output_times,
+            delay=max(output_times.values()) if output_times else NEG_INF,
+            characterized=fresh,
+            characterization_seconds=t1 - t0,
+            propagation_seconds=t2 - t1,
+        )
+
+    # ------------------------------------------------------------------ slack
+    def input_slack(
+        self,
+        input_net: str,
+        arrival: Mapping[str, float] | None = None,
+        resolution: float | None = None,
+    ) -> float:
+        """Functional slack of a top-level input (Section 4's "real slack").
+
+        Largest extra delay δ on ``input_net`` that leaves the circuit
+        delay unchanged, found by re-analysis with a monotone
+        binary search on the δ grid.  ``resolution`` defaults to the
+        smallest positive gap between model delay values (all benchmark
+        delays live on an integer-ish grid).
+        """
+        if input_net not in self.design.inputs:
+            raise AnalysisError(f"{input_net!r} is not a top-level input")
+        arrival = dict(arrival or {})
+        base = self.analyze(arrival).delay
+        if resolution is None:
+            resolution = self._delay_resolution(arrival.values())
+
+        def delay_with(delta: float) -> float:
+            bumped = dict(arrival)
+            bumped[input_net] = float(arrival.get(input_net, 0.0)) + delta
+            return self.analyze(bumped).delay
+
+        # Upper bound: delaying an input by D can raise the delay by at
+        # most D, so once delta exceeds (topological span) the delay moved
+        # if it ever will.
+        hi_steps = 1
+        limit = max(4096, int(abs(base) / resolution) + 4096)
+        while delay_with(hi_steps * resolution) <= base:
+            hi_steps *= 2
+            if hi_steps > limit:
+                return POS_INF
+        lo_steps = 0
+        while lo_steps < hi_steps - 1:
+            mid = (lo_steps + hi_steps) // 2
+            if delay_with(mid * resolution) <= base:
+                lo_steps = mid
+            else:
+                hi_steps = mid
+        return lo_steps * resolution
+
+    def _delay_resolution(self, extra_values=()) -> float:
+        """GCD of the time grid: all model delays plus the given arrivals.
+
+        Every stable time is a sum of arrivals and tuple delays, so the
+        exact slack is a multiple of this grid unit (benchmark delays are
+        small integers or simple decimals).
+        """
+        values: set[float] = set()
+        for models in self._models.values():
+            for model in models.values():
+                for tup in model.tuples:
+                    values.update(v for v in tup if v not in (NEG_INF, POS_INF))
+        values.update(
+            v for v in extra_values if v not in (NEG_INF, POS_INF)
+        )
+        quantum = 1e-6
+        acc = 0
+        for v in values:
+            scaled = round(abs(v) / quantum)
+            acc = math.gcd(acc, scaled)
+        return acc * quantum if acc else 1.0
+
+
+class IncrementalAnalyzer(HierarchicalAnalyzer):
+    """Hierarchical analyzer with explicit incremental-update support.
+
+    Section 3.3: "a modification of a module only leads to 1) delay
+    characterization of the modified module and 2) top-level analysis."
+    """
+
+    def __init__(self, design: HierDesign, engine: Engine = "sat", **kwargs):
+        super().__init__(design, engine, **kwargs)
+        self.recharacterizations: dict[str, int] = {}
+
+    def models_for(self, module_name: str) -> dict[str, TimingModel]:
+        fresh = module_name not in self._models
+        models = super().models_for(module_name)
+        if fresh:
+            self.recharacterizations[module_name] = (
+                self.recharacterizations.get(module_name, 0) + 1
+            )
+        return models
+
+    def replace_module(self, module_name: str, new_network: Network) -> None:
+        """Swap a module's implementation; only its models are invalidated.
+
+        The new network must keep the same port interface.
+        """
+        if module_name not in self.design.modules:
+            raise AnalysisError(f"unknown module {module_name!r}")
+        old = self.design.modules[module_name]
+        if set(old.inputs) != set(new_network.inputs) or set(
+            old.outputs
+        ) != set(new_network.outputs):
+            raise AnalysisError(
+                f"module {module_name!r}: replacement changes the interface"
+            )
+        self.design._modules[module_name] = Module(module_name, new_network)
+        self._models.pop(module_name, None)

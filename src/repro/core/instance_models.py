@@ -1,0 +1,192 @@
+"""Per-instance timing characterization (paper footnote 6).
+
+"Even under a load-independent delay model, timing characterization can be
+done for each instance so that the SDC/ODC at the inputs of the instance is
+taken care of.  This yields a more accurate customized timing model."
+
+The satisfiability don't-cares (SDC) of an instance are the module-input
+vectors the surrounding logic can never produce.  This module derives the
+*care network* of an instance — the transitive-fanin logic of its input
+nets in the flattened design, re-exposed with outputs named after the
+module's ports — and characterizes the instance with stability required
+only over the care image.  Vectors outside the image may stay unstable
+forever, which can only loosen (never tighten incorrectly) the model:
+during real operation those vectors never occur, so the customized model
+remains conservative w.r.t. flat analysis of the whole design.
+
+Timing *correlations* between instance inputs are deliberately not
+exploited (only value correlations), keeping the model valid under any
+arrival condition at the instance boundary.
+"""
+
+from __future__ import annotations
+
+from repro.core.hier import HierarchicalAnalyzer
+from repro.core.required import characterize_output
+from repro.core.timing_model import NEG_INF, TimingModel, prune_dominated
+from repro.core.xbd0 import Engine
+from repro.errors import AnalysisError
+from repro.netlist.hierarchy import HierDesign, Instance
+from repro.netlist.network import Network
+
+#: Prefix applied to copied driver-logic signals inside care networks so
+#: they can never collide with module port names.
+_CARE_PREFIX = "care$"
+
+
+def instance_care_network(
+    design: HierDesign,
+    instance: Instance | str,
+    flat: Network | None = None,
+) -> Network:
+    """The care network of one instance.
+
+    Inputs are (renamed copies of) the top-level PIs feeding the instance;
+    outputs are named exactly after the module's input ports and compute
+    the values those ports can take.  Ports fed by unconstrained top-level
+    PIs become free pass-throughs.
+    """
+    if isinstance(instance, str):
+        instance = design.instances[instance]
+    module = design.module_of(instance)
+    if flat is None:
+        flat = design.flatten()
+    port_nets = {port: instance.net_of(port) for port in module.inputs}
+    cone_signals = flat.transitive_fanin(port_nets.values())
+    care = Network(f"{design.name}.{instance.name}.care")
+    rename: dict[str, str] = {}
+    for x in flat.inputs:
+        if x in cone_signals:
+            rename[x] = care.add_input(f"{_CARE_PREFIX}{x}")
+    for s in flat.topological_order():
+        if s not in cone_signals or flat.is_input(s):
+            continue
+        g = flat.gate(s)
+        rename[s] = care.add_gate(
+            f"{_CARE_PREFIX}{s}",
+            g.gtype,
+            [rename[f] for f in g.fanins],
+            g.delay,
+        )
+    for port, net in port_nets.items():
+        care.add_gate(port, "BUF", [rename[net]], 0.0)
+    care.set_outputs(list(module.inputs))
+    return care
+
+
+def _restrict_care(care: Network, outputs: tuple[str, ...]) -> Network:
+    """Care network restricted to the ports a single cone actually reads."""
+    restricted = Network(care.name)
+    keep = care.transitive_fanin(outputs)
+    for x in care.inputs:
+        if x in keep:
+            restricted.add_input(x)
+    for s in care.topological_order():
+        if s in keep and not care.is_input(s):
+            g = care.gate(s)
+            restricted.add_gate(g.name, g.gtype, g.fanins, g.delay)
+    restricted.set_outputs(list(outputs))
+    return restricted
+
+
+def characterize_instance(
+    design: HierDesign,
+    instance: Instance | str,
+    engine: Engine = "sat",
+    max_orders: int = 4,
+    max_tuples: int = 8,
+    flat: Network | None = None,
+) -> dict[str, TimingModel]:
+    """SDC-aware timing models of one instance, aligned to module inputs."""
+    if isinstance(instance, str):
+        instance = design.instances[instance]
+    module = design.module_of(instance)
+    network = module.network
+    care = instance_care_network(design, instance, flat)
+    models: dict[str, TimingModel] = {}
+    for output in network.outputs:
+        cone = network.extract_cone(output)
+        local_care = _restrict_care(care, cone.inputs)
+        local = characterize_output(
+            network, output, engine, max_orders, max_tuples,
+            care=local_care,
+        )
+        expanded = []
+        for tup in local.tuples:
+            named = dict(zip(local.inputs, tup))
+            expanded.append(
+                tuple(named.get(x, NEG_INF) for x in network.inputs)
+            )
+        models[output] = TimingModel(
+            output, network.inputs, prune_dominated(tuple(expanded))
+        )
+    return models
+
+
+class PerInstanceAnalyzer(HierarchicalAnalyzer):
+    """Hierarchical analyzer with per-instance SDC-aware models.
+
+    Trades the module-level model sharing of the base analyzer (each
+    instance is characterized separately, against its own care set) for
+    accuracy — the refinement the paper's footnote 6 describes.  The
+    flattened design is computed once and shared across instances.
+    """
+
+    def __init__(self, design: HierDesign, engine: Engine = "sat", **kwargs):
+        super().__init__(design, engine, **kwargs)
+        self._instance_models: dict[str, dict[str, TimingModel]] = {}
+        self._flat: Network | None = None
+
+    def models_for_instance(self, inst_name: str) -> dict[str, TimingModel]:
+        """Cached SDC-aware models of one instance."""
+        if inst_name not in self._instance_models:
+            if inst_name not in self.design.instances:
+                raise AnalysisError(f"unknown instance {inst_name!r}")
+            if self._flat is None:
+                self._flat = self.design.flatten()
+            self._instance_models[inst_name] = characterize_instance(
+                self.design,
+                inst_name,
+                self.engine,
+                self.max_orders,
+                self.max_tuples,
+                flat=self._flat,
+            )
+        return self._instance_models[inst_name]
+
+    def analyze(self, arrival=None):
+        """Step-2 propagation using per-instance models."""
+        import time as _time
+
+        from repro.core.hier import HierResult
+
+        design = self.design
+        arrival = arrival or {}
+        t0 = _time.perf_counter()
+        for inst_name in design.instance_order():
+            self.models_for_instance(inst_name)
+        t1 = _time.perf_counter()
+        net_times = {
+            x: float(arrival.get(x, 0.0)) for x in design.inputs
+        }
+        for inst_name in design.instance_order():
+            inst = design.instances[inst_name]
+            module = design.module_of(inst)
+            models = self.models_for_instance(inst_name)
+            local_arrival = {
+                port: net_times[inst.net_of(port)] for port in module.inputs
+            }
+            for port in module.outputs:
+                net_times[inst.net_of(port)] = models[port].stable_time(
+                    local_arrival
+                )
+        output_times = {o: net_times[o] for o in design.outputs}
+        t2 = _time.perf_counter()
+        return HierResult(
+            net_times=net_times,
+            output_times=output_times,
+            delay=max(output_times.values()) if output_times else NEG_INF,
+            characterized=tuple(design.instance_order()),
+            characterization_seconds=t1 - t0,
+            propagation_seconds=t2 - t1,
+        )

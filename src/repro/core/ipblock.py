@@ -1,0 +1,143 @@
+"""Timing abstraction of black-box IP blocks (paper Section 7).
+
+"The timing characterization step can be used in constructing the timing
+abstraction of black box modules, e.g. intellectual property blocks.  The
+delay models can be accurate without giving the internal details of black
+boxes."
+
+This module implements that flow:
+
+* :func:`export_timing_library` — serialize a module's characterized
+  timing models to a JSON document (the *timing abstraction* that an IP
+  vendor would ship instead of the netlist).
+* :func:`import_timing_library` — load such a document.
+* :func:`black_box_module` — build a :class:`~repro.netlist.hierarchy.Module`
+  whose netlist is an opaque *stub* exposing only the interface and the
+  worst-case pin-to-pin delays of the abstraction.  The stub's logical
+  function is meaningless (every output is an OR of delayed inputs); it
+  exists so the block can participate in a :class:`HierDesign` and so that
+  purely topological tools still see consistent worst-case delays.
+* :meth:`HierarchicalAnalyzer.preload_models` (used with the stub) makes
+  the hierarchical analyzer use the imported models directly, never
+  looking inside.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, TextIO
+
+from repro.core.timing_model import NEG_INF, TimingModel
+from repro.errors import AnalysisError
+from repro.netlist.hierarchy import Module
+from repro.netlist.network import Network
+
+#: Format marker stored in exported libraries.
+FORMAT_NAME = "repro-timing-library"
+FORMAT_VERSION = 1
+
+
+def export_timing_library(
+    module_name: str,
+    inputs: tuple[str, ...] | list[str],
+    outputs: tuple[str, ...] | list[str],
+    models: Mapping[str, TimingModel],
+    fp: TextIO,
+) -> None:
+    """Write a timing abstraction as JSON.
+
+    ``models`` must provide one :class:`TimingModel` per output, aligned
+    with ``inputs``.
+    """
+    for out in outputs:
+        if out not in models:
+            raise AnalysisError(f"missing model for output {out!r}")
+        if tuple(models[out].inputs) != tuple(inputs):
+            raise AnalysisError(
+                f"model for {out!r} is aligned to {models[out].inputs}, "
+                f"expected {tuple(inputs)}"
+            )
+    document = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "module": module_name,
+        "inputs": list(inputs),
+        "outputs": list(outputs),
+        "models": {out: models[out].to_dict() for out in outputs},
+    }
+    json.dump(document, fp, indent=2)
+    fp.write("\n")
+
+
+def import_timing_library(
+    fp: TextIO,
+) -> tuple[str, tuple[str, ...], tuple[str, ...], dict[str, TimingModel]]:
+    """Read a timing abstraction; returns (name, inputs, outputs, models)."""
+    document = json.load(fp)
+    if document.get("format") != FORMAT_NAME:
+        raise AnalysisError("not a repro timing library")
+    if document.get("version") != FORMAT_VERSION:
+        raise AnalysisError(
+            f"unsupported timing-library version {document.get('version')!r}"
+        )
+    inputs = tuple(document["inputs"])
+    outputs = tuple(document["outputs"])
+    models = {
+        out: TimingModel.from_dict(data)
+        for out, data in document["models"].items()
+    }
+    for out in outputs:
+        if out not in models:
+            raise AnalysisError(f"library missing model for {out!r}")
+    return document["module"], inputs, outputs, models
+
+
+def stub_network(
+    name: str,
+    inputs: tuple[str, ...] | list[str],
+    outputs: tuple[str, ...] | list[str],
+    models: Mapping[str, TimingModel],
+) -> Network:
+    """Opaque placeholder netlist with matching worst-case topology.
+
+    Every output becomes an OR over one delayed buffer per dependent
+    input, with the buffer delay equal to the model's worst effective
+    delay for that pin pair.  Logical values computed by the stub are
+    meaningless — the stub only carries interface and delay shape.
+    """
+    net = Network(name)
+    for x in inputs:
+        net.add_input(x)
+    for out in outputs:
+        model = models[out]
+        terms: list[str] = []
+        for x in inputs:
+            worst = model.delay_from(x)
+            if worst == NEG_INF:
+                continue
+            terms.append(
+                net.add_gate(f"_bb_{out}_{x}", "BUF", [x], max(worst, 0.0))
+            )
+        if terms:
+            net.add_gate(out, "OR", terms, 0.0)
+        else:
+            net.add_gate(out, "CONST0", (), 0.0)
+    net.set_outputs(list(outputs))
+    return net
+
+
+def black_box_module(
+    name: str,
+    inputs: tuple[str, ...] | list[str],
+    outputs: tuple[str, ...] | list[str],
+    models: Mapping[str, TimingModel],
+) -> tuple[Module, dict[str, TimingModel]]:
+    """Module + models pair ready for ``HierarchicalAnalyzer.preload_models``."""
+    network = stub_network(name, inputs, outputs, models)
+    return Module(name, network), dict(models)
+
+
+def black_box_from_library(fp: TextIO) -> tuple[Module, dict[str, TimingModel]]:
+    """One-step import: JSON library → (stub module, models)."""
+    name, inputs, outputs, models = import_timing_library(fp)
+    return black_box_module(name, inputs, outputs, models)

@@ -1,0 +1,137 @@
+"""The paper's polygon picture of timing models (Figures 3, 4, 5).
+
+A timing tuple with delays ``d_j`` is drawn as a polygon: one column per
+input, hanging ``d_j`` time units below the output edge.  Propagation is
+"pushing the polygon down" onto the arrival-time constraint until some
+column touches — the output edge then sits at the stable time, and the
+touching columns are the critical inputs.  Stacking polygons along a
+cascade reproduces Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.timing_model import NEG_INF, POS_INF, TimingModel
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class PolygonPlacement:
+    """Result of pushing one polygon down onto an arrival constraint."""
+
+    #: Input port order.
+    inputs: tuple[str, ...]
+    #: Which tuple of the model won (index into ``model.tuples``).
+    tuple_index: int
+    #: Output-edge position = certified stable time.
+    stable_time: float
+    #: Bottom edge of each column (``stable_time - d_j``; +inf if no
+    #: constraint, i.e. the column is absent from the polygon).
+    bottoms: tuple[float, ...]
+    #: Inputs whose column touches its arrival constraint (the critical
+    #: inputs for this placement).
+    critical: tuple[str, ...]
+
+
+def place_polygon(
+    model: TimingModel, arrival: Mapping[str, float]
+) -> PolygonPlacement:
+    """Push the model's polygons down onto ``arrival``; keep the lowest.
+
+    "Whenever arrival times are propagated through a subcircuit, all the
+    polygons are tried and the best one that gives the earliest arrival
+    time is chosen."  (Paper, footnote 10.)
+    """
+    arrivals = [float(arrival.get(x, 0.0)) for x in model.inputs]
+    best_time = POS_INF
+    best_idx = 0
+    for idx, tup in enumerate(model.tuples):
+        worst = NEG_INF
+        for a, d in zip(arrivals, tup):
+            if d == NEG_INF:
+                continue
+            worst = max(worst, a + d)
+        if worst < best_time:
+            best_time = worst
+            best_idx = idx
+    tup = model.tuples[best_idx]
+    bottoms = tuple(
+        POS_INF if d == NEG_INF else best_time - d for d in tup
+    )
+    critical = tuple(
+        x
+        for x, a, b in zip(model.inputs, arrivals, bottoms)
+        if b != POS_INF and abs(a - b) < 1e-9
+    )
+    return PolygonPlacement(
+        model.inputs, best_idx, best_time, bottoms, critical
+    )
+
+
+def stack_cascade(
+    models: Sequence[TimingModel],
+    chain_ports: Sequence[tuple[str, str]],
+    arrival: Mapping[str, float],
+) -> list[PolygonPlacement]:
+    """Stack polygons along a cascade (Figure 4).
+
+    ``models[i]`` is the model of stage ``i``'s chained output;
+    ``chain_ports[i] = (in_port, out_port)`` names the chaining pins: the
+    stable time of stage ``i``'s ``out_port`` becomes the arrival of stage
+    ``i+1``'s ``in_port``.  Non-chained inputs take their times from
+    ``arrival`` (default 0.0).
+    """
+    if len(models) != len(chain_ports):
+        raise AnalysisError("models and chain_ports must align")
+    placements: list[PolygonPlacement] = []
+    carry_time: float | None = None
+    for model, (in_port, _out_port) in zip(models, chain_ports):
+        local = {x: float(arrival.get(x, 0.0)) for x in model.inputs}
+        if carry_time is not None:
+            local[in_port] = carry_time
+        placement = place_polygon(model, local)
+        placements.append(placement)
+        carry_time = placement.stable_time
+    return placements
+
+
+def render_polygon_ascii(
+    placement: PolygonPlacement,
+    arrival: Mapping[str, float],
+    width: int = 48,
+) -> str:
+    """Monospace sketch of a placed polygon over its arrival constraint."""
+    finite = [b for b in placement.bottoms if b != POS_INF]
+    arrivals = [float(arrival.get(x, 0.0)) for x in placement.inputs]
+    lo = min(finite + arrivals + [placement.stable_time]) - 1.0
+    hi = max([placement.stable_time] + arrivals) + 1.0
+    span = max(hi - lo, 1e-9)
+
+    def col(t: float) -> int:
+        return int(round((t - lo) / span * (width - 1)))
+
+    lines = [
+        f"output edge (stable) @ t = {placement.stable_time:g}",
+        f"{'input':>8} | {'arr':>6} {'bottom':>7} | timeline "
+        f"[{lo:g} .. {hi:g}]  (# column, . constraint, * touch)",
+    ]
+    for x, a, b in zip(placement.inputs, arrivals, placement.bottoms):
+        row = [" "] * width
+        ca = col(a)
+        row[ca] = "."
+        if b == POS_INF:
+            desc = "   none"
+        else:
+            cb = col(b)
+            ct = col(placement.stable_time)
+            for c in range(min(cb, ct), max(cb, ct) + 1):
+                row[c] = "#"
+            if abs(a - b) < 1e-9:
+                row[cb] = "*"
+            desc = f"{b:7g}"
+        lines.append(f"{x:>8} | {a:6g} {desc} | {''.join(row)}")
+    if placement.critical:
+        lines.append(f"critical inputs: {', '.join(placement.critical)}")
+    return "\n".join(lines)

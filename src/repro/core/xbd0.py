@@ -1,0 +1,594 @@
+"""XBD0 (extended bounded delay-0) functional timing analysis.
+
+This module implements the flat analysis of McGeer, Saldanha, Brayton and
+Sangiovanni-Vincentelli ("Delay models and exact timing analysis") that the
+paper builds on — reference [6] of the paper — via *timed characteristic
+functions*:
+
+``S1_s(t)`` (``S0_s(t)``) is the set of primary-input vectors for which
+signal ``s`` is guaranteed stable at value 1 (0) **by** time ``t`` under
+every assignment of gate delays in ``[0, d_g]``:
+
+* PI ``x`` with arrival ``a``:  ``S1 = x`` if ``t >= a`` else ``0`` (dually
+  ``S0 = ¬x``).
+* Gate ``g`` (function ``f``, delay ``d``):
+  ``S1_g(t) = Σ over primes P of f: Π_{(i,1) in P} S1_ui(t-d) · Π_{(i,0) in P} S0_ui(t-d)``
+  and ``S0_g(t)`` from the primes of ``¬f``.
+
+The output is stable at ``t`` for **all** vectors iff ``S0 + S1`` is a
+tautology; stability is monotone in ``t`` (the monotone-speedup property of
+XBD0), so the exact functional delay is found by binary search over the
+finite set of candidate event times.
+
+Three interchangeable tautology engines are provided: ``"sat"`` (CDCL on
+the Tseitin encoding of the stability DAG), ``"bdd"`` (ROBDD evaluation)
+and ``"brute"`` (exhaustive enumeration, for tests/small cones).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Literal, Mapping
+
+from repro.bdd.manager import BDDManager
+from repro.errors import AnalysisError
+from repro.netlist.gates import gate_primes
+from repro.netlist.network import Network
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver, SolveResult
+from repro.sta.paths import event_time_candidates
+from repro.sta.topological import arrival_times
+
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+Engine = Literal["sat", "bdd", "brute"]
+
+#: Tolerance for time comparisons (all benchmark delays are small integers
+#: or simple decimals; 1e-9 is far below any meaningful delay difference).
+_EPS = 1e-9
+
+
+class _ExprManager:
+    """Structurally-hashed AND/OR DAG over primary-input literals.
+
+    Node 0 is FALSE, node 1 is TRUE.  Stability functions are monotone
+    compositions of literals, so negation occurs only at leaves.
+    """
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self) -> None:
+        # kind: 'const', 'lit', 'and', 'or'
+        self.kind: list[str] = ["const", "const"]
+        self.data: list[object] = [False, True]
+        self._lit_cache: dict[tuple[str, bool], int] = {}
+        self._op_cache: dict[tuple[str, tuple[int, ...]], int] = {}
+
+    def lit(self, pi: str, positive: bool) -> int:
+        key = (pi, positive)
+        node = self._lit_cache.get(key)
+        if node is None:
+            node = len(self.kind)
+            self.kind.append("lit")
+            self.data.append(key)
+            self._lit_cache[key] = node
+        return node
+
+    def _gate(self, op: str, children: list[int]) -> int:
+        absorbing = self.FALSE if op == "and" else self.TRUE
+        identity = self.TRUE if op == "and" else self.FALSE
+        flat: list[int] = []
+        for c in children:
+            if c == absorbing:
+                return absorbing
+            if c == identity:
+                continue
+            if self.kind[c] == op:
+                flat.extend(self.data[c])  # type: ignore[arg-type]
+            else:
+                flat.append(c)
+        unique = sorted(set(flat))
+        # x · ¬x  (resp. x + ¬x) collapses to the absorbing constant.
+        lit_set = {
+            self.data[c] for c in unique if self.kind[c] == "lit"
+        }
+        for pi, pos in list(lit_set):  # type: ignore[misc]
+            if (pi, not pos) in lit_set:
+                return absorbing
+        if not unique:
+            return identity
+        if len(unique) == 1:
+            return unique[0]
+        key = (op, tuple(unique))
+        node = self._op_cache.get(key)
+        if node is None:
+            node = len(self.kind)
+            self.kind.append(op)
+            self.data.append(key[1])
+            self._op_cache[key] = node
+        return node
+
+    def conj(self, children: list[int]) -> int:
+        return self._gate("and", children)
+
+    def disj(self, children: list[int]) -> int:
+        return self._gate("or", children)
+
+    def support(self, node: int) -> set[str]:
+        """PIs the expression depends on."""
+        seen: set[int] = set()
+        pis: set[str] = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            kind = self.kind[n]
+            if kind == "lit":
+                pis.add(self.data[n][0])  # type: ignore[index]
+            elif kind in ("and", "or"):
+                stack.extend(self.data[n])  # type: ignore[arg-type]
+        return pis
+
+    def evaluate(self, node: int, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate the DAG on a PI assignment."""
+        memo: dict[int, bool] = {}
+        stack = [node]
+        while stack:
+            n = stack[-1]
+            if n in memo:
+                stack.pop()
+                continue
+            kind = self.kind[n]
+            if kind == "const":
+                memo[n] = bool(self.data[n])
+                stack.pop()
+            elif kind == "lit":
+                pi, pos = self.data[n]  # type: ignore[misc]
+                memo[n] = assignment[pi] == pos
+                stack.pop()
+            else:
+                children = self.data[n]  # type: ignore[assignment]
+                pending = [c for c in children if c not in memo]
+                if pending:
+                    stack.extend(pending)
+                    continue
+                vals = (memo[c] for c in children)  # type: ignore[union-attr]
+                memo[n] = all(vals) if kind == "and" else any(vals)
+                stack.pop()
+        return memo[node]
+
+
+class StabilityAnalyzer:
+    """Timed characteristic functions for one network + arrival condition.
+
+    Parameters
+    ----------
+    network:
+        The flat combinational circuit.
+    arrival:
+        PI → arrival time; missing PIs default to 0.0 and ``-inf`` means
+        "available from the beginning of time" (an unconstrained input).
+    engine:
+        Tautology engine: ``"sat"`` (default), ``"bdd"`` or ``"brute"``.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        arrival: Mapping[str, float] | None = None,
+        engine: Engine = "sat",
+        care: Network | None = None,
+    ):
+        if engine not in ("sat", "bdd", "brute"):
+            raise AnalysisError(f"unknown engine {engine!r}")
+        if care is not None and engine == "bdd":
+            raise AnalysisError(
+                "care-set constraints are supported by the sat and brute "
+                "engines only"
+            )
+        self.network = network
+        self.arrival = {
+            x: float((arrival or {}).get(x, 0.0)) for x in network.inputs
+        }
+        self.engine: Engine = engine
+        #: Optional satisfiability-don't-care constraint: a network whose
+        #: outputs are named after PIs of ``network``; only PI vectors in
+        #: the image of ``care`` (as its own PIs range over all values)
+        #: must be stable.  PIs of ``network`` that are not outputs of
+        #: ``care`` stay unconstrained.  Used by per-instance
+        #: characterization (paper footnote 6).
+        self.care = care
+        if care is not None:
+            missing = [
+                o for o in care.outputs if not network.is_input(o)
+            ]
+            if missing:
+                raise AnalysisError(
+                    f"care outputs {missing!r} are not PIs of the network"
+                )
+        self._exprs = _ExprManager()
+        self._memo: dict[tuple[str, float], tuple[int, int]] = {}
+        self._bdd: BDDManager | None = None
+        self._bdd_memo: dict[int, int] = {}
+        self.stats = {"stability_checks": 0, "sat_calls": 0}
+
+    # -------------------------------------------------- stability functions
+    def _tkey(self, t: float) -> float:
+        if t in (NEG_INF, POS_INF):
+            return t
+        return round(t, 9)
+
+    def stability_pair(self, signal: str, t: float) -> tuple[int, int]:
+        """Expression nodes ``(S0, S1)`` of ``signal`` at time ``t``.
+
+        Built iteratively (circuits can be deeper than the Python recursion
+        limit) with memoization on ``(signal, t)``.
+        """
+        net = self.network
+        exprs = self._exprs
+        root_key = (signal, self._tkey(t))
+        if root_key in self._memo:
+            return self._memo[root_key]
+        stack: list[tuple[str, float]] = [(signal, self._tkey(t))]
+        while stack:
+            sig, tk = stack[-1]
+            key = (sig, tk)
+            if key in self._memo:
+                stack.pop()
+                continue
+            if net.is_input(sig):
+                if tk >= self.arrival[sig] - _EPS:
+                    pair = (exprs.lit(sig, False), exprs.lit(sig, True))
+                else:
+                    pair = (exprs.FALSE, exprs.FALSE)
+                self._memo[key] = pair
+                stack.pop()
+                continue
+            gate = net.gate(sig)
+            child_t = self._tkey(tk - gate.delay)
+            missing = [
+                (f, child_t)
+                for f in gate.fanins
+                if (f, child_t) not in self._memo
+            ]
+            if missing:
+                stack.extend(missing)
+                continue
+            child_pairs = [self._memo[(f, child_t)] for f in gate.fanins]
+            on_primes, off_primes = gate_primes(gate.gtype, len(gate.fanins))
+            s1 = exprs.disj(
+                [
+                    exprs.conj(
+                        [child_pairs[idx][1 if val else 0] for idx, val in prime]
+                    )
+                    for prime in on_primes
+                ]
+            )
+            s0 = exprs.disj(
+                [
+                    exprs.conj(
+                        [child_pairs[idx][1 if val else 0] for idx, val in prime]
+                    )
+                    for prime in off_primes
+                ]
+            )
+            self._memo[key] = (s0, s1)
+            stack.pop()
+        return self._memo[root_key]
+
+    # ------------------------------------------------------ tautology engines
+    def _tautology_sat(self, node: int) -> bool:
+        exprs = self._exprs
+        cnf = CNF()
+        pi_vars: dict[str, int] = {}
+        node_lits: dict[int, int] = {}
+        seen: set[int] = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            if exprs.kind[n] in ("and", "or"):
+                stack.extend(exprs.data[n])  # type: ignore[arg-type]
+        # Manager node ids are topological (children are interned before
+        # parents), so ascending id order processes children first.
+        for n in sorted(seen):
+            kind = exprs.kind[n]
+            if kind == "const":
+                continue
+            if kind == "lit":
+                pi, pos = exprs.data[n]  # type: ignore[misc]
+                if pi not in pi_vars:
+                    pi_vars[pi] = cnf.new_var()
+                node_lits[n] = pi_vars[pi] if pos else -pi_vars[pi]
+            else:
+                children = [node_lits[c] for c in exprs.data[n]]  # type: ignore[union-attr]
+                v = cnf.new_var()
+                if kind == "and":
+                    for lit in children:
+                        cnf.add_clause((-v, lit))
+                    cnf.add_clause((v, *(-l for l in children)))
+                else:
+                    for lit in children:
+                        cnf.add_clause((v, -lit))
+                    cnf.add_clause((-v, *children))
+                node_lits[n] = v
+        cnf.add_clause((-node_lits[node],))
+        if self.care is not None:
+            # Restrict counterexamples to the image of the care network:
+            # its outputs are tied to the same-named PI variables.
+            from repro.sat.tseitin import NetworkEncoder, encode_equal
+
+            encoder = NetworkEncoder(cnf)
+            care_map = encoder.encode(self.care)
+            for out in self.care.outputs:
+                if out not in pi_vars:
+                    pi_vars[out] = cnf.new_var()
+                encode_equal(cnf, pi_vars[out], care_map[out])
+        self.stats["sat_calls"] += 1
+        return Solver(cnf).solve() is SolveResult.UNSAT
+
+    def _bdd_node(self, node: int) -> int:
+        if self._bdd is None:
+            self._bdd = BDDManager()
+            for x in self.network.inputs:
+                self._bdd.declare(x)
+        bdd = self._bdd
+        exprs = self._exprs
+        memo = self._bdd_memo
+        stack = [node]
+        while stack:
+            n = stack[-1]
+            if n in memo:
+                stack.pop()
+                continue
+            kind = exprs.kind[n]
+            if kind == "const":
+                memo[n] = bdd.ONE if exprs.data[n] else bdd.ZERO
+                stack.pop()
+            elif kind == "lit":
+                pi, pos = exprs.data[n]  # type: ignore[misc]
+                memo[n] = bdd.var(pi) if pos else bdd.nvar(pi)
+                stack.pop()
+            else:
+                children = exprs.data[n]  # type: ignore[assignment]
+                pending = [c for c in children if c not in memo]
+                if pending:
+                    stack.extend(pending)
+                    continue
+                nodes = [memo[c] for c in children]  # type: ignore[union-attr]
+                memo[n] = (
+                    bdd.conj_all(nodes) if kind == "and" else bdd.disj_all(nodes)
+                )
+                stack.pop()
+        return memo[node]
+
+    def _tautology_brute(self, node: int) -> bool:
+        exprs = self._exprs
+        support = sorted(exprs.support(node))
+        if self.care is not None:
+            return self._tautology_brute_care(node, support)
+        if len(support) > 24:
+            raise AnalysisError(
+                f"brute engine: support of {len(support)} inputs is too large"
+            )
+        for bits in itertools.product((False, True), repeat=len(support)):
+            if not exprs.evaluate(node, dict(zip(support, bits))):
+                return False
+        return True
+
+    def _tautology_brute_care(self, node: int, support: list[str]) -> bool:
+        """Enumerate care-network inputs plus unconstrained PIs."""
+        care = self.care
+        assert care is not None
+        constrained = set(care.outputs)
+        free = [p for p in support if p not in constrained]
+        if len(care.inputs) + len(free) > 20:
+            raise AnalysisError("brute engine: care enumeration too large")
+        exprs = self._exprs
+        for care_bits in itertools.product(
+            (False, True), repeat=len(care.inputs)
+        ):
+            image = care.output_values(dict(zip(care.inputs, care_bits)))
+            for free_bits in itertools.product(
+                (False, True), repeat=len(free)
+            ):
+                assignment = {
+                    p: image[p] for p in support if p in constrained
+                }
+                assignment.update(zip(free, free_bits))
+                if not exprs.evaluate(node, assignment):
+                    return False
+        return True
+
+    def _is_tautology(self, node: int) -> bool:
+        if node == _ExprManager.TRUE:
+            return True
+        if node == _ExprManager.FALSE:
+            # FALSE is a tautology only over an empty vector space, which
+            # cannot happen here (FALSE with no PIs simplifies elsewhere).
+            return False
+        if self.engine == "sat":
+            return self._tautology_sat(node)
+        if self.engine == "bdd":
+            return self._bdd_node(node) == BDDManager.ONE
+        return self._tautology_brute(node)
+
+    # --------------------------------------------------------------- queries
+    def stable_at(self, output: str, t: float) -> bool:
+        """True iff ``output`` is stable by ``t`` for every input vector."""
+        self.stats["stability_checks"] += 1
+        s0, s1 = self.stability_pair(output, t)
+        return self._is_tautology(self._exprs.disj([s0, s1]))
+
+    def unstable_witness(
+        self, output: str, t: float
+    ) -> dict[str, bool] | None:
+        """A vector for which ``output`` is not stable by ``t`` (or None).
+
+        The witness makes stability failures actionable: combined with the
+        per-vector calculus (:func:`repro.sim.timed.stable_times`) it
+        names the exact input combination and the late cone.  Cares are
+        honoured: with a care network attached, witnesses come from its
+        image only.  PIs outside the failing condition's support default
+        to False.
+        """
+        s0, s1 = self.stability_pair(output, t)
+        node = self._exprs.disj([s0, s1])
+        if node == _ExprManager.TRUE:
+            return None
+        for assignment in self._witness_candidates(node):
+            full = {x: assignment.get(x, False) for x in self.network.inputs}
+            if not self._exprs.evaluate(node, full):
+                return full
+        return None
+
+    def _witness_candidates(self, node: int):
+        exprs = self._exprs
+        if self.engine == "bdd":
+            bdd_node = self._bdd_node(node)
+            assert self._bdd is not None
+            model = self._bdd.any_model(self._bdd.negate(bdd_node))
+            if model is None:
+                return
+            names = {
+                self._bdd.var_level(x): x for x in self.network.inputs
+            }
+            yield {names[level]: value for level, value in model.items()}
+        elif self.engine == "sat" or self.care is not None:
+            witness = self._sat_witness(node)
+            if witness is not None:
+                yield witness
+        else:  # brute force over the support
+            support = sorted(exprs.support(node))
+            for bits in itertools.product((False, True), repeat=len(support)):
+                assignment = dict(zip(support, bits))
+                if not exprs.evaluate(node, assignment):
+                    yield assignment
+                    return
+
+    def _sat_witness(self, node: int) -> dict[str, bool] | None:
+        """SAT model of ¬(S0+S1) (∧ care), mapped back to PI names."""
+        exprs = self._exprs
+        cnf = CNF()
+        pi_vars: dict[str, int] = {}
+        node_lits: dict[int, int] = {}
+        seen: set[int] = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            if exprs.kind[n] in ("and", "or"):
+                stack.extend(exprs.data[n])  # type: ignore[arg-type]
+        for n in sorted(seen):
+            kind = exprs.kind[n]
+            if kind == "const":
+                continue
+            if kind == "lit":
+                pi, pos = exprs.data[n]  # type: ignore[misc]
+                if pi not in pi_vars:
+                    pi_vars[pi] = cnf.new_var()
+                node_lits[n] = pi_vars[pi] if pos else -pi_vars[pi]
+            else:
+                children = [node_lits[c] for c in exprs.data[n]]  # type: ignore[union-attr]
+                v = cnf.new_var()
+                if kind == "and":
+                    for lit in children:
+                        cnf.add_clause((-v, lit))
+                    cnf.add_clause((v, *(-l for l in children)))
+                else:
+                    for lit in children:
+                        cnf.add_clause((v, -lit))
+                    cnf.add_clause((-v, *children))
+                node_lits[n] = v
+        if node in node_lits:
+            cnf.add_clause((-node_lits[node],))
+        elif exprs.kind[node] == "const" and exprs.data[node]:
+            return None
+        if self.care is not None:
+            from repro.sat.tseitin import NetworkEncoder, encode_equal
+
+            encoder = NetworkEncoder(cnf)
+            care_map = encoder.encode(self.care)
+            for out in self.care.outputs:
+                if out not in pi_vars:
+                    pi_vars[out] = cnf.new_var()
+                encode_equal(cnf, pi_vars[out], care_map[out])
+        solver = Solver(cnf)
+        if solver.solve() is SolveResult.UNSAT:
+            return None
+        model = solver.model()
+        return {pi: model[var] for pi, var in pi_vars.items()}
+
+    def functional_delay(self, output: str) -> float:
+        """Exact XBD0 stable time of ``output`` under this arrival condition.
+
+        Binary search over the candidate event times (stability is monotone
+        in ``t``).  Returns ``-inf`` for outputs stable from the beginning
+        of time (constants).
+        """
+        if not self.network.has_signal(output):
+            raise AnalysisError(f"unknown signal {output!r}")
+        cands = event_time_candidates(self.network, self.arrival).get(
+            output, ()
+        )
+        finite = [c for c in cands if c != NEG_INF]
+        if not finite:
+            return NEG_INF if self.stable_at(output, NEG_INF) else POS_INF
+        ascending = sorted(finite)
+        if not self.stable_at(output, ascending[-1]):
+            # The topological arrival bound can be exceeded only when some
+            # input never arrives coherently; candidates are exact, so this
+            # means "never stable" (cannot happen for well-formed inputs).
+            return POS_INF
+        lo, hi = 0, len(ascending) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.stable_at(output, ascending[mid]):
+                hi = mid
+            else:
+                lo = mid + 1
+        if lo == 0 and self.stable_at(output, ascending[0] - 1.0):
+            return NEG_INF
+        return ascending[lo]
+
+
+def functional_delays(
+    network: Network,
+    arrival: Mapping[str, float] | None = None,
+    outputs: tuple[str, ...] | None = None,
+    engine: Engine = "sat",
+) -> dict[str, float]:
+    """Exact XBD0 stable time of each requested output (default: all POs)."""
+    analyzer = StabilityAnalyzer(network, arrival, engine)
+    targets = outputs if outputs is not None else network.outputs
+    return {o: analyzer.functional_delay(o) for o in targets}
+
+
+def circuit_delay(
+    network: Network,
+    arrival: Mapping[str, float] | None = None,
+    engine: Engine = "sat",
+) -> float:
+    """Exact XBD0 delay of the circuit: max over primary outputs."""
+    if not network.outputs:
+        raise AnalysisError("network has no outputs")
+    delays = functional_delays(network, arrival, engine=engine)
+    return max(delays.values())
+
+
+def topological_upper_bound(
+    network: Network, arrival: Mapping[str, float] | None = None
+) -> float:
+    """Topological circuit delay (the trivial upper bound)."""
+    at = arrival_times(network, arrival)
+    if not network.outputs:
+        raise AnalysisError("network has no outputs")
+    return max(at[o] for o in network.outputs)

@@ -1,0 +1,240 @@
+"""And-Inverter Graphs with structural hashing.
+
+The workhorse representation of modern logic verification: every function
+is a DAG of 2-input ANDs with complemented edges.  Here it backs fast
+*combinational equivalence checking* — netlist transforms, flattening and
+parser round-trips are verified by strashing both circuits into one AIG
+(structurally identical logic merges on the spot) and SAT-checking only
+the outputs that remain distinct nodes.
+
+Edges are integers: node id shifted left once, low bit = complement.
+Node 0 is the constant FALSE, so edge 1 is constant TRUE.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateType
+from repro.netlist.network import Network
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver, SolveResult
+
+#: Constant edges.
+FALSE_EDGE = 0
+TRUE_EDGE = 1
+
+
+def edge_not(edge: int) -> int:
+    """Complement an edge."""
+    return edge ^ 1
+
+
+class AIG:
+    """A structurally hashed And-Inverter Graph."""
+
+    def __init__(self) -> None:
+        # node 0 = constant false; others hold (fanin edge 0, fanin edge 1)
+        self._nodes: list[tuple[int, int] | None] = [None]
+        self._strash: dict[tuple[int, int], int] = {}
+        self._inputs: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ build
+    def input_edge(self, name: str) -> int:
+        """Edge for a named primary input (created on first use)."""
+        node = self._inputs.get(name)
+        if node is None:
+            node = len(self._nodes)
+            self._nodes.append(None)  # inputs have no fanins
+            self._inputs[name] = node
+        return node << 1
+
+    def conj(self, a: int, b: int) -> int:
+        """AND of two edges, with constant folding and strashing."""
+        if a > b:
+            a, b = b, a
+        if a == FALSE_EDGE:
+            return FALSE_EDGE
+        if a == TRUE_EDGE:
+            return b
+        if a == b:
+            return a
+        if a == edge_not(b):
+            return FALSE_EDGE
+        key = (a, b)
+        node = self._strash.get(key)
+        if node is None:
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._strash[key] = node
+        return node << 1
+
+    def disj(self, a: int, b: int) -> int:
+        """OR via De Morgan."""
+        return edge_not(self.conj(edge_not(a), edge_not(b)))
+
+    def xor(self, a: int, b: int) -> int:
+        """XOR as (a+b)·¬(ab)."""
+        return self.conj(self.disj(a, b), edge_not(self.conj(a, b)))
+
+    def mux(self, select: int, d0: int, d1: int) -> int:
+        """``d1 if select else d0``."""
+        return self.disj(
+            self.conj(select, d1), self.conj(edge_not(select), d0)
+        )
+
+    def num_nodes(self) -> int:
+        """AND nodes + input nodes + the constant."""
+        return len(self._nodes)
+
+    # -------------------------------------------------------------- evaluate
+    def evaluate(self, edge: int, assignment: dict[str, bool]) -> bool:
+        """Evaluate an edge under a PI assignment."""
+        input_nodes = {node: name for name, node in self._inputs.items()}
+        memo: dict[int, bool] = {0: False}
+        stack = [edge >> 1]
+        while stack:
+            node = stack[-1]
+            if node in memo:
+                stack.pop()
+                continue
+            if node in input_nodes:
+                memo[node] = bool(assignment[input_nodes[node]])
+                stack.pop()
+                continue
+            fan = self._nodes[node]
+            assert fan is not None
+            pending = [e >> 1 for e in fan if (e >> 1) not in memo]
+            if pending:
+                stack.extend(pending)
+                continue
+            a, b = fan
+            va = memo[a >> 1] ^ (a & 1)
+            vb = memo[b >> 1] ^ (b & 1)
+            memo[node] = bool(va and vb)
+            stack.pop()
+        return bool(memo[edge >> 1] ^ (edge & 1))
+
+    # ------------------------------------------------------------------- SAT
+    def edge_equal_sat(self, left: int, right: int) -> bool:
+        """SAT-prove two edges compute the same function."""
+        if left == right:
+            return True
+        if left == edge_not(right):
+            return self._constant_space()
+        cnf = CNF()
+        node_vars: dict[int, int] = {}
+
+        def var_of(node: int) -> int:
+            v = node_vars.get(node)
+            if v is None:
+                v = cnf.new_var()
+                node_vars[node] = v
+            return v
+
+        def lit_of(edge: int) -> int:
+            v = var_of(edge >> 1)
+            return -v if edge & 1 else v
+
+        # collect the cone
+        seen: set[int] = set()
+        stack = [left >> 1, right >> 1]
+        order: list[int] = []
+        while stack:
+            node = stack.pop()
+            if node in seen or node == 0:
+                continue
+            seen.add(node)
+            order.append(node)
+            fan = self._nodes[node]
+            if fan is not None:
+                stack.extend(e >> 1 for e in fan)
+        for node in order:
+            fan = self._nodes[node]
+            if fan is None:
+                var_of(node)  # free input variable
+                continue
+            a, b = fan
+            v = var_of(node)
+            cnf.add_clause((-v, lit_of(a)))
+            cnf.add_clause((-v, lit_of(b)))
+            cnf.add_clause((v, -lit_of(a), -lit_of(b)))
+        if 0 in {left >> 1, right >> 1}:
+            v0 = var_of(0)
+            cnf.add_clause((-v0,))
+        # XOR of the two roots must be unsatisfiable
+        l, r = lit_of(left), lit_of(right)
+        d = cnf.new_var()
+        cnf.add_clause((-d, l, r))
+        cnf.add_clause((-d, -l, -r))
+        cnf.add_clause((d, l, -r))
+        cnf.add_clause((d, -l, r))
+        cnf.add_clause((d,))
+        return Solver(cnf).solve() is SolveResult.UNSAT
+
+    @staticmethod
+    def _constant_space() -> bool:
+        return False  # an edge never equals its own complement
+
+
+def network_to_aig(
+    network: Network, aig: AIG | None = None
+) -> tuple[AIG, dict[str, int]]:
+    """Strash a network; returns the AIG and signal → edge map."""
+    aig = aig or AIG()
+    edges: dict[str, int] = {}
+    for x in network.inputs:
+        edges[x] = aig.input_edge(x)
+    for s in network.topological_order():
+        if network.is_input(s):
+            continue
+        g = network.gate(s)
+        fan = [edges[f] for f in g.fanins]
+        t = g.gtype
+        if t is GateType.AND or t is GateType.NAND:
+            acc = TRUE_EDGE
+            for e in fan:
+                acc = aig.conj(acc, e)
+            edges[s] = edge_not(acc) if t is GateType.NAND else acc
+        elif t is GateType.OR or t is GateType.NOR:
+            acc = FALSE_EDGE
+            for e in fan:
+                acc = aig.disj(acc, e)
+            edges[s] = edge_not(acc) if t is GateType.NOR else acc
+        elif t in (GateType.XOR, GateType.XNOR):
+            acc = fan[0]
+            for e in fan[1:]:
+                acc = aig.xor(acc, e)
+            edges[s] = edge_not(acc) if t is GateType.XNOR else acc
+        elif t is GateType.NOT:
+            edges[s] = edge_not(fan[0])
+        elif t is GateType.BUF:
+            edges[s] = fan[0]
+        elif t is GateType.MUX:
+            edges[s] = aig.mux(fan[0], fan[1], fan[2])
+        elif t is GateType.CONST0:
+            edges[s] = FALSE_EDGE
+        elif t is GateType.CONST1:
+            edges[s] = TRUE_EDGE
+        else:  # pragma: no cover - enum exhausted
+            raise NetlistError(f"cannot strash gate type {t!r}")
+    return aig, edges
+
+
+def equivalent(left: Network, right: Network) -> bool:
+    """Combinational equivalence via shared strashing + SAT.
+
+    Networks must share input and output name sets.  Structurally
+    identical cones merge during strashing and are proven instantly; only
+    genuinely different structures reach the SAT solver.
+    """
+    if set(left.inputs) != set(right.inputs):
+        raise NetlistError("equivalence: input name sets differ")
+    if set(left.outputs) != set(right.outputs):
+        raise NetlistError("equivalence: output name sets differ")
+    aig = AIG()
+    _, left_edges = network_to_aig(left, aig)
+    _, right_edges = network_to_aig(right, aig)
+    for out in set(left.outputs):
+        if not aig.edge_equal_sat(left_edges[out], right_edges[out]):
+            return False
+    return True

@@ -1,0 +1,189 @@
+"""Gate primitives: types, evaluation, and prime implicants.
+
+The XBD0 stability calculus (see :mod:`repro.core.xbd0`) is driven by the
+prime implicants of each gate function and of its complement.  A *prime* is
+represented as a tuple of ``(input_index, value)`` pairs: the gate output is
+forced to the corresponding value whenever every listed input carries the
+listed value.  For example ``AND`` over 3 inputs has the single on-set prime
+``((0, True), (1, True), (2, True))`` and three off-set primes
+``((i, False),)``.
+
+MUX gates use input order ``(select, d0, d1)`` and compute
+``d1 if select else d0``.  Their primes include the consensus term
+``d0 == d1``, which is exactly what makes the XBD0 criterion tight enough to
+recognize the classic carry-skip false path.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from functools import lru_cache
+
+from repro.errors import NetlistError
+
+#: A literal inside a prime: (input index, required boolean value).
+PrimeLiteral = tuple[int, bool]
+#: A prime implicant: conjunction of literals.
+Prime = tuple[PrimeLiteral, ...]
+
+
+class GateType(enum.Enum):
+    """Supported combinational gate primitives."""
+
+    AND = "AND"
+    OR = "OR"
+    NAND = "NAND"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+    MUX = "MUX"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Gate types whose fanin count is fixed.
+_FIXED_ARITY = {
+    GateType.NOT: 1,
+    GateType.BUF: 1,
+    GateType.MUX: 3,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+}
+
+#: Minimum fanin count for variadic gates.
+_MIN_ARITY = {
+    GateType.AND: 1,
+    GateType.OR: 1,
+    GateType.NAND: 1,
+    GateType.NOR: 1,
+    GateType.XOR: 1,
+    GateType.XNOR: 1,
+}
+
+
+def check_arity(gtype: GateType, n_inputs: int) -> None:
+    """Raise :class:`NetlistError` if ``n_inputs`` is illegal for ``gtype``."""
+    fixed = _FIXED_ARITY.get(gtype)
+    if fixed is not None:
+        if n_inputs != fixed:
+            raise NetlistError(
+                f"{gtype} gate requires exactly {fixed} inputs, got {n_inputs}"
+            )
+        return
+    minimum = _MIN_ARITY[gtype]
+    if n_inputs < minimum:
+        raise NetlistError(
+            f"{gtype} gate requires at least {minimum} inputs, got {n_inputs}"
+        )
+
+
+def evaluate(gtype: GateType, values: tuple[bool, ...]) -> bool:
+    """Evaluate a gate of type ``gtype`` on boolean input ``values``."""
+    if gtype is GateType.AND:
+        return all(values)
+    if gtype is GateType.OR:
+        return any(values)
+    if gtype is GateType.NAND:
+        return not all(values)
+    if gtype is GateType.NOR:
+        return not any(values)
+    if gtype is GateType.XOR:
+        return sum(values) % 2 == 1
+    if gtype is GateType.XNOR:
+        return sum(values) % 2 == 0
+    if gtype is GateType.NOT:
+        return not values[0]
+    if gtype is GateType.BUF:
+        return values[0]
+    if gtype is GateType.MUX:
+        select, d0, d1 = values
+        return d1 if select else d0
+    if gtype is GateType.CONST0:
+        return False
+    if gtype is GateType.CONST1:
+        return True
+    raise NetlistError(f"unknown gate type {gtype!r}")
+
+
+def _parity_primes(n: int, odd: bool) -> tuple[Prime, ...]:
+    """Primes of the n-input parity function (all full minterms)."""
+    primes = []
+    for bits in itertools.product((False, True), repeat=n):
+        if (sum(bits) % 2 == 1) == odd:
+            primes.append(tuple(enumerate(bits)))
+    return tuple(primes)
+
+
+@lru_cache(maxsize=None)
+def gate_primes(gtype: GateType, n_inputs: int) -> tuple[tuple[Prime, ...], tuple[Prime, ...]]:
+    """Return ``(on_primes, off_primes)`` of a gate.
+
+    ``on_primes`` are the prime implicants of the gate function (conditions
+    forcing output 1); ``off_primes`` those of its complement.
+    """
+    check_arity(gtype, n_inputs)
+    all_true: Prime = tuple((i, True) for i in range(n_inputs))
+    each_false = tuple(((i, False),) for i in range(n_inputs))
+    each_true = tuple(((i, True),) for i in range(n_inputs))
+    all_false: Prime = tuple((i, False) for i in range(n_inputs))
+
+    if gtype is GateType.AND:
+        return (all_true,), each_false
+    if gtype is GateType.NAND:
+        return each_false, (all_true,)
+    if gtype is GateType.OR:
+        return each_true, (all_false,)
+    if gtype is GateType.NOR:
+        return (all_false,), each_true
+    if gtype is GateType.NOT:
+        return (((0, False),),), (((0, True),),)
+    if gtype is GateType.BUF:
+        return (((0, True),),), (((0, False),),)
+    if gtype is GateType.XOR:
+        return _parity_primes(n_inputs, odd=True), _parity_primes(n_inputs, odd=False)
+    if gtype is GateType.XNOR:
+        return _parity_primes(n_inputs, odd=False), _parity_primes(n_inputs, odd=True)
+    if gtype is GateType.MUX:
+        # output = d1 if select else d0 ; inputs are (select, d0, d1)
+        on = (
+            ((0, False), (1, True)),   # !s & d0
+            ((0, True), (2, True)),    # s & d1
+            ((1, True), (2, True)),    # consensus: d0 & d1
+        )
+        off = (
+            ((0, False), (1, False)),  # !s & !d0
+            ((0, True), (2, False)),   # s & !d1
+            ((1, False), (2, False)),  # consensus: !d0 & !d1
+        )
+        return on, off
+    if gtype is GateType.CONST1:
+        return ((),), ()
+    if gtype is GateType.CONST0:
+        return (), ((),)
+    raise NetlistError(f"unknown gate type {gtype!r}")
+
+
+#: Controlling input value for simple gates, or None if no controlling value.
+CONTROLLING_VALUE = {
+    GateType.AND: False,
+    GateType.NAND: False,
+    GateType.OR: True,
+    GateType.NOR: True,
+}
+
+
+def satisfied_primes(
+    gtype: GateType, n_inputs: int, values: tuple[bool, ...]
+) -> tuple[Prime, ...]:
+    """Primes (of the correct phase for the output value) satisfied by ``values``."""
+    on, off = gate_primes(gtype, n_inputs)
+    primes = on if evaluate(gtype, values) else off
+    return tuple(
+        p for p in primes if all(values[idx] == val for idx, val in p)
+    )

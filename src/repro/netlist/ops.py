@@ -1,0 +1,83 @@
+"""Structural utilities over flat networks."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.netlist.gates import GateType
+from repro.netlist.network import Network
+
+
+def levelize(network: Network) -> dict[str, int]:
+    """Topological level of every signal (PIs at level 0)."""
+    levels: dict[str, int] = {}
+    for s in network.topological_order():
+        fanins = network.fanins(s)
+        if not fanins:
+            levels[s] = 0
+        else:
+            levels[s] = 1 + max(levels[f] for f in fanins)
+    return levels
+
+
+def depth(network: Network) -> int:
+    """Maximum topological level over the primary outputs."""
+    if not network.outputs:
+        return 0
+    levels = levelize(network)
+    return max(levels[o] for o in network.outputs)
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """Summary statistics of a network."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    depth: int
+    gate_counts: dict[GateType, int]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        counts = ", ".join(
+            f"{t.value}:{c}" for t, c in sorted(
+                self.gate_counts.items(), key=lambda kv: kv[0].value
+            )
+        )
+        return (
+            f"{self.name}: {self.num_inputs} PI / {self.num_outputs} PO / "
+            f"{self.num_gates} gates / depth {self.depth} [{counts}]"
+        )
+
+
+def stats(network: Network) -> NetworkStats:
+    """Compute :class:`NetworkStats` for ``network``."""
+    counts = Counter(g.gtype for g in network.gates.values())
+    return NetworkStats(
+        name=network.name,
+        num_inputs=len(network.inputs),
+        num_outputs=len(network.outputs),
+        num_gates=network.num_gates(),
+        depth=depth(network),
+        gate_counts=dict(counts),
+    )
+
+
+def networks_equivalent_on(
+    left: Network, right: Network, vectors: list[dict[str, bool]]
+) -> bool:
+    """True if both networks agree on every given PI assignment.
+
+    Both networks must have the same input and output names (order may
+    differ).  Used by the flattening-correctness tests.
+    """
+    if set(left.inputs) != set(right.inputs):
+        return False
+    if set(left.outputs) != set(right.outputs):
+        return False
+    for vec in vectors:
+        if left.output_values(vec) != right.output_values(vec):
+            return False
+    return True

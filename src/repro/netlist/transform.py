@@ -1,0 +1,188 @@
+"""Netlist transformations.
+
+Conservative, equivalence-preserving rewrites used by the export paths and
+the ablation benches:
+
+* :func:`decompose_complex` — replace MUX with NOT/AND/OR and wide
+  XOR/XNOR with 2-input trees (delays split so every pin-to-pin
+  topological delay is preserved).  Note the *timing semantics* change
+  under XBD0: the AND-OR form of a MUX has no consensus term, so analysis
+  of the decomposed netlist can be more pessimistic — that is a property
+  of the netlist style, demonstrated in the ablation bench.
+* :func:`propagate_constants` — fold CONST0/CONST1 through the netlist.
+* :func:`sweep` — drop gates that reach no primary output.
+* :func:`collapse_buffers` — splice out BUF gates (delays folded into the
+  fanout gates cannot be represented per-pin, so only zero-delay buffers
+  are collapsed).
+"""
+
+from __future__ import annotations
+
+from repro.netlist.gates import CONTROLLING_VALUE, GateType, evaluate
+from repro.netlist.network import Network
+
+
+def decompose_complex(network: Network, name: str | None = None) -> Network:
+    """MUX → NOT/AND/OR, wide XOR/XNOR → 2-input XOR tree (+ final NOT).
+
+    Pin-to-pin topological delays are preserved: the MUX expansion puts
+    the full delay on the AND rank (select inverter and OR are free);
+    XOR trees put the full delay on the first rank.
+    """
+    out = Network(name or f"{network.name}.dec")
+    for x in network.inputs:
+        out.add_input(x)
+    for s in network.topological_order():
+        if network.is_input(s):
+            continue
+        g = network.gate(s)
+        if g.gtype is GateType.MUX:
+            sel, d0, d1 = g.fanins
+            ns = out.add_gate(f"{s}$ns", "NOT", [sel], 0.0)
+            a0 = out.add_gate(f"{s}$a0", "AND", [ns, d0], g.delay)
+            a1 = out.add_gate(f"{s}$a1", "AND", [sel, d1], g.delay)
+            out.add_gate(s, "OR", [a0, a1], 0.0)
+        elif g.gtype in (GateType.XOR, GateType.XNOR) and len(g.fanins) > 2:
+            acc = None
+            for idx, f in enumerate(g.fanins):
+                if acc is None:
+                    acc = f
+                    continue
+                delay = g.delay if idx == 1 else 0.0
+                acc = out.add_gate(f"{s}$x{idx}", "XOR", [acc, f], delay)
+            if g.gtype is GateType.XNOR:
+                out.add_gate(s, "NOT", [acc], 0.0)
+            else:
+                out.add_gate(s, "BUF", [acc], 0.0)
+        elif g.gtype is GateType.XNOR and len(g.fanins) == 2:
+            x = out.add_gate(f"{s}$x", "XOR", list(g.fanins), g.delay)
+            out.add_gate(s, "NOT", [x], 0.0)
+        else:
+            out.add_gate(s, g.gtype, g.fanins, g.delay)
+    out.set_outputs(network.outputs)
+    return out
+
+
+def propagate_constants(network: Network, name: str | None = None) -> Network:
+    """Fold constant gates through the logic.
+
+    Controlled gates collapse to constants; neutral constant fanins are
+    dropped (an AND that loses all fanins becomes CONST1, etc.).  Signals
+    keep their names: a folded gate is re-emitted as CONST0/CONST1 or as a
+    zero-delay BUF of its surviving single fanin.
+    """
+    out = Network(name or f"{network.name}.cprop")
+    constants: dict[str, bool] = {}
+    for x in network.inputs:
+        out.add_input(x)
+    for s in network.topological_order():
+        if network.is_input(s):
+            continue
+        g = network.gate(s)
+        values = [constants.get(f) for f in g.fanins]
+        if all(v is not None for v in values):
+            result = evaluate(g.gtype, tuple(values))  # type: ignore[arg-type]
+            constants[s] = result
+            out.add_gate(s, "CONST1" if result else "CONST0", (), 0.0)
+            continue
+        control = CONTROLLING_VALUE.get(g.gtype)
+        if control is not None and control in [
+            v for v in values if v is not None
+        ]:
+            result = evaluate(
+                g.gtype,
+                tuple(control if v is None else v for v in values),
+            )
+            constants[s] = result
+            out.add_gate(s, "CONST1" if result else "CONST0", (), 0.0)
+            continue
+        if g.gtype in (GateType.AND, GateType.OR, GateType.NAND,
+                       GateType.NOR):
+            live = [
+                f for f, v in zip(g.fanins, values) if v is None
+            ]
+            if len(live) != len(g.fanins):
+                inverted = g.gtype in (GateType.NAND, GateType.NOR)
+                if len(live) == 1 and not inverted:
+                    out.add_gate(s, "BUF", live, g.delay)
+                else:
+                    base = {
+                        GateType.NAND: "NAND", GateType.NOR: "NOR",
+                        GateType.AND: "AND", GateType.OR: "OR",
+                    }[g.gtype]
+                    out.add_gate(s, base, live, g.delay)
+                continue
+        if g.gtype is GateType.MUX and values[0] is not None:
+            chosen = g.fanins[2] if values[0] else g.fanins[1]
+            chosen_value = values[2] if values[0] else values[1]
+            if chosen_value is not None:
+                constants[s] = chosen_value
+                out.add_gate(
+                    s, "CONST1" if chosen_value else "CONST0", (), 0.0
+                )
+            else:
+                out.add_gate(s, "BUF", [chosen], g.delay)
+            continue
+        if g.gtype in (GateType.XOR, GateType.XNOR) and any(
+            v is not None for v in values
+        ):
+            live = [f for f, v in zip(g.fanins, values) if v is None]
+            flips = sum(1 for v in values if v) % 2
+            invert = (g.gtype is GateType.XNOR) ^ bool(flips)
+            if len(live) == 1:
+                out.add_gate(
+                    s, "NOT" if invert else "BUF", live, g.delay
+                )
+            else:
+                out.add_gate(
+                    s, "XNOR" if invert else "XOR", live, g.delay
+                )
+            continue
+        out.add_gate(s, g.gtype, g.fanins, g.delay)
+    out.set_outputs(network.outputs)
+    return out
+
+
+def sweep(network: Network, name: str | None = None) -> Network:
+    """Remove gates not in the transitive fanin of any primary output."""
+    keep = network.transitive_fanin(network.outputs)
+    out = Network(name or f"{network.name}.swept")
+    for x in network.inputs:
+        out.add_input(x)  # inputs always survive (interface stability)
+    for s in network.topological_order():
+        if s in keep and not network.is_input(s):
+            g = network.gate(s)
+            out.add_gate(s, g.gtype, g.fanins, g.delay)
+    out.set_outputs(network.outputs)
+    return out
+
+
+def collapse_buffers(network: Network, name: str | None = None) -> Network:
+    """Splice out zero-delay BUF gates (names of outputs are preserved)."""
+    out = Network(name or f"{network.name}.nobuf")
+    alias: dict[str, str] = {}
+
+    def resolve(sig: str) -> str:
+        while sig in alias:
+            sig = alias[sig]
+        return sig
+
+    protected = set(network.outputs)
+    for x in network.inputs:
+        out.add_input(x)
+    for s in network.topological_order():
+        if network.is_input(s):
+            continue
+        g = network.gate(s)
+        if (
+            g.gtype is GateType.BUF
+            and g.delay == 0.0
+            and s not in protected
+        ):
+            alias[s] = resolve(g.fanins[0])
+            continue
+        out.add_gate(
+            s, g.gtype, [resolve(f) for f in g.fanins], g.delay
+        )
+    out.set_outputs(network.outputs)
+    return out

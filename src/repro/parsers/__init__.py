@@ -1,0 +1,25 @@
+"""Netlist file formats: ISCAS .bench, combinational BLIF, structural Verilog."""
+
+from repro.parsers.bench import dumps_bench, loads_bench, read_bench, write_bench
+from repro.parsers.blif import dumps_blif, loads_blif, read_blif, write_blif
+from repro.parsers.verilog import (
+    dumps_verilog,
+    loads_verilog,
+    read_verilog,
+    write_verilog,
+)
+
+__all__ = [
+    "dumps_bench",
+    "dumps_blif",
+    "dumps_verilog",
+    "loads_bench",
+    "loads_blif",
+    "loads_verilog",
+    "read_bench",
+    "read_blif",
+    "read_verilog",
+    "write_bench",
+    "write_blif",
+    "write_verilog",
+]

@@ -1,0 +1,257 @@
+"""BLIF (Berkeley Logic Interchange Format) subset reader/writer.
+
+Supports the combinational core of BLIF as used by SIS-era tools:
+``.model``, ``.inputs``, ``.outputs``, ``.names`` (sum-of-products tables)
+and ``.end``.  Each ``.names`` table is decomposed into AND/OR/NOT gates
+(one AND per cube, one OR to merge, inverters as needed); single-literal
+buffers collapse to BUF/NOT.  Latches and subcircuits are rejected — the
+library analyzes flat combinational blocks, and hierarchy is expressed via
+:class:`~repro.netlist.hierarchy.HierDesign` instead.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO
+
+from repro.errors import ParseError
+from repro.netlist.gates import GateType
+from repro.netlist.network import Network
+
+
+def _logical_lines(stream: TextIO):
+    """Yield (lineno, line) with backslash continuations joined."""
+    buffer = ""
+    start = 0
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.split("#", 1)[0].rstrip("\n")
+        if not buffer:
+            start = lineno
+        if line.endswith("\\"):
+            buffer += line[:-1] + " "
+            continue
+        buffer += line
+        if buffer.strip():
+            yield start, buffer.strip()
+        buffer = ""
+    if buffer.strip():
+        yield start, buffer.strip()
+
+
+def read_blif(stream: TextIO, gate_delay: float = 1.0) -> Network:
+    """Parse a combinational BLIF model into a :class:`Network`.
+
+    ``gate_delay`` is assigned to each decomposed AND/OR/NOT level.
+    """
+    model_name = "blif"
+    inputs: list[str] = []
+    outputs: list[str] = []
+    tables: list[tuple[str, list[str], list[tuple[str, str]], int]] = []
+    current: tuple[str, list[str], list[tuple[str, str]], int] | None = None
+
+    for lineno, line in _logical_lines(stream):
+        tokens = line.split()
+        if tokens[0].startswith("."):
+            directive = tokens[0]
+            if directive == ".model":
+                model_name = tokens[1] if len(tokens) > 1 else model_name
+            elif directive == ".inputs":
+                inputs.extend(tokens[1:])
+            elif directive == ".outputs":
+                outputs.extend(tokens[1:])
+            elif directive == ".names":
+                if len(tokens) < 2:
+                    raise ParseError(".names needs at least an output", lineno)
+                current = (tokens[-1], tokens[1:-1], [], lineno)
+                tables.append(current)
+            elif directive == ".end":
+                current = None
+            elif directive in (".latch", ".subckt", ".gate", ".mlatch"):
+                raise ParseError(
+                    f"{directive} is not supported (combinational BLIF only)",
+                    lineno,
+                )
+            else:
+                # silently ignore benign directives (.default_input_arrival…)
+                current = None
+            continue
+        if current is None:
+            raise ParseError(f"cube line outside .names: {line!r}", lineno)
+        if len(current[1]) == 0:
+            # constant table: single '0'/'1' output line
+            if len(tokens) != 1 or tokens[0] not in ("0", "1"):
+                raise ParseError(f"bad constant cube {line!r}", lineno)
+            current[2].append(("", tokens[0]))
+        else:
+            if len(tokens) != 2:
+                raise ParseError(f"bad cube {line!r}", lineno)
+            mask, value = tokens
+            if len(mask) != len(current[1]):
+                raise ParseError(
+                    f"cube width {len(mask)} != {len(current[1])} inputs",
+                    lineno,
+                )
+            if any(c not in "01-" for c in mask) or value not in ("0", "1"):
+                raise ParseError(f"bad cube {line!r}", lineno)
+            current[2].append((mask, value))
+
+    net = Network(model_name)
+    for x in inputs:
+        net.add_input(x)
+
+    counter = [0]
+
+    def fresh(prefix: str) -> str:
+        counter[0] += 1
+        return f"_{prefix}{counter[0]}"
+
+    def build_table(
+        out: str, table_inputs: list[str], cubes: list[tuple[str, str]], lineno: int
+    ) -> None:
+        if not cubes:  # empty table = constant 0 by BLIF convention
+            net.add_gate(out, GateType.CONST0, (), 0.0)
+            return
+        phases = {v for _, v in cubes}
+        if len(phases) != 1:
+            raise ParseError(
+                f"mixed on/off cubes in .names {out}", lineno
+            )
+        phase = phases.pop()
+        if not table_inputs:
+            gtype = GateType.CONST1 if phase == "1" else GateType.CONST0
+            net.add_gate(out, gtype, (), 0.0)
+            return
+        inverters: dict[str, str] = {}
+
+        def literal(sig: str, positive: bool) -> str:
+            if positive:
+                return sig
+            if sig not in inverters:
+                inverters[sig] = net.add_gate(
+                    fresh("n"), GateType.NOT, (sig,), gate_delay
+                )
+            return inverters[sig]
+
+        terms: list[str] = []
+        for mask, _ in cubes:
+            lits = [
+                literal(sig, c == "1")
+                for sig, c in zip(table_inputs, mask)
+                if c != "-"
+            ]
+            if not lits:
+                # a full don't-care cube makes the function constant
+                terms = []
+                break
+            if len(lits) == 1:
+                terms.append(lits[0])
+            else:
+                terms.append(
+                    net.add_gate(fresh("a"), GateType.AND, lits, gate_delay)
+                )
+        if not terms:
+            gtype = GateType.CONST1 if phase == "1" else GateType.CONST0
+            net.add_gate(out, gtype, (), 0.0)
+            return
+        if len(terms) == 1:
+            merged = terms[0]
+            final_type = GateType.BUF if phase == "1" else GateType.NOT
+            net.add_gate(
+                out,
+                final_type,
+                (merged,),
+                0.0 if final_type is GateType.BUF else gate_delay,
+            )
+            return
+        merge_type = GateType.OR if phase == "1" else GateType.NOR
+        net.add_gate(out, merge_type, terms, gate_delay)
+
+    # Tables may be listed out of dependency order.
+    pending = list(tables)
+    defined = set(inputs)
+    progress = True
+    while pending and progress:
+        progress = False
+        remaining = []
+        for out, table_inputs, cubes, lineno in pending:
+            if all(i in defined for i in table_inputs):
+                build_table(out, table_inputs, cubes, lineno)
+                defined.add(out)
+                progress = True
+            else:
+                remaining.append((out, table_inputs, cubes, lineno))
+        pending = remaining
+    if pending:
+        missing = sorted(
+            {
+                i
+                for _, table_inputs, _, _ in pending
+                for i in table_inputs
+                if i not in defined
+            }
+        )
+        raise ParseError(
+            f"undefined signals (or cycle): {missing[:5]!r}", pending[0][3]
+        )
+    for o in outputs:
+        if not net.has_signal(o):
+            raise ParseError(f".outputs names undefined signal {o!r}")
+    net.set_outputs(outputs)
+    return net
+
+
+def loads_blif(text: str, gate_delay: float = 1.0) -> Network:
+    """Parse BLIF text."""
+    return read_blif(io.StringIO(text), gate_delay)
+
+
+_SIMPLE_CUBES = {
+    GateType.AND: lambda n: [("1" * n, "1")],
+    GateType.NAND: lambda n: [("1" * n, "0")],
+    GateType.OR: lambda n: [
+        ("-" * i + "1" + "-" * (n - i - 1), "1") for i in range(n)
+    ],
+    GateType.NOR: lambda n: [("0" * n, "1")],
+    GateType.NOT: lambda n: [("0", "1")],
+    GateType.BUF: lambda n: [("1", "1")],
+}
+
+
+def write_blif(network: Network, stream: TextIO) -> None:
+    """Serialize a network as BLIF (each gate becomes one .names table)."""
+    stream.write(f".model {network.name}\n")
+    stream.write(".inputs " + " ".join(network.inputs) + "\n")
+    stream.write(".outputs " + " ".join(network.outputs) + "\n")
+    for s in network.topological_order():
+        if network.is_input(s):
+            continue
+        g = network.gate(s)
+        n = len(g.fanins)
+        stream.write(f".names {' '.join(g.fanins)} {g.name}\n".replace("  ", " "))
+        if g.gtype in _SIMPLE_CUBES:
+            cubes = _SIMPLE_CUBES[g.gtype](n)
+        elif g.gtype in (GateType.XOR, GateType.XNOR):
+            parity = 1 if g.gtype is GateType.XOR else 0
+            cubes = [
+                ("".join("1" if (bits >> i) & 1 else "0" for i in range(n)), "1")
+                for bits in range(1 << n)
+                if bin(bits).count("1") % 2 == parity
+            ]
+        elif g.gtype is GateType.MUX:
+            cubes = [("01-", "1"), ("1-1", "1")]
+        elif g.gtype is GateType.CONST1:
+            cubes = [("", "1")]
+        elif g.gtype is GateType.CONST0:
+            cubes = []
+        else:  # pragma: no cover - enum exhausted
+            raise ParseError(f"cannot serialize gate type {g.gtype!r}")
+        for mask, value in cubes:
+            stream.write(f"{mask} {value}\n".lstrip())
+    stream.write(".end\n")
+
+
+def dumps_blif(network: Network) -> str:
+    """Serialize to a BLIF string."""
+    buf = io.StringIO()
+    write_blif(network, buf)
+    return buf.getvalue()

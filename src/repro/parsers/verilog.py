@@ -1,0 +1,409 @@
+"""Structural Verilog subset reader/writer.
+
+Supports the gate-level structural subset that SIS-era and academic flows
+exchange:
+
+* ``module`` / ``endmodule`` with a port list,
+* ``input``, ``output``, ``wire`` declarations (scalar nets only),
+* primitive gate instantiations — ``and/or/nand/nor/xor/xnor/not/buf``
+  with the Verilog convention ``gate g1 (out, in1, in2, ...)``,
+* hierarchical module instantiations with named (``.port(net)``) or
+  positional connections,
+* ``//`` and ``/* */`` comments.
+
+A file whose modules instantiate only primitives parses to flat
+:class:`Network` objects; a top module instantiating other modules parses
+to a depth-1 :class:`HierDesign` (deeper nesting is rejected with a clear
+message — flatten inner levels first or compose with
+:mod:`repro.core.multilevel`).  Vectors, ``assign``, behavioural blocks
+and parameters are out of scope and rejected explicitly.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from dataclasses import dataclass, field
+from typing import TextIO
+
+from repro.errors import ParseError
+from repro.netlist.gates import GateType
+from repro.netlist.hierarchy import HierDesign, Module
+from repro.netlist.network import Network
+
+_PRIMITIVES = {
+    "and": GateType.AND,
+    "or": GateType.OR,
+    "nand": GateType.NAND,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.NOT,
+    "buf": GateType.BUF,
+}
+
+_UNSUPPORTED = {
+    "assign", "always", "initial", "reg", "parameter", "localparam",
+    "generate", "function", "task", "specify",
+}
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_$]*"
+_IDENT_RE = re.compile(_IDENT)
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
+    text = re.sub(r"//[^\n]*", " ", text)
+    return text
+
+
+@dataclass
+class _RawInstance:
+    kind: str            # primitive keyword or module name
+    name: str
+    positional: list[str] = field(default_factory=list)
+    named: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class _RawModule:
+    name: str
+    ports: list[str]
+    inputs: list[str] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+    wires: list[str] = field(default_factory=list)
+    instances: list[_RawInstance] = field(default_factory=list)
+
+
+def _split_statements(body: str) -> list[str]:
+    return [s.strip() for s in body.split(";") if s.strip()]
+
+
+def _parse_connection_list(text: str, where: str) -> _RawInstance:
+    m = re.match(
+        rf"^({_IDENT})\s+({_IDENT})\s*\((.*)\)$", text.strip(), flags=re.S
+    )
+    if not m:
+        raise ParseError(f"unparsable instantiation {where}: {text[:60]!r}")
+    kind, name, args = m.group(1), m.group(2), m.group(3)
+    inst = _RawInstance(kind=kind, name=name)
+    args = args.strip()
+    if not args:
+        return inst
+    parts = [p.strip() for p in args.split(",")]
+    for part in parts:
+        named = re.match(rf"^\.({_IDENT})\s*\(\s*({_IDENT})?\s*\)$", part)
+        if named:
+            port, net = named.group(1), named.group(2)
+            if net is None:
+                raise ParseError(
+                    f"unconnected port .{port}() on {name!r} is not supported"
+                )
+            if port in inst.named:
+                raise ParseError(f"duplicate connection .{port} on {name!r}")
+            inst.named[port] = net
+            continue
+        if not _IDENT_RE.fullmatch(part):
+            raise ParseError(
+                f"unsupported connection {part!r} on {name!r} "
+                "(scalar nets only)"
+            )
+        inst.positional.append(part)
+    if inst.named and inst.positional:
+        raise ParseError(
+            f"instance {name!r} mixes named and positional connections"
+        )
+    return inst
+
+
+def _parse_module(header: str, body: str) -> _RawModule:
+    m = re.match(
+        rf"^module\s+({_IDENT})\s*(?:\((.*?)\))?\s*$", header.strip(), flags=re.S
+    )
+    if not m:
+        raise ParseError(f"bad module header {header[:60]!r}")
+    name = m.group(1)
+    ports = []
+    if m.group(2):
+        ports = [p.strip() for p in m.group(2).split(",") if p.strip()]
+        for p in ports:
+            if not _IDENT_RE.fullmatch(p):
+                raise ParseError(
+                    f"module {name!r}: unsupported port {p!r} (scalar only)"
+                )
+    raw = _RawModule(name=name, ports=ports)
+    for statement in _split_statements(body):
+        keyword = statement.split(None, 1)[0]
+        if keyword in _UNSUPPORTED:
+            raise ParseError(
+                f"module {name!r}: {keyword!r} is outside the structural "
+                "subset supported by this reader"
+            )
+        if keyword in ("input", "output", "wire"):
+            rest = statement[len(keyword):]
+            if "[" in rest:
+                raise ParseError(
+                    f"module {name!r}: vector declarations are not supported"
+                )
+            names = [n.strip() for n in rest.split(",") if n.strip()]
+            for n in names:
+                if not _IDENT_RE.fullmatch(n):
+                    raise ParseError(
+                        f"module {name!r}: bad identifier {n!r}"
+                    )
+            getattr(raw, {"input": "inputs", "output": "outputs",
+                          "wire": "wires"}[keyword]).extend(names)
+            continue
+        raw.instances.append(
+            _parse_connection_list(statement, f"in module {name!r}")
+        )
+    declared = set(raw.inputs) | set(raw.outputs)
+    for p in raw.ports:
+        if p not in declared:
+            raise ParseError(
+                f"module {name!r}: port {p!r} has no input/output declaration"
+            )
+    return raw
+
+
+def _parse_file(text: str) -> list[_RawModule]:
+    text = _strip_comments(text)
+    modules = []
+    for m in re.finditer(
+        r"\bmodule\b(.*?)\bendmodule\b", text, flags=re.S
+    ):
+        chunk = "module" + m.group(1)
+        header, _, body = chunk.partition(";")
+        modules.append(_parse_module(header, body))
+    if not modules:
+        raise ParseError("no module found")
+    return modules
+
+
+def _build_network(raw: _RawModule, gate_delay: float) -> Network:
+    net = Network(raw.name)
+    for x in raw.inputs:
+        net.add_input(x)
+    pending = list(raw.instances)
+    # primitive outputs define signals; resolve in dependency order
+    defined = set(raw.inputs)
+    progress = True
+    while pending and progress:
+        progress = False
+        remaining = []
+        for inst in pending:
+            if inst.kind not in _PRIMITIVES:
+                raise ParseError(
+                    f"module {raw.name!r}: unknown primitive or nested "
+                    f"module {inst.kind!r} inside a leaf module"
+                )
+            if inst.named:
+                raise ParseError(
+                    f"primitive {inst.name!r}: primitives use positional "
+                    "connections (out, in...)"
+                )
+            if len(inst.positional) < 2:
+                raise ParseError(
+                    f"primitive {inst.name!r} needs an output and inputs"
+                )
+            out, *ins = inst.positional
+            if all(i in defined for i in ins):
+                gtype = _PRIMITIVES[inst.kind]
+                delay = 0.0 if gtype is GateType.BUF else gate_delay
+                net.add_gate(out, gtype, ins, delay)
+                defined.add(out)
+                progress = True
+            else:
+                remaining.append(inst)
+        pending = remaining
+    if pending:
+        missing = sorted(
+            {
+                i
+                for inst in pending
+                for i in inst.positional[1:]
+                if i not in defined
+            }
+        )
+        raise ParseError(
+            f"module {raw.name!r}: undefined signals (or cycle): "
+            f"{missing[:5]!r}"
+        )
+    for o in raw.outputs:
+        if not net.has_signal(o):
+            raise ParseError(
+                f"module {raw.name!r}: output {o!r} is never driven"
+            )
+    net.set_outputs(raw.outputs)
+    return net
+
+
+def read_verilog(
+    stream: TextIO, gate_delay: float = 1.0
+) -> Network | HierDesign:
+    """Parse structural Verilog.
+
+    Returns a :class:`Network` when the file holds a single all-primitive
+    module, or a :class:`HierDesign` when the last module instantiates the
+    earlier ones (depth-1 hierarchy).
+    """
+    raws = _parse_file(stream.read())
+    by_name = {r.name: r for r in raws}
+    if len(raws) != len(by_name):
+        raise ParseError("duplicate module names")
+
+    def is_leaf(raw: _RawModule) -> bool:
+        return all(i.kind in _PRIMITIVES for i in raw.instances)
+
+    top = raws[-1]
+    if len(raws) == 1 and is_leaf(top):
+        return _build_network(top, gate_delay)
+
+    leaves = {r.name: r for r in raws if r.name != top.name}
+    for r in leaves.values():
+        if not is_leaf(r):
+            raise ParseError(
+                f"module {r.name!r} nests module instances; only depth-1 "
+                "hierarchies are supported (flatten inner levels or "
+                "compose with repro.core.multilevel)"
+            )
+    design = HierDesign(top.name)
+    for r in raws[:-1]:
+        design.add_module(Module(r.name, _build_network(r, gate_delay)))
+    for x in top.inputs:
+        design.add_input(x)
+    for inst in top.instances:
+        if inst.kind in _PRIMITIVES:
+            raise ParseError(
+                f"top module {top.name!r} mixes primitives with module "
+                "instances; move glue logic into a leaf module"
+            )
+        if inst.kind not in leaves:
+            raise ParseError(f"unknown module {inst.kind!r}")
+        module = design.modules[inst.kind]
+        if inst.positional:
+            ports = by_name[inst.kind].ports
+            if len(inst.positional) != len(ports):
+                raise ParseError(
+                    f"instance {inst.name!r}: {len(inst.positional)} "
+                    f"connections for {len(ports)} ports"
+                )
+            connections = dict(zip(ports, inst.positional))
+        else:
+            connections = dict(inst.named)
+        design.add_instance(inst.name, inst.kind, connections)
+    design.set_outputs(top.outputs)
+    design.validate()
+    return design
+
+
+def loads_verilog(text: str, gate_delay: float = 1.0) -> Network | HierDesign:
+    """Parse structural Verilog from a string."""
+    return read_verilog(io.StringIO(text), gate_delay)
+
+
+_REVERSE = {v: k for k, v in _PRIMITIVES.items()}
+
+
+def _check_identifier(name: str, what: str) -> None:
+    if not _IDENT_RE.fullmatch(name):
+        raise ParseError(
+            f"{what} {name!r} is not a legal Verilog identifier; "
+            "rename it (e.g. replace '.' with '_') before writing"
+        )
+
+
+def _write_leaf(network: Network, stream: TextIO) -> None:
+    _check_identifier(network.name, "module name")
+    for s in network.signals():
+        _check_identifier(s, "signal")
+    ports = ", ".join((*network.inputs, *network.outputs))
+    stream.write(f"module {network.name} ({ports});\n")
+    if network.inputs:
+        stream.write("  input " + ", ".join(network.inputs) + ";\n")
+    if network.outputs:
+        stream.write("  output " + ", ".join(network.outputs) + ";\n")
+    wires = [
+        s for s in network.gates
+        if s not in network.outputs
+    ]
+    if wires:
+        stream.write("  wire " + ", ".join(wires) + ";\n")
+    idx = 0
+    for s in network.topological_order():
+        if network.is_input(s):
+            continue
+        g = network.gate(s)
+        if g.gtype in _REVERSE:
+            keyword = _REVERSE[g.gtype]
+            # the U$ prefix keeps instance names disjoint from signal
+            # names ('$' never occurs in generator/parser signal prefixes)
+            stream.write(
+                f"  {keyword} U${idx} ({g.name}, {', '.join(g.fanins)});\n"
+            )
+        elif g.gtype is GateType.MUX:
+            # decompose: out = (s & d1) | (~s & d0)
+            sel, d0, d1 = g.fanins
+            stream.write(f"  wire {g.name}$ns, {g.name}$a0, {g.name}$a1;\n")
+            stream.write(f"  not U${idx}n ({g.name}$ns, {sel});\n")
+            stream.write(f"  and U${idx}a0 ({g.name}$a0, {g.name}$ns, {d0});\n")
+            stream.write(f"  and U${idx}a1 ({g.name}$a1, {sel}, {d1});\n")
+            stream.write(
+                f"  or U${idx} ({g.name}, {g.name}$a0, {g.name}$a1);\n"
+            )
+        elif g.gtype in (GateType.CONST0, GateType.CONST1):
+            raise ParseError(
+                "constant gates cannot be expressed in the structural "
+                "subset; replace them before writing Verilog"
+            )
+        idx += 1
+    stream.write("endmodule\n")
+
+
+def write_verilog(circuit: Network | HierDesign, stream: TextIO) -> None:
+    """Serialize a network or depth-1 design as structural Verilog.
+
+    MUX gates are decomposed into NOT/AND/OR (the consensus tightness of
+    the primitive MUX is a property of our delay model, not of the
+    netlist); constants are rejected.
+    """
+    if isinstance(circuit, Network):
+        _write_leaf(circuit, stream)
+        return
+    design = circuit
+    _check_identifier(design.name, "design name")
+    for inst in design.instances.values():
+        _check_identifier(inst.name, "instance name")
+        for net in inst.connections.values():
+            _check_identifier(net, "net")
+    for module in design.modules.values():
+        _write_leaf(module.network, stream)
+        stream.write("\n")
+    ports = ", ".join((*design.inputs, *design.outputs))
+    stream.write(f"module {design.name} ({ports});\n")
+    stream.write("  input " + ", ".join(design.inputs) + ";\n")
+    stream.write("  output " + ", ".join(design.outputs) + ";\n")
+    internal = sorted(
+        {
+            net
+            for inst in design.instances.values()
+            for net in inst.connections.values()
+        }
+        - set(design.inputs)
+        - set(design.outputs)
+    )
+    if internal:
+        stream.write("  wire " + ", ".join(internal) + ";\n")
+    for inst in design.instances.values():
+        conns = ", ".join(
+            f".{port}({net})" for port, net in inst.connections.items()
+        )
+        stream.write(f"  {inst.module_name} {inst.name} ({conns});\n")
+    stream.write("endmodule\n")
+
+
+def dumps_verilog(circuit: Network | HierDesign) -> str:
+    """Serialize to a Verilog string."""
+    buf = io.StringIO()
+    write_verilog(circuit, buf)
+    return buf.getvalue()

@@ -1,0 +1,35 @@
+"""SAT substrate: CNF, CDCL solver, Tseitin encoding, DIMACS I/O."""
+
+from repro.sat.cnf import CNF, Clause, Literal
+from repro.sat.dimacs import dumps_dimacs, loads_dimacs, read_dimacs, write_dimacs
+from repro.sat.solver import Solver, SolveResult, luby, solve_cnf
+from repro.sat.tseitin import (
+    NetworkEncoder,
+    encode_and,
+    encode_equal,
+    encode_mux,
+    encode_or,
+    encode_xor2,
+    miter_cnf,
+)
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "Literal",
+    "NetworkEncoder",
+    "SolveResult",
+    "Solver",
+    "dumps_dimacs",
+    "encode_and",
+    "encode_equal",
+    "encode_mux",
+    "encode_or",
+    "encode_xor2",
+    "loads_dimacs",
+    "luby",
+    "miter_cnf",
+    "read_dimacs",
+    "solve_cnf",
+    "write_dimacs",
+]

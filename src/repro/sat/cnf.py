@@ -1,0 +1,81 @@
+"""CNF formulas over integer literals (DIMACS convention).
+
+Variables are positive integers; a literal is ``+v`` or ``-v``.  :class:`CNF`
+is a thin container with helpers for fresh-variable allocation so encoders
+(Tseitin, stability DAGs) can share one variable space.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import SolverError
+
+Literal = int
+Clause = tuple[Literal, ...]
+
+
+class CNF:
+    """A conjunction of clauses plus a fresh-variable counter."""
+
+    def __init__(self, num_vars: int = 0):
+        if num_vars < 0:
+            raise SolverError("num_vars must be non-negative")
+        self.num_vars = num_vars
+        self.clauses: list[Clause] = []
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> list[int]:
+        """Allocate ``count`` fresh variables."""
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, literals: Iterable[Literal]) -> None:
+        """Add one clause; literals must reference allocated variables."""
+        clause = tuple(literals)
+        for lit in clause:
+            if lit == 0:
+                raise SolverError("literal 0 is not allowed")
+            if abs(lit) > self.num_vars:
+                raise SolverError(
+                    f"literal {lit} references unallocated variable"
+                )
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[Literal]]) -> None:
+        """Add several clauses."""
+        for c in clauses:
+            self.add_clause(c)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        """Evaluate under a complete assignment (var → bool)."""
+        for clause in self.clauses:
+            satisfied = False
+            for lit in clause:
+                var = abs(lit)
+                if var not in assignment:
+                    raise SolverError(f"variable {var} unassigned")
+                if assignment[var] == (lit > 0):
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+        return True
+
+    def copy(self) -> "CNF":
+        """Independent copy of this formula."""
+        out = CNF(self.num_vars)
+        out.clauses = list(self.clauses)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CNF(vars={self.num_vars}, clauses={len(self.clauses)})"

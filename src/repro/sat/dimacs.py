@@ -1,0 +1,73 @@
+"""DIMACS CNF reader/writer."""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO
+
+from repro.errors import ParseError
+from repro.sat.cnf import CNF
+
+
+def write_dimacs(cnf: CNF, stream: TextIO) -> None:
+    """Serialize ``cnf`` in DIMACS format."""
+    stream.write(f"p cnf {cnf.num_vars} {len(cnf.clauses)}\n")
+    for clause in cnf:
+        stream.write(" ".join(str(l) for l in clause))
+        stream.write(" 0\n")
+
+
+def dumps_dimacs(cnf: CNF) -> str:
+    """Serialize ``cnf`` to a DIMACS string."""
+    buf = io.StringIO()
+    write_dimacs(cnf, buf)
+    return buf.getvalue()
+
+
+def read_dimacs(stream: TextIO) -> CNF:
+    """Parse a DIMACS CNF file."""
+    cnf: CNF | None = None
+    declared_clauses = 0
+    pending: list[int] = []
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith(("c", "%")):
+            continue
+        if line.startswith("p"):
+            if cnf is not None:
+                raise ParseError("duplicate problem line", lineno)
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ParseError(f"bad problem line {line!r}", lineno)
+            try:
+                nvars = int(parts[2])
+                declared_clauses = int(parts[3])
+            except ValueError:
+                raise ParseError(f"bad problem line {line!r}", lineno) from None
+            cnf = CNF(nvars)
+            continue
+        if cnf is None:
+            raise ParseError("clause before problem line", lineno)
+        try:
+            tokens = [int(t) for t in line.split()]
+        except ValueError:
+            raise ParseError(f"bad clause line {line!r}", lineno) from None
+        for tok in tokens:
+            if tok == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                pending.append(tok)
+    if cnf is None:
+        raise ParseError("missing problem line")
+    if pending:
+        cnf.add_clause(pending)
+    if declared_clauses and len(cnf.clauses) != declared_clauses:
+        # Tolerate, as many generators emit inexact headers; no raise.
+        pass
+    return cnf
+
+
+def loads_dimacs(text: str) -> CNF:
+    """Parse DIMACS from a string."""
+    return read_dimacs(io.StringIO(text))

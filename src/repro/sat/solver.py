@@ -1,0 +1,453 @@
+"""A CDCL SAT solver.
+
+Implements the standard modern architecture: two-watched-literal unit
+propagation, first-UIP conflict analysis with clause learning and
+non-chronological backjumping, exponential VSIDS branching with phase
+saving, and Luby-sequence restarts.  Assumptions are supported (replayed as
+the first decisions; a falsified assumption reports UNSAT).
+
+The solver is self-contained because the offline environment ships no SAT
+package.  It is sized for the workloads of this library: tautology checks
+of XBD0 stability functions over circuits of a few thousand gates.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from typing import Iterable, Sequence
+
+from repro.errors import SolverError
+from repro.sat.cnf import CNF
+
+
+class SolveResult(enum.Enum):
+    """Outcome of a :meth:`Solver.solve` call."""
+
+    SAT = "SAT"
+    UNSAT = "UNSAT"
+
+
+def luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence."""
+    if i <= 0:
+        raise SolverError("luby sequence is 1-based")
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1
+
+
+_UNASSIGNED = -1
+
+
+class Solver:
+    """CDCL solver over integer (DIMACS-style) literals.
+
+    Typical use::
+
+        solver = Solver(cnf)
+        if solver.solve() is SolveResult.SAT:
+            model = solver.model()   # dict var -> bool
+    """
+
+    def __init__(self, cnf: CNF | None = None, reduce_base: int = 4000):
+        self._nvars = 0
+        #: Learned-clause count that triggers the first DB reduction.
+        self._reduce_base = reduce_base
+        # Clause database: lists of internal literals, watches at slots 0/1.
+        self._clauses: list[list[int]] = []
+        # Internal literal -> clause indices; var v maps to lits 2v / 2v+1,
+        # so slots 0 and 1 are permanently unused.
+        self._watches: list[list[int]] = [[], []]
+        self._assign: list[int] = [0]  # var -> 0/1/_UNASSIGNED (index 0 unused)
+        self._level: list[int] = [0]
+        self._reason: list[int] = [-1]
+        self._phase: list[int] = [0]
+        self._activity: list[float] = [0.0]
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._empty_clause = False
+        # Lazy max-activity heap of (-activity, var); entries are stale
+        # once the variable is assigned or its activity moved on.
+        self._heap: list[tuple[float, int]] = []
+        # Learned-clause bookkeeping for DB reduction.
+        self._learned_idxs: list[int] = []
+        self._reductions = 0
+        self.stats = {
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learned": 0,
+            "deleted": 0,
+        }
+        if cnf is not None:
+            self.add_cnf(cnf)
+
+    # ----------------------------------------------------------- construction
+    def _ensure_vars(self, nvars: int) -> None:
+        while self._nvars < nvars:
+            self._nvars += 1
+            self._assign.append(_UNASSIGNED)
+            self._level.append(0)
+            self._reason.append(-1)
+            self._phase.append(0)
+            self._activity.append(0.0)
+            heapq.heappush(self._heap, (0.0, self._nvars))
+            self._watches.append([])  # positive literal of the new var
+            self._watches.append([])  # negative literal
+
+    def add_cnf(self, cnf: CNF) -> None:
+        """Load every clause of ``cnf`` (may be called repeatedly)."""
+        self._ensure_vars(cnf.num_vars)
+        for clause in cnf:
+            self.add_clause(clause)
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause of DIMACS literals (only at decision level 0)."""
+        if self._trail_lim:
+            raise SolverError("cannot add clauses mid-search")
+        lits: list[int] = []
+        seen: set[int] = set()
+        for ext in literals:
+            if ext == 0:
+                raise SolverError("literal 0 is not allowed")
+            self._ensure_vars(abs(ext))
+            lit = self._to_internal(ext)
+            if lit in seen:
+                continue
+            if lit ^ 1 in seen:
+                return  # tautological clause
+            seen.add(lit)
+            lits.append(lit)
+        # Simplify against the level-0 assignment.
+        if any(self._value(l) == 1 for l in lits):
+            return
+        lits = [l for l in lits if self._value(l) != 0]
+        if not lits:
+            self._empty_clause = True
+            return
+        if len(lits) == 1:
+            if not self._enqueue(lits[0], -1) or self._propagate() != -1:
+                self._empty_clause = True
+            return
+        self._attach(lits)
+
+    def _attach(self, lits: list[int]) -> int:
+        idx = len(self._clauses)
+        self._clauses.append(lits)
+        self._watches[lits[0]].append(idx)
+        self._watches[lits[1]].append(idx)
+        return idx
+
+    # -------------------------------------------------------------- encoding
+    @staticmethod
+    def _to_internal(ext: int) -> int:
+        return (abs(ext) << 1) | (1 if ext < 0 else 0)
+
+    @staticmethod
+    def _to_external(lit: int) -> int:
+        var = lit >> 1
+        return -var if lit & 1 else var
+
+    def _value(self, lit: int) -> int:
+        """1 true, 0 false, _UNASSIGNED."""
+        v = self._assign[lit >> 1]
+        if v == _UNASSIGNED:
+            return _UNASSIGNED
+        return v ^ (lit & 1)
+
+    def _enqueue(self, lit: int, reason: int) -> bool:
+        val = self._value(lit)
+        if val == 1:
+            return True
+        if val == 0:
+            return False
+        var = lit >> 1
+        self._assign[var] = 1 ^ (lit & 1)
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    # ------------------------------------------------------------ propagation
+    def _propagate(self) -> int:
+        """Unit propagation; returns a conflicting clause index or -1."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats["propagations"] += 1
+            falsified = lit ^ 1
+            watchers = self._watches[falsified]
+            i = 0
+            j = 0
+            n = len(watchers)
+            conflict = -1
+            while i < n:
+                cidx = watchers[i]
+                i += 1
+                clause = self._clauses[cidx]
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    watchers[j] = cidx
+                    j += 1
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches[clause[1]].append(cidx)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                watchers[j] = cidx
+                j += 1
+                if not self._enqueue(first, cidx):
+                    while i < n:
+                        watchers[j] = watchers[i]
+                        j += 1
+                        i += 1
+                    conflict = cidx
+                    break
+            del watchers[j:]
+            if conflict != -1:
+                self._qhead = len(self._trail)
+                return conflict
+        return -1
+
+    # --------------------------------------------------------------- analysis
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._nvars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+            self._heap = [
+                (-self._activity[v], v)
+                for v in range(1, self._nvars + 1)
+                if self._assign[v] == _UNASSIGNED
+            ]
+            heapq.heapify(self._heap)
+        heapq.heappush(self._heap, (-self._activity[var], var))
+
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
+        """First-UIP learning.  Returns (learned clause, backjump level)."""
+        learnt: list[int] = [0]  # slot 0 = asserting literal, filled below
+        seen = [False] * (self._nvars + 1)
+        counter = 0
+        lit = -1
+        index = len(self._trail) - 1
+        clause = self._clauses[conflict]
+        current_level = len(self._trail_lim)
+        while True:
+            start = 0 if lit == -1 else 1
+            for q in clause[start:]:
+                var = q >> 1
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[self._trail[index] >> 1]:
+                index -= 1
+            lit = self._trail[index]
+            index -= 1
+            var = lit >> 1
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[var]
+            clause = self._clauses[reason]
+            if clause[0] != lit:
+                pos = clause.index(lit)
+                clause[0], clause[pos] = clause[pos], clause[0]
+        learnt[0] = lit ^ 1
+        if len(learnt) == 1:
+            back_level = 0
+        else:
+            max_i = 1
+            for i in range(2, len(learnt)):
+                if self._level[learnt[i] >> 1] > self._level[learnt[max_i] >> 1]:
+                    max_i = i
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            back_level = self._level[learnt[1] >> 1]
+        return learnt, back_level
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            var = lit >> 1
+            self._assign[var] = _UNASSIGNED
+            self._reason[var] = -1
+            self._phase[var] = 1 ^ (lit & 1)
+            heapq.heappush(self._heap, (-self._activity[var], var))
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # --------------------------------------------------------------- decision
+    def _decide(self) -> int:
+        """Pick an unassigned variable by VSIDS activity; 0 if none left."""
+        heap = self._heap
+        assign = self._assign
+        activity = self._activity
+        while heap:
+            negact, var = heapq.heappop(heap)
+            if assign[var] != _UNASSIGNED:
+                continue
+            if -negact != activity[var]:
+                continue  # stale entry; a fresher one exists
+            return (var << 1) | (1 if self._phase[var] == 0 else 0)
+        # Heap exhausted: verify nothing was missed (cheap fallback scan).
+        for var in range(1, self._nvars + 1):
+            if assign[var] == _UNASSIGNED:
+                return (var << 1) | (1 if self._phase[var] == 0 else 0)
+        return 0
+
+    # ------------------------------------------------------------------ solve
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: int | None = None,
+    ) -> SolveResult:
+        """Decide satisfiability under ``assumptions`` (DIMACS literals).
+
+        Raises :class:`SolverError` if ``conflict_limit`` is exhausted.
+        """
+        if self._empty_clause:
+            return SolveResult.UNSAT
+        self._backtrack(0)
+        if self._propagate() != -1:
+            self._empty_clause = True
+            return SolveResult.UNSAT
+        for ext in assumptions:
+            self._ensure_vars(abs(ext))
+        assume = [self._to_internal(a) for a in assumptions]
+
+        restart_idx = 1
+        restart_budget = 32 * luby(restart_idx)
+        conflicts_total = 0
+        while True:
+            conflict = self._propagate()
+            if conflict != -1:
+                self.stats["conflicts"] += 1
+                conflicts_total += 1
+                restart_budget -= 1
+                if len(self._trail_lim) == 0:
+                    self._empty_clause = True
+                    return SolveResult.UNSAT
+                learnt, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], -1):
+                        self._empty_clause = True
+                        return SolveResult.UNSAT
+                else:
+                    idx = self._attach(learnt)
+                    self._learned_idxs.append(idx)
+                    self.stats["learned"] += 1
+                    if not self._enqueue(learnt[0], idx):  # pragma: no cover
+                        raise SolverError("asserting literal not enqueueable")
+                self._var_inc /= self._var_decay
+                if conflict_limit is not None and conflicts_total >= conflict_limit:
+                    raise SolverError("conflict limit exhausted")
+                continue
+            if restart_budget <= 0:
+                self.stats["restarts"] += 1
+                restart_idx += 1
+                restart_budget = 32 * luby(restart_idx)
+                self._backtrack(0)
+                if len(self._learned_idxs) > (
+                    self._reduce_base + 1000 * self._reductions
+                ):
+                    self._reduce_db()
+                continue
+            # Replay assumptions as the first decisions.
+            pending = 0
+            failed = False
+            for a in assume:
+                val = self._value(a)
+                if val == 0:
+                    failed = True
+                    break
+                if val == _UNASSIGNED:
+                    pending = a
+                    break
+            if failed:
+                self._backtrack(0)
+                return SolveResult.UNSAT
+            if pending:
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(pending, -1)
+                continue
+            lit = self._decide()
+            if lit == 0:
+                return SolveResult.SAT
+            self.stats["decisions"] += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, -1)
+
+    def _reduce_db(self) -> None:
+        """Drop the older half of the long learned clauses.
+
+        Called only at decision level 0; clauses serving as reasons for
+        level-0 assignments and binary clauses are kept.
+        """
+        reasons = {
+            self._reason[lit >> 1]
+            for lit in self._trail
+            if self._reason[lit >> 1] != -1
+        }
+        keep_from = len(self._learned_idxs) // 2
+        survivors: list[int] = []
+        for pos, idx in enumerate(self._learned_idxs):
+            clause = self._clauses[idx]
+            if (
+                pos >= keep_from
+                or len(clause) <= 2
+                or idx in reasons
+                or not clause
+            ):
+                if clause:
+                    survivors.append(idx)
+                continue
+            for lit in clause[:2]:
+                try:
+                    self._watches[lit].remove(idx)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+            self._clauses[idx] = []
+            self.stats["deleted"] += 1
+        self._learned_idxs = survivors
+        self._reductions += 1
+
+    # ------------------------------------------------------------------ model
+    def model(self) -> dict[int, bool]:
+        """Assignment after a SAT answer (var → bool; unassigned vars False)."""
+        return {
+            var: self._assign[var] == 1 for var in range(1, self._nvars + 1)
+        }
+
+
+def solve_cnf(
+    cnf: CNF, assumptions: Sequence[int] = ()
+) -> tuple[SolveResult, dict[int, bool] | None]:
+    """One-shot convenience wrapper: returns ``(result, model_or_None)``."""
+    solver = Solver(cnf)
+    result = solver.solve(assumptions)
+    if result is SolveResult.SAT:
+        return result, solver.model()
+    return result, None

@@ -1,0 +1,152 @@
+"""Tseitin encoding of networks into CNF.
+
+Provides :class:`NetworkEncoder` which maps the signals of a
+:class:`~repro.netlist.network.Network` to CNF variables, producing a
+satisfiability-equivalent formula.  Used both for circuit-level queries
+(equivalence checks in the test-suite) and, via the same clause templates,
+by the XBD0 stability engine which encodes its AND/OR expression DAGs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import SolverError
+from repro.netlist.gates import GateType
+from repro.netlist.network import Network
+from repro.sat.cnf import CNF
+
+
+def encode_and(cnf: CNF, out: int, inputs: Sequence[int]) -> None:
+    """Clauses for ``out <-> AND(inputs)`` (literals may be negative)."""
+    for lit in inputs:
+        cnf.add_clause((-out, lit))
+    cnf.add_clause((out, *(-lit for lit in inputs)))
+
+
+def encode_or(cnf: CNF, out: int, inputs: Sequence[int]) -> None:
+    """Clauses for ``out <-> OR(inputs)``."""
+    for lit in inputs:
+        cnf.add_clause((out, -lit))
+    cnf.add_clause((-out, *inputs))
+
+
+def encode_xor2(cnf: CNF, out: int, a: int, b: int) -> None:
+    """Clauses for ``out <-> a XOR b``."""
+    cnf.add_clause((-out, a, b))
+    cnf.add_clause((-out, -a, -b))
+    cnf.add_clause((out, a, -b))
+    cnf.add_clause((out, -a, b))
+
+
+def encode_mux(cnf: CNF, out: int, select: int, d0: int, d1: int) -> None:
+    """Clauses for ``out <-> (d1 if select else d0)``."""
+    cnf.add_clause((-out, select, d0))
+    cnf.add_clause((-out, -select, d1))
+    cnf.add_clause((out, select, -d0))
+    cnf.add_clause((out, -select, -d1))
+
+
+def encode_equal(cnf: CNF, a: int, b: int) -> None:
+    """Clauses for ``a <-> b``."""
+    cnf.add_clause((-a, b))
+    cnf.add_clause((a, -b))
+
+
+class NetworkEncoder:
+    """Tseitin-encode a network into a shared :class:`CNF`.
+
+    Parameters
+    ----------
+    cnf:
+        Formula to append to (a fresh one is created if omitted).
+    """
+
+    def __init__(self, cnf: CNF | None = None):
+        self.cnf = cnf if cnf is not None else CNF()
+        self._vars: dict[tuple[int, str], int] = {}
+
+    def var(self, network: Network, signal: str) -> int:
+        """CNF variable of ``signal`` within ``network`` (allocated lazily).
+
+        Network identity is by object, so encoding two networks into one
+        encoder keeps their variable spaces disjoint; miters tie the input
+        variables together with explicit equality clauses.
+        """
+        key = (id(network), signal)
+        if key not in self._vars:
+            self._vars[key] = self.cnf.new_var()
+        return self._vars[key]
+
+    def encode(self, network: Network) -> dict[str, int]:
+        """Encode every gate of ``network``; returns signal → variable."""
+        mapping: dict[str, int] = {}
+        for s in network.topological_order():
+            mapping[s] = self.var(network, s)
+        for s in network.topological_order():
+            if network.is_input(s):
+                continue
+            g = network.gate(s)
+            out = mapping[s]
+            ins = [mapping[f] for f in g.fanins]
+            self._encode_gate(g.gtype, out, ins)
+        return mapping
+
+    def _encode_gate(self, gtype: GateType, out: int, ins: list[int]) -> None:
+        cnf = self.cnf
+        if gtype is GateType.AND:
+            encode_and(cnf, out, ins)
+        elif gtype is GateType.NAND:
+            encode_and(cnf, -out, ins)
+        elif gtype is GateType.OR:
+            encode_or(cnf, out, ins)
+        elif gtype is GateType.NOR:
+            encode_or(cnf, -out, ins)
+        elif gtype is GateType.NOT:
+            encode_equal(cnf, out, -ins[0])
+        elif gtype is GateType.BUF:
+            encode_equal(cnf, out, ins[0])
+        elif gtype in (GateType.XOR, GateType.XNOR):
+            acc = ins[0]
+            for nxt in ins[1:]:
+                fresh = cnf.new_var()
+                encode_xor2(cnf, fresh, acc, nxt)
+                acc = fresh
+            encode_equal(
+                cnf, out, acc if gtype is GateType.XOR else -acc
+            )
+        elif gtype is GateType.MUX:
+            encode_mux(cnf, out, ins[0], ins[1], ins[2])
+        elif gtype is GateType.CONST0:
+            cnf.add_clause((-out,))
+        elif gtype is GateType.CONST1:
+            cnf.add_clause((out,))
+        else:  # pragma: no cover - enum exhausted
+            raise SolverError(f"cannot encode gate type {gtype!r}")
+
+
+def miter_cnf(left: Network, right: Network) -> tuple[CNF, int]:
+    """CNF satisfiable iff the two networks differ on some input vector.
+
+    Both networks must have identical input/output name sets.  Returns
+    ``(cnf, diff_var)`` with ``diff_var`` asserted true.
+    """
+    if set(left.inputs) != set(right.inputs):
+        raise SolverError("miter: input name sets differ")
+    if set(left.outputs) != set(right.outputs):
+        raise SolverError("miter: output name sets differ")
+    enc = NetworkEncoder()
+    lmap = enc.encode(left)
+    rmap = enc.encode(right)
+    cnf = enc.cnf
+    for x in left.inputs:
+        encode_equal(cnf, lmap[x], rmap[x])
+    diffs = []
+    for o in set(left.outputs):
+        d = cnf.new_var()
+        encode_xor2(cnf, d, lmap[o], rmap[o])
+        diffs.append(d)
+    diff = cnf.new_var()
+    encode_or(cnf, diff, diffs)
+    cnf.add_clause((diff,))
+    return cnf, diff

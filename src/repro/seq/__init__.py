@@ -1,0 +1,6 @@
+"""Sequential-circuit extension (edge-triggered flops; paper footnote 3)."""
+
+from repro.seq.circuit import Flop, SequentialCircuit
+from repro.seq.generators import accumulator, shift_register
+
+__all__ = ["Flop", "SequentialCircuit", "accumulator", "shift_register"]

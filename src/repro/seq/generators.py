@@ -1,0 +1,72 @@
+"""Sequential benchmark circuits."""
+
+from __future__ import annotations
+
+from repro.circuits.adders import carry_skip_block, cascade_adder
+from repro.errors import NetlistError
+from repro.netlist.network import Network
+from repro.seq.circuit import Flop, SequentialCircuit
+
+
+def accumulator(bits: int = 8, block_bits: int = 2) -> SequentialCircuit:
+    """Registered accumulator: ``acc <= acc + in`` over a carry-skip adder.
+
+    The adder is a cascade of carry-skip blocks, so the register-to-
+    register paths ride the skip chain: the functional minimum clock
+    period genuinely beats the topological one (e.g. 16 vs 26 for 8 bits
+    of 2-bit blocks) — the sequential payoff of false-path analysis.
+    """
+    if bits < 1:
+        raise NetlistError("accumulator needs at least 1 bit")
+    if bits % block_bits:
+        raise NetlistError("bits must be a multiple of block_bits")
+    if bits == block_bits:
+        adder = carry_skip_block(bits)
+        carry_out = "c_out"
+    else:
+        adder = cascade_adder(bits, block_bits).flatten()
+        carry_out = f"c{bits}"
+    core = Network(f"acc{bits}_core")
+    core.add_input("c_in")
+    for i in range(bits):
+        core.add_input(f"in{i}")     # external addend
+        core.add_input(f"acc{i}")    # register outputs (Q pins)
+    # splice the adder body in, mapping a_i -> in_i, b_i -> acc_i
+    rename = {"c_in": "c_in"}
+    for i in range(bits):
+        rename[f"a{i}"] = f"in{i}"
+        rename[f"b{i}"] = f"acc{i}"
+    for sig in adder.topological_order():
+        if adder.is_input(sig):
+            continue
+        g = adder.gate(sig)
+        rename[sig] = sig
+        core.add_gate(
+            sig, g.gtype, [rename[f] for f in g.fanins], g.delay
+        )
+    core.set_outputs([f"s{i}" for i in range(bits)] + [carry_out])
+    flops = [
+        Flop(f"ff{i}", d=f"s{i}", q=f"acc{i}") for i in range(bits)
+    ]
+    return SequentialCircuit(core, flops, name=f"acc{bits}")
+
+
+def shift_register(stages: int, taps: int = 2) -> SequentialCircuit:
+    """Shift register with an XOR feedback tap (LFSR-style)."""
+    if stages < 2:
+        raise NetlistError("shift_register needs at least 2 stages")
+    if not 1 <= taps <= stages:
+        raise NetlistError("taps out of range")
+    core = Network(f"lfsr{stages}_core")
+    core.add_input("scan_in")
+    for i in range(stages):
+        core.add_input(f"q{i}")
+    feedback = core.add_gate(
+        "fb", "XOR", [f"q{stages - 1 - k}" for k in range(taps)], 1.0
+    )
+    core.add_gate("d0", "XOR", ["scan_in", feedback], 1.0)
+    for i in range(1, stages):
+        core.add_gate(f"d{i}", "BUF", [f"q{i - 1}"], 0.0)
+    core.set_outputs([f"d{i}" for i in range(stages)] + ["fb"])
+    flops = [Flop(f"ff{i}", d=f"d{i}", q=f"q{i}") for i in range(stages)]
+    return SequentialCircuit(core, flops, name=f"lfsr{stages}")

@@ -1,0 +1,39 @@
+"""Simulation substrate: logic, timed (XBD0 oracle), waveform, compiled."""
+
+from repro.sim.compiled import compile_network, fast_equivalence_sample
+from repro.sim.logic import Ternary, simulate, ternary_gate, ternary_simulate
+from repro.sim.timed import (
+    brute_force_delay,
+    brute_force_stable_at,
+    stable_times,
+    vector_output_delay,
+)
+from repro.sim.vectors import all_vectors, corner_vectors, random_vectors
+from repro.sim.waveform import (
+    Waveform,
+    last_output_event,
+    last_transition_bound,
+    simulate_transition,
+    transition_pairs,
+)
+
+__all__ = [
+    "Ternary",
+    "Waveform",
+    "all_vectors",
+    "compile_network",
+    "brute_force_delay",
+    "brute_force_stable_at",
+    "corner_vectors",
+    "fast_equivalence_sample",
+    "last_output_event",
+    "last_transition_bound",
+    "random_vectors",
+    "simulate",
+    "simulate_transition",
+    "stable_times",
+    "ternary_gate",
+    "ternary_simulate",
+    "transition_pairs",
+    "vector_output_delay",
+]

@@ -1,0 +1,98 @@
+"""Compiled simulation: turn a network into a Python function.
+
+For workloads that evaluate the same circuit on many vectors (fault
+simulation, random functional verification, the equivalence spot-checks in
+the test-suite), interpreting the gate list per vector is the bottleneck.
+:func:`compile_network` emits one straight-line Python function evaluating
+the whole circuit and ``exec``s it once; subsequent calls run at plain
+local-variable speed (typically 10-30x the interpreted evaluator).
+
+The generated source is available on the returned callable (``.source``)
+for inspection; signal names are mangled to safe local identifiers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateType
+from repro.netlist.network import Network
+
+#: Type of the compiled evaluator: vector -> output values.
+CompiledSimulator = Callable[[Mapping[str, bool]], dict[str, bool]]
+
+
+def _mangle(names: list[str]) -> dict[str, str]:
+    table: dict[str, str] = {}
+    for i, name in enumerate(names):
+        table[name] = f"v{i}"
+    return table
+
+
+def compile_network(network: Network) -> CompiledSimulator:
+    """Compile the network into a fast evaluator function."""
+    order = network.topological_order()
+    mangled = _mangle(order)
+    lines = ["def _sim(vector):"]
+    for x in network.inputs:
+        lines.append(
+            f"    {mangled[x]} = 1 if vector[{x!r}] else 0"
+        )
+    for s in order:
+        if network.is_input(s):
+            continue
+        g = network.gate(s)
+        ins = [mangled[f] for f in g.fanins]
+        target = mangled[s]
+        t = g.gtype
+        if t is GateType.AND:
+            expr = " & ".join(ins)
+        elif t is GateType.OR:
+            expr = " | ".join(ins)
+        elif t is GateType.NAND:
+            expr = f"1 ^ ({' & '.join(ins)})"
+        elif t is GateType.NOR:
+            expr = f"1 ^ ({' | '.join(ins)})"
+        elif t is GateType.XOR:
+            expr = " ^ ".join(ins)
+        elif t is GateType.XNOR:
+            expr = f"1 ^ ({' ^ '.join(ins)})"
+        elif t is GateType.NOT:
+            expr = f"1 ^ {ins[0]}"
+        elif t is GateType.BUF:
+            expr = ins[0]
+        elif t is GateType.MUX:
+            expr = f"{ins[2]} if {ins[0]} else {ins[1]}"
+        elif t is GateType.CONST0:
+            expr = "0"
+        elif t is GateType.CONST1:
+            expr = "1"
+        else:  # pragma: no cover - enum exhausted
+            raise NetlistError(f"cannot compile gate type {t!r}")
+        lines.append(f"    {target} = {expr}")
+    returns = ", ".join(
+        f"{o!r}: bool({mangled[o]})" for o in network.outputs
+    )
+    lines.append(f"    return {{{returns}}}")
+    source = "\n".join(lines)
+    namespace: dict = {}
+    exec(source, namespace)  # noqa: S102 - self-generated trusted code
+    simulator: CompiledSimulator = namespace["_sim"]
+    simulator.source = source  # type: ignore[attr-defined]
+    return simulator
+
+
+def fast_equivalence_sample(
+    left: Network,
+    right: Network,
+    vectors: list[Mapping[str, bool]],
+) -> bool:
+    """Compiled-simulation spot check that two networks agree."""
+    if set(left.inputs) != set(right.inputs):
+        return False
+    if set(left.outputs) != set(right.outputs):
+        return False
+    sim_left = compile_network(left)
+    sim_right = compile_network(right)
+    return all(sim_left(v) == sim_right(v) for v in vectors)

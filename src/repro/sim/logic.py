@@ -1,0 +1,87 @@
+"""Two- and three-valued logic simulation."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateType, evaluate
+from repro.netlist.network import Network
+
+#: Ternary values: False, True, or None for unknown (X).
+Ternary = bool | None
+
+
+def _ternary_and(values: list[Ternary]) -> Ternary:
+    if any(v is False for v in values):
+        return False
+    if all(v is True for v in values):
+        return True
+    return None
+
+
+def _ternary_or(values: list[Ternary]) -> Ternary:
+    if any(v is True for v in values):
+        return True
+    if all(v is False for v in values):
+        return False
+    return None
+
+
+def _ternary_not(v: Ternary) -> Ternary:
+    return None if v is None else not v
+
+
+def ternary_gate(gtype: GateType, values: list[Ternary]) -> Ternary:
+    """Evaluate one gate in 3-valued (0/1/X) logic."""
+    if gtype is GateType.AND:
+        return _ternary_and(values)
+    if gtype is GateType.NAND:
+        return _ternary_not(_ternary_and(values))
+    if gtype is GateType.OR:
+        return _ternary_or(values)
+    if gtype is GateType.NOR:
+        return _ternary_not(_ternary_or(values))
+    if gtype is GateType.NOT:
+        return _ternary_not(values[0])
+    if gtype is GateType.BUF:
+        return values[0]
+    if gtype in (GateType.XOR, GateType.XNOR):
+        if any(v is None for v in values):
+            return None
+        return evaluate(gtype, tuple(values))  # type: ignore[arg-type]
+    if gtype is GateType.MUX:
+        select, d0, d1 = values
+        if select is True:
+            return d1
+        if select is False:
+            return d0
+        # select unknown: output known only if both data inputs agree
+        if d0 is not None and d0 == d1:
+            return d0
+        return None
+    if gtype is GateType.CONST0:
+        return False
+    if gtype is GateType.CONST1:
+        return True
+    raise NetlistError(f"unknown gate type {gtype!r}")
+
+
+def ternary_simulate(
+    network: Network, assignment: Mapping[str, Ternary]
+) -> dict[str, Ternary]:
+    """Simulate with 0/1/X input values; unlisted PIs default to X."""
+    values: dict[str, Ternary] = {}
+    for x in network.inputs:
+        values[x] = assignment.get(x)
+    for s in network.topological_order():
+        if s in values:
+            continue
+        g = network.gate(s)
+        values[s] = ternary_gate(g.gtype, [values[f] for f in g.fanins])
+    return values
+
+
+def simulate(network: Network, assignment: Mapping[str, bool]) -> dict[str, bool]:
+    """Two-valued full-network simulation (alias of ``Network.evaluate``)."""
+    return network.evaluate(assignment)

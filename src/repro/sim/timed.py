@@ -1,0 +1,105 @@
+"""Per-vector XBD0 timed simulation (the brute-force oracle).
+
+Under the XBD0 model every gate delay floats in ``[0, d]`` and signals may
+behave arbitrarily before their stable time.  For a *fixed* input vector the
+earliest time an output is guaranteed stable is given by the prime-implicant
+rule::
+
+    st(x_i)  = a_i                                   (primary input)
+    st(g)    = d_g + min over primes P of f_g satisfied by the vector
+                       of  max_{(i,v) in P} st(fanin_i)
+
+i.e. the output of ``g`` is pinned to its final value as soon as the
+*cheapest* satisfied prime has all of its literals stable (plus the gate
+delay); nothing else about the inputs can be relied on.  This is the
+per-vector specialization of the stability-function calculus in
+:mod:`repro.core.xbd0` and serves as an exponential-cost oracle for tests
+and for exact required-time analysis on small circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.netlist.gates import satisfied_primes
+from repro.netlist.network import Network
+from repro.sim.vectors import all_vectors
+
+NEG_INF = float("-inf")
+
+
+def stable_times(
+    network: Network,
+    vector: Mapping[str, bool],
+    arrival: Mapping[str, float] | None = None,
+) -> dict[str, float]:
+    """Stable time of every signal for one input vector.
+
+    ``arrival`` maps PI name → arrival time (default 0.0 for all; a PI may
+    be ``-inf`` meaning "stable from the beginning of time").
+    """
+    arrival = arrival or {}
+    values = network.evaluate(vector)
+    st: dict[str, float] = {}
+    for x in network.inputs:
+        st[x] = float(arrival.get(x, 0.0))
+    for s in network.topological_order():
+        if s in st:
+            continue
+        g = network.gate(s)
+        fanin_values = tuple(values[f] for f in g.fanins)
+        best = float("inf")
+        for prime in satisfied_primes(g.gtype, len(g.fanins), fanin_values):
+            when = NEG_INF
+            for idx, _val in prime:
+                when = max(when, st[g.fanins[idx]])
+            best = min(best, when)
+        if best == NEG_INF:
+            st[s] = NEG_INF  # constant gates: stable from the start
+        else:
+            st[s] = best + g.delay
+    return st
+
+
+def vector_output_delay(
+    network: Network,
+    vector: Mapping[str, bool],
+    output: str,
+    arrival: Mapping[str, float] | None = None,
+) -> float:
+    """Stable time of one output for one vector."""
+    return stable_times(network, vector, arrival)[output]
+
+
+def brute_force_delay(
+    network: Network,
+    output: str,
+    arrival: Mapping[str, float] | None = None,
+) -> float:
+    """Exact XBD0 delay of ``output``: max stable time over all 2^n vectors.
+
+    Exponential in the support size — intended as a test oracle only.
+    """
+    support = network.support(output)
+    others = {x: False for x in network.inputs if x not in support}
+    worst = NEG_INF
+    for vec in all_vectors(support):
+        vec.update(others)
+        worst = max(worst, vector_output_delay(network, vec, output, arrival))
+    return worst
+
+
+def brute_force_stable_at(
+    network: Network,
+    output: str,
+    time: float,
+    arrival: Mapping[str, float] | None = None,
+) -> bool:
+    """True iff ``output`` is stable by ``time`` for every input vector."""
+    support = network.support(output)
+    others = {x: False for x in network.inputs if x not in support}
+    for vec in all_vectors(support):
+        vec.update(others)
+        if vector_output_delay(network, vec, output, arrival) > time:
+            return False
+    return True

@@ -1,0 +1,35 @@
+"""Input-vector generation helpers."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, Sequence
+
+
+def all_vectors(inputs: Sequence[str]) -> Iterator[dict[str, bool]]:
+    """Every assignment over ``inputs`` (2^n of them) in binary order."""
+    for bits in itertools.product((False, True), repeat=len(inputs)):
+        yield dict(zip(inputs, bits))
+
+
+def random_vectors(
+    inputs: Sequence[str], count: int, seed: int = 0
+) -> list[dict[str, bool]]:
+    """``count`` pseudo-random assignments (deterministic per seed)."""
+    rng = random.Random(seed)
+    return [
+        {x: bool(rng.getrandbits(1)) for x in inputs} for _ in range(count)
+    ]
+
+
+def corner_vectors(inputs: Sequence[str]) -> list[dict[str, bool]]:
+    """All-zero, all-one, and the one-hot / one-cold vectors."""
+    vectors = [
+        {x: False for x in inputs},
+        {x: True for x in inputs},
+    ]
+    for hot in inputs:
+        vectors.append({x: (x == hot) for x in inputs})
+        vectors.append({x: (x != hot) for x in inputs})
+    return vectors

@@ -1,0 +1,163 @@
+"""Event-driven waveform simulation with transport delays.
+
+Complements the analytic engines with *dynamic* evidence: apply an input
+transition ``vector_from → vector_to`` (inputs switching at their arrival
+times), propagate events through the gates at their full delays, and
+record every signal change.  Because XBD0 lets each gate delay float in
+``[0, d]``, the stable time it certifies upper-bounds the last transition
+of any fixed-delay execution — so over *all* vector pairs, the latest
+observed output event never exceeds the functional delay.  The test-suite
+checks exactly that, and :func:`last_transition_bound` brute-forces it as
+a falsification attempt on small circuits.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.errors import AnalysisError
+from repro.netlist.gates import evaluate
+from repro.netlist.network import Network
+from repro.sim.vectors import all_vectors
+
+NEG_INF = float("-inf")
+
+
+@dataclass
+class Waveform:
+    """Per-signal event list: (time, new value), chronological."""
+
+    initial: bool
+    events: list[tuple[float, bool]] = field(default_factory=list)
+
+    def value_at(self, time: float) -> bool:
+        """Signal value at ``time`` (events apply at their timestamp)."""
+        value = self.initial
+        for when, new in self.events:
+            if when > time:
+                break
+            value = new
+        return value
+
+    @property
+    def final(self) -> bool:
+        return self.events[-1][1] if self.events else self.initial
+
+    @property
+    def last_event_time(self) -> float:
+        """Time of the final transition (``-inf`` if it never switches)."""
+        return self.events[-1][0] if self.events else NEG_INF
+
+
+def simulate_transition(
+    network: Network,
+    vector_from: Mapping[str, bool],
+    vector_to: Mapping[str, bool],
+    arrival: Mapping[str, float] | None = None,
+) -> dict[str, Waveform]:
+    """Propagate one input transition through the network.
+
+    Inputs start at ``vector_from``; each input whose value differs in
+    ``vector_to`` switches at its arrival time (default 0.0).  Gates apply
+    transport delays (every input change is re-evaluated ``delay`` later;
+    equal-value updates are dropped, so glitches shorter than the
+    evaluation granularity survive only if they change the output).
+    """
+    arrival = arrival or {}
+    start = network.evaluate(vector_from)
+    waveforms: dict[str, Waveform] = {
+        s: Waveform(initial=start[s]) for s in network.signals()
+    }
+    current = dict(start)
+    # event queue: (time, sequence, signal, value)
+    queue: list[tuple[float, int, str, bool]] = []
+    seq = 0
+    for x in network.inputs:
+        if x not in vector_to:
+            raise AnalysisError(f"vector_to missing input {x!r}")
+        if bool(vector_to[x]) != start[x]:
+            heapq.heappush(
+                queue, (float(arrival.get(x, 0.0)), seq, x, bool(vector_to[x]))
+            )
+            seq += 1
+    guard = 0
+    limit = 64 * (network.num_gates() + len(network.inputs) + 1) ** 2
+    while queue:
+        guard += 1
+        if guard > limit:
+            raise AnalysisError("oscillation detected (event limit hit)")
+        when, _, signal, value = heapq.heappop(queue)
+        if current[signal] == value:
+            continue
+        current[signal] = value
+        waveforms[signal].events.append((when, value))
+        for sink in network.fanouts(signal):
+            gate = network.gate(sink)
+            new_value = evaluate(
+                gate.gtype, tuple(current[f] for f in gate.fanins)
+            )
+            heapq.heappush(
+                queue, (when + gate.delay, seq, sink, new_value)
+            )
+            seq += 1
+    return waveforms
+
+
+def last_output_event(
+    network: Network,
+    vector_from: Mapping[str, bool],
+    vector_to: Mapping[str, bool],
+    arrival: Mapping[str, float] | None = None,
+) -> float:
+    """Latest transition time over all primary outputs for one stimulus."""
+    waveforms = simulate_transition(network, vector_from, vector_to, arrival)
+    return max(
+        (waveforms[o].last_event_time for o in network.outputs),
+        default=NEG_INF,
+    )
+
+
+def transition_pairs(
+    inputs: tuple[str, ...], cap: int | None = None
+) -> Iterator[tuple[dict[str, bool], dict[str, bool]]]:
+    """All ordered pairs of distinct input vectors (exponential!)."""
+    vectors = [dict(v) for v in all_vectors(inputs)]
+    count = 0
+    for src in vectors:
+        for dst in vectors:
+            if src == dst:
+                continue
+            yield src, dst
+            count += 1
+            if cap is not None and count >= cap:
+                return
+
+
+def last_transition_bound(
+    network: Network,
+    output: str,
+    arrival: Mapping[str, float] | None = None,
+    max_inputs: int = 8,
+) -> float:
+    """Worst last-transition time of ``output`` over all vector pairs.
+
+    A dynamic lower bound on the circuit's true delay; always ≤ the XBD0
+    functional delay (which additionally covers every delay assignment in
+    ``[0, d]``, not just the all-max corner this simulator uses).
+    """
+    support = tuple(network.support(output))
+    if len(support) > max_inputs:
+        raise AnalysisError(
+            f"enumeration over {len(support)} inputs exceeds "
+            f"max_inputs={max_inputs}"
+        )
+    others = {x: False for x in network.inputs if x not in support}
+    worst = NEG_INF
+    for src, dst in transition_pairs(support):
+        src = {**src, **others}
+        dst = {**dst, **others}
+        waveforms = simulate_transition(network, src, dst, arrival)
+        worst = max(worst, waveforms[output].last_event_time)
+    return worst

@@ -1,0 +1,58 @@
+"""Gate delay assignment policies.
+
+The paper's experiments use the *unit delay model* ("gate delay of 1 for the
+AND gate and the OR gate and gate delays of 2 for the XOR gate and the MUX
+gate" in the Section 4 example; plain unit delays for the ISCAS runs).
+These helpers rebuild a network with a chosen policy.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.netlist.gates import GateType
+from repro.netlist.network import Gate, Network
+
+#: Section 4 delays: AND/OR = 1, XOR/MUX = 2 (inverters/buffers ride free
+#: at 1 / 0 which never appear in the adder example).
+PAPER_EXAMPLE_DELAYS: dict[GateType, float] = {
+    GateType.AND: 1.0,
+    GateType.OR: 1.0,
+    GateType.NAND: 1.0,
+    GateType.NOR: 1.0,
+    GateType.NOT: 1.0,
+    GateType.BUF: 0.0,
+    GateType.XOR: 2.0,
+    GateType.XNOR: 2.0,
+    GateType.MUX: 2.0,
+    GateType.CONST0: 0.0,
+    GateType.CONST1: 0.0,
+}
+
+
+def unit_delays(network: Network, name: str | None = None) -> Network:
+    """Copy with every gate delay = 1 (BUF/CONST = 0)."""
+
+    def policy(gate: Gate) -> float:
+        if gate.gtype in (GateType.BUF, GateType.CONST0, GateType.CONST1):
+            return 0.0
+        return 1.0
+
+    return network.with_delays(policy, name)
+
+
+def mapped_delays(
+    network: Network,
+    table: Mapping[GateType, float],
+    default: float = 1.0,
+    name: str | None = None,
+) -> Network:
+    """Copy with gate delays looked up per gate type."""
+    return network.with_delays(
+        lambda gate: table.get(gate.gtype, default), name
+    )
+
+
+def paper_example_delays(network: Network, name: str | None = None) -> Network:
+    """Copy with the Section 4 delay table applied."""
+    return mapped_delays(network, PAPER_EXAMPLE_DELAYS, name=name)

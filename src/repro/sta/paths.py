@@ -1,0 +1,170 @@
+"""Path-length machinery.
+
+The Section 5 refinement walks each critical pin pair down its list of
+*distinct path lengths* (longest, second longest, ...).  The XBD0 engine
+binary-searches over *candidate event times* — the values an output's true
+stable time can possibly take, i.e. arrival times plus path-delay sums.
+Both sets are computed by forward dynamic programming with a size cap
+(largest values kept: the algorithms only ever walk downward from the top,
+and the topological arrival — always a member — bounds everything above).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import AnalysisError
+from repro.netlist.network import Network
+
+NEG_INF = float("-inf")
+
+#: Quantization applied to float times so set membership is robust.
+_QUANTUM = 1e-9
+
+
+def _quantize(value: float) -> float:
+    if value in (NEG_INF, float("inf")):
+        return value
+    return round(value, 9)
+
+
+def _merge_capped(values: Iterable[float], cap: int) -> tuple[float, ...]:
+    """Deduplicate, sort descending, and keep the ``cap`` largest."""
+    unique = sorted({_quantize(v) for v in values}, reverse=True)
+    return tuple(unique[:cap])
+
+
+def distinct_path_lengths(
+    network: Network,
+    source: str,
+    sink: str,
+    cap: int = 64,
+) -> tuple[float, ...]:
+    """Distinct path delays from ``source`` to ``sink``, descending.
+
+    Empty if no path.  At most ``cap`` values are kept (the largest ones);
+    truncation only ever makes the demand-driven refinement stop early,
+    which is conservative.
+    """
+    if not network.has_signal(source):
+        raise AnalysisError(f"unknown signal {source!r}")
+    if not network.has_signal(sink):
+        raise AnalysisError(f"unknown signal {sink!r}")
+    lengths: dict[str, tuple[float, ...]] = {source: (0.0,)}
+    for s in network.topological_order():
+        if s == source or network.is_input(s):
+            continue
+        g = network.gate(s)
+        incoming: list[float] = []
+        for f in g.fanins:
+            if f in lengths:
+                incoming.extend(l + g.delay for l in lengths[f])
+        if incoming:
+            lengths[s] = _merge_capped(incoming, cap)
+    return lengths.get(sink, ())
+
+
+def all_pin_path_lengths(
+    network: Network, cap: int = 64
+) -> dict[tuple[str, str], tuple[float, ...]]:
+    """Distinct path lengths for every (PI, PO) pair with a path."""
+    out: dict[tuple[str, str], tuple[float, ...]] = {}
+    for x in network.inputs:
+        lengths: dict[str, tuple[float, ...]] = {x: (0.0,)}
+        for s in network.topological_order():
+            if s == x or network.is_input(s):
+                continue
+            g = network.gate(s)
+            incoming: list[float] = []
+            for f in g.fanins:
+                if f in lengths:
+                    incoming.extend(l + g.delay for l in lengths[f])
+            if incoming:
+                lengths[s] = _merge_capped(incoming, cap)
+        for o in network.outputs:
+            if o in lengths:
+                out[(x, o)] = lengths[o]
+    return out
+
+
+def event_time_candidates(
+    network: Network,
+    arrival: Mapping[str, float] | None = None,
+    cap: int = 512,
+) -> dict[str, tuple[float, ...]]:
+    """Candidate stable times per signal: arrivals plus path-delay sums.
+
+    The XBD0 stable time of a signal always lies in this set (or is
+    ``-inf``); with the cap hit, the largest values are kept, and the
+    topological arrival (the usual search upper bound) is always the first
+    element.  Descending order.
+    """
+    arrival = arrival or {}
+    cands: dict[str, tuple[float, ...]] = {}
+    for x in network.inputs:
+        cands[x] = (_quantize(float(arrival.get(x, 0.0))),)
+    for s in network.topological_order():
+        if s in cands:
+            continue
+        g = network.gate(s)
+        incoming: list[float] = []
+        for f in g.fanins:
+            incoming.extend(
+                c + g.delay for c in cands[f] if c != NEG_INF
+            )
+        cands[s] = _merge_capped(incoming, cap) if incoming else ()
+    return cands
+
+
+def k_worst_paths(
+    network: Network,
+    sink: str,
+    k: int = 5,
+    arrival: Mapping[str, float] | None = None,
+) -> list[tuple[tuple[str, ...], float]]:
+    """The ``k`` longest topological paths ending at ``sink``, descending.
+
+    Best-first enumeration over path suffixes: a partial suffix
+    ``[node, ..., sink]`` is bounded by ``arrival(node) + suffix delay``,
+    which is exact once ``node`` is a primary input.  Returns
+    ``(signals PI→sink, delay)`` pairs; fewer than ``k`` if the fanin cone
+    holds fewer paths.
+    """
+    import heapq
+
+    from repro.sta.topological import arrival_times
+
+    if not network.has_signal(sink):
+        raise AnalysisError(f"unknown signal {sink!r}")
+    if k < 1:
+        return []
+    at = arrival_times(network, arrival)
+    counter = 0
+    # heap of (-bound, tiebreak, head signal, suffix delay, suffix tuple)
+    heap = [(-at[sink], counter, sink, 0.0, (sink,))]
+    results: list[tuple[tuple[str, ...], float]] = []
+    while heap and len(results) < k:
+        bound, _, head, suffix_delay, suffix = heapq.heappop(heap)
+        fanins = network.fanins(head)
+        if not fanins:
+            if network.is_input(head):
+                results.append((suffix, -bound))
+            # constant gates head paths that start nowhere; drop them
+            continue
+        gate = network.gate(head)
+        for f in fanins:
+            if at[f] == NEG_INF:
+                continue
+            new_delay = suffix_delay + gate.delay
+            counter += 1
+            heapq.heappush(
+                heap,
+                (
+                    -(at[f] + new_delay),
+                    counter,
+                    f,
+                    new_delay,
+                    (f,) + suffix,
+                ),
+            )
+    return results

@@ -1,0 +1,185 @@
+"""Tests for the AIG package and SAT-backed equivalence checking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.adders import carry_skip_block, cascade_adder, ripple_adder
+from repro.circuits.random_logic import random_network
+from repro.errors import NetlistError
+from repro.netlist.aig import (
+    AIG,
+    FALSE_EDGE,
+    TRUE_EDGE,
+    edge_not,
+    equivalent,
+    network_to_aig,
+)
+from repro.netlist.network import Network
+from repro.netlist.transform import decompose_complex, propagate_constants
+from repro.sim.vectors import all_vectors
+
+
+class TestAIGPrimitives:
+    def test_constant_folding(self):
+        aig = AIG()
+        a = aig.input_edge("a")
+        assert aig.conj(a, FALSE_EDGE) == FALSE_EDGE
+        assert aig.conj(a, TRUE_EDGE) == a
+        assert aig.conj(a, a) == a
+        assert aig.conj(a, edge_not(a)) == FALSE_EDGE
+        assert aig.disj(a, TRUE_EDGE) == TRUE_EDGE
+
+    def test_strashing_merges_identical_structure(self):
+        aig = AIG()
+        a, b = aig.input_edge("a"), aig.input_edge("b")
+        before = aig.num_nodes()
+        n1 = aig.conj(a, b)
+        n2 = aig.conj(b, a)  # commuted: must hit the strash table
+        assert n1 == n2
+        assert aig.num_nodes() == before + 1
+
+    def test_evaluate(self):
+        aig = AIG()
+        a, b = aig.input_edge("a"), aig.input_edge("b")
+        f = aig.xor(a, b)
+        for va in (False, True):
+            for vb in (False, True):
+                assert aig.evaluate(f, {"a": va, "b": vb}) == (va != vb)
+
+    def test_mux_semantics(self):
+        aig = AIG()
+        s = aig.input_edge("s")
+        d0 = aig.input_edge("d0")
+        d1 = aig.input_edge("d1")
+        m = aig.mux(s, d0, d1)
+        for vs in (False, True):
+            for v0 in (False, True):
+                for v1 in (False, True):
+                    want = v1 if vs else v0
+                    got = aig.evaluate(
+                        m, {"s": vs, "d0": v0, "d1": v1}
+                    )
+                    assert got == want
+
+    def test_edge_equal_sat(self):
+        aig = AIG()
+        a, b = aig.input_edge("a"), aig.input_edge("b")
+        # De Morgan: ¬(a·b) == ¬a + ¬b (different structure, same function)
+        left = edge_not(aig.conj(a, b))
+        right = aig.disj(edge_not(a), edge_not(b))
+        assert aig.edge_equal_sat(left, right)
+        assert not aig.edge_equal_sat(a, b)
+        assert not aig.edge_equal_sat(a, edge_not(a))
+        assert aig.edge_equal_sat(
+            aig.conj(a, edge_not(a)), FALSE_EDGE
+        )
+
+
+class TestNetworkToAIG:
+    def test_strash_preserves_function(self):
+        net = carry_skip_block(2)
+        aig, edges = network_to_aig(net)
+        for vec in all_vectors(net.inputs):
+            values = net.evaluate(vec)
+            for out in net.outputs:
+                assert aig.evaluate(edges[out], vec) == values[out]
+
+    def test_all_gate_types(self):
+        net = Network("every")
+        a, b, c = net.add_inputs(["a", "b", "c"])
+        net.add_gate("nand_", "NAND", [a, b])
+        net.add_gate("nor_", "NOR", [b, c])
+        net.add_gate("xnor_", "XNOR", [a, c])
+        net.add_gate("mux_", "MUX", [a, b, c])
+        net.add_gate("one_", "CONST1", [])
+        net.add_gate("zero_", "CONST0", [])
+        net.add_gate("buf_", "BUF", [a])
+        net.set_outputs(["nand_", "nor_", "xnor_", "mux_", "one_",
+                         "zero_", "buf_"])
+        aig, edges = network_to_aig(net)
+        for vec in all_vectors(net.inputs):
+            values = net.evaluate(vec)
+            for out in net.outputs:
+                assert aig.evaluate(edges[out], vec) == values[out], out
+
+
+class TestEquivalence:
+    def test_self_equivalence(self):
+        net = carry_skip_block(2)
+        assert equivalent(net, net.copy())
+
+    def test_transform_equivalence(self):
+        net = carry_skip_block(2)
+        assert equivalent(net, decompose_complex(net))
+
+    def test_flatten_equivalence(self):
+        design = cascade_adder(6, 2)
+        assert equivalent(design.flatten(), design.flatten(name="again"))
+
+    def test_skip_adder_equals_ripple_adder(self):
+        """The structural payoff: two different adder implementations
+        proven functionally identical."""
+        skip = cascade_adder(4, 2).flatten(name="skip")
+        ripple = ripple_adder(4, name="ripple")
+        # align interfaces: ripple outputs are s0..s3, c4 — same names;
+        # skip flatten shares them too
+        assert set(skip.outputs) == set(ripple.outputs)
+        assert equivalent(skip, ripple)
+
+    def test_detects_difference(self):
+        left = Network("l")
+        left.add_inputs(["a", "b"])
+        left.add_gate("z", "AND", ["a", "b"])
+        left.set_outputs(["z"])
+        right = Network("r")
+        right.add_inputs(["a", "b"])
+        right.add_gate("z", "NAND", ["a", "b"])
+        right.set_outputs(["z"])
+        assert not equivalent(left, right)
+
+    def test_interface_mismatch_rejected(self):
+        left = Network("l")
+        left.add_input("a")
+        left.add_gate("z", "BUF", ["a"])
+        left.set_outputs(["z"])
+        right = Network("r")
+        right.add_inputs(["a", "b"])
+        right.add_gate("z", "BUF", ["a"])
+        right.set_outputs(["z"])
+        with pytest.raises(NetlistError):
+            equivalent(left, right)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_transform_chain(self, seed):
+        net = random_network(5, 16, seed=seed, num_outputs=2)
+        rewritten = propagate_constants(decompose_complex(net))
+        assert equivalent(net, rewritten)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_mutation_detected(self, seed):
+        net = random_network(5, 16, seed=seed, num_outputs=1)
+        out = net.outputs[0]
+        mutated = Network("mut")
+        for x in net.inputs:
+            mutated.add_input(x)
+        for s in net.topological_order():
+            if net.is_input(s):
+                continue
+            g = net.gate(s)
+            gtype = g.gtype
+            if s == out and gtype.value in ("AND", "OR"):
+                gtype = "OR" if gtype.value == "AND" else "AND"
+            mutated.add_gate(s, gtype, g.fanins, g.delay)
+        mutated.set_outputs(net.outputs)
+        if net.gate(out).gtype.value in ("AND", "OR"):
+            # AND<->OR differ unless the fanins are equal functions
+            same = equivalent(net, mutated)
+            if same:
+                # legitimately equivalent (e.g. identical fanins); verify
+                from repro.sim.vectors import random_vectors
+
+                for vec in random_vectors(net.inputs, 16, seed=seed):
+                    assert net.output_values(vec) == mutated.output_values(vec)

@@ -1,0 +1,42 @@
+"""The API-doc generator runs and reflects the public surface."""
+
+import importlib
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_generator():
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        return importlib.import_module("gen_api_docs")
+    finally:
+        sys.path.pop(0)
+
+
+def test_generator_runs_and_covers_surface():
+    gen = _load_generator()
+    text = gen.generate()
+    for anchor in (
+        "## `repro.core`",
+        "StabilityAnalyzer",
+        "HierarchicalAnalyzer",
+        "DemandDrivenAnalyzer",
+        "## `repro.atpg`",
+        "## `repro.seq`",
+        "carry_skip_block",
+    ):
+        assert anchor in text, anchor
+
+
+def test_every_public_item_has_a_docstring():
+    gen = _load_generator()
+    text = gen.generate()
+    assert "(no docstring)" not in text
+
+
+def test_committed_file_loadable():
+    api = ROOT / "docs" / "API.md"
+    assert api.exists()
+    assert "# API reference" in api.read_text()

@@ -1,0 +1,99 @@
+"""Tests for the compiled simulator."""
+
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.adders import carry_skip_block, cascade_adder
+from repro.circuits.datapath import array_multiplier
+from repro.circuits.random_logic import random_network
+from repro.netlist.network import Network
+from repro.sim.compiled import compile_network, fast_equivalence_sample
+from repro.sim.vectors import all_vectors, random_vectors
+
+
+class TestCompile:
+    def test_matches_interpreter_exhaustively(self):
+        net = carry_skip_block(2)
+        sim = compile_network(net)
+        for vec in all_vectors(net.inputs):
+            assert sim(vec) == net.output_values(vec)
+
+    def test_all_gate_types(self):
+        net = Network("every")
+        a, b, c = net.add_inputs(["a", "b", "c"])
+        net.add_gate("g1", "AND", [a, b])
+        net.add_gate("g2", "OR", [a, b, c])
+        net.add_gate("g3", "NAND", [a, c])
+        net.add_gate("g4", "NOR", [b, c])
+        net.add_gate("g5", "XOR", [a, b, c])
+        net.add_gate("g6", "XNOR", [a, b])
+        net.add_gate("g7", "NOT", [a])
+        net.add_gate("g8", "BUF", [b])
+        net.add_gate("g9", "MUX", [a, b, c])
+        net.add_gate("g10", "CONST0", [])
+        net.add_gate("g11", "CONST1", [])
+        net.set_outputs([f"g{i}" for i in range(1, 12)])
+        sim = compile_network(net)
+        for vec in all_vectors(net.inputs):
+            assert sim(vec) == net.output_values(vec)
+
+    def test_source_attached(self):
+        net = carry_skip_block(2)
+        sim = compile_network(net)
+        assert "def _sim(vector):" in sim.source
+
+    def test_mangling_handles_weird_names(self):
+        net = Network("w")
+        net.add_input("a.b$c")
+        net.add_gate("out 1", "NOT", ["a.b$c"])
+        net.set_outputs(["out 1"])
+        sim = compile_network(net)
+        assert sim({"a.b$c": True}) == {"out 1": False}
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_networks(self, seed):
+        net = random_network(5, 16, seed=seed, num_outputs=3)
+        sim = compile_network(net)
+        for vec in random_vectors(net.inputs, 12, seed=seed):
+            assert sim(vec) == net.output_values(vec)
+
+    def test_speedup_on_large_circuit(self):
+        net = cascade_adder(16, 2).flatten()
+        vectors = random_vectors(net.inputs, 200, seed=31)
+        sim = compile_network(net)
+        start = time.perf_counter()
+        compiled_results = [sim(v) for v in vectors]
+        compiled_time = time.perf_counter() - start
+        start = time.perf_counter()
+        interpreted = [net.output_values(v) for v in vectors]
+        interpreted_time = time.perf_counter() - start
+        assert compiled_results == interpreted
+        # conservative bar: compiled must be at least 3x faster
+        assert compiled_time * 3 < interpreted_time
+
+
+class TestFastEquivalence:
+    def test_detects_equality_and_difference(self):
+        net = array_multiplier(3, 3)
+        vectors = random_vectors(net.inputs, 64, seed=9)
+        assert fast_equivalence_sample(net, net.copy(), vectors)
+        from repro.netlist.transform import decompose_complex
+
+        assert fast_equivalence_sample(
+            net, decompose_complex(net), vectors
+        )
+
+    def test_interface_mismatch(self):
+        a = Network("a")
+        a.add_input("x")
+        a.add_gate("z", "BUF", ["x"])
+        a.set_outputs(["z"])
+        b = Network("b")
+        b.add_inputs(["x", "y"])
+        b.add_gate("z", "BUF", ["x"])
+        b.set_outputs(["z"])
+        assert not fast_equivalence_sample(a, b, [])

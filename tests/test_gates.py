@@ -1,0 +1,163 @@
+"""Unit tests for gate primitives and their prime implicants."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.gates import (
+    GateType,
+    check_arity,
+    evaluate,
+    gate_primes,
+    satisfied_primes,
+)
+
+_VARIADIC = [
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize(
+        "gtype,values,expected",
+        [
+            (GateType.AND, (True, True), True),
+            (GateType.AND, (True, False), False),
+            (GateType.OR, (False, False), False),
+            (GateType.OR, (False, True), True),
+            (GateType.NAND, (True, True), False),
+            (GateType.NOR, (False, False), True),
+            (GateType.XOR, (True, False), True),
+            (GateType.XOR, (True, True), False),
+            (GateType.XNOR, (True, True), True),
+            (GateType.NOT, (True,), False),
+            (GateType.BUF, (True,), True),
+            (GateType.CONST0, (), False),
+            (GateType.CONST1, (), True),
+        ],
+    )
+    def test_truth_table_points(self, gtype, values, expected):
+        assert evaluate(gtype, values) is expected
+
+    @pytest.mark.parametrize(
+        "values,expected",
+        [
+            ((False, True, False), True),   # s=0 -> d0
+            ((False, False, True), False),
+            ((True, False, True), True),    # s=1 -> d1
+            ((True, True, False), False),
+        ],
+    )
+    def test_mux(self, values, expected):
+        assert evaluate(GateType.MUX, values) is expected
+
+    def test_xor_three_inputs_is_parity(self):
+        for bits in itertools.product((False, True), repeat=3):
+            assert evaluate(GateType.XOR, bits) == (sum(bits) % 2 == 1)
+
+
+class TestArity:
+    def test_not_requires_one(self):
+        with pytest.raises(NetlistError):
+            check_arity(GateType.NOT, 2)
+
+    def test_mux_requires_three(self):
+        with pytest.raises(NetlistError):
+            check_arity(GateType.MUX, 2)
+
+    def test_const_requires_zero(self):
+        with pytest.raises(NetlistError):
+            check_arity(GateType.CONST0, 1)
+
+    def test_and_requires_at_least_one(self):
+        with pytest.raises(NetlistError):
+            check_arity(GateType.AND, 0)
+        check_arity(GateType.AND, 1)
+        check_arity(GateType.AND, 5)
+
+
+def _assert_primes_sound_and_complete(gtype: GateType, n: int) -> None:
+    """Every prime forces the claimed value; every minterm is covered."""
+    on, off = gate_primes(gtype, n)
+    for phase, primes in ((True, on), (False, off)):
+        for prime in primes:
+            fixed = dict(prime)
+            free = [i for i in range(n) if i not in fixed]
+            for bits in itertools.product((False, True), repeat=len(free)):
+                vec = dict(fixed)
+                vec.update(zip(free, bits))
+                values = tuple(vec[i] for i in range(n))
+                assert evaluate(gtype, values) is phase, (
+                    f"{gtype} prime {prime} does not force {phase}"
+                )
+    for bits in itertools.product((False, True), repeat=n):
+        value = evaluate(gtype, bits)
+        primes = on if value else off
+        assert any(
+            all(bits[i] == v for i, v in prime) for prime in primes
+        ), f"{gtype} minterm {bits} uncovered"
+
+
+@pytest.mark.parametrize("gtype", _VARIADIC)
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_variadic_primes_sound_complete(gtype, n):
+    _assert_primes_sound_and_complete(gtype, n)
+
+
+@pytest.mark.parametrize(
+    "gtype,n",
+    [
+        (GateType.NOT, 1),
+        (GateType.BUF, 1),
+        (GateType.MUX, 3),
+        (GateType.CONST0, 0),
+        (GateType.CONST1, 0),
+    ],
+)
+def test_fixed_arity_primes_sound_complete(gtype, n):
+    _assert_primes_sound_and_complete(gtype, n)
+
+
+def test_mux_has_consensus_terms():
+    on, off = gate_primes(GateType.MUX, 3)
+    assert ((1, True), (2, True)) in on
+    assert ((1, False), (2, False)) in off
+
+
+class TestSatisfiedPrimes:
+    def test_and_controlled(self):
+        primes = satisfied_primes(GateType.AND, 2, (False, False))
+        assert set(primes) == {((0, False),), ((1, False),)}
+
+    def test_and_all_ones(self):
+        primes = satisfied_primes(GateType.AND, 2, (True, True))
+        assert primes == (((0, True), (1, True)),)
+
+    def test_mux_agreeing_data(self):
+        # s=0, d0=d1=1: both the select branch and the consensus fire.
+        primes = satisfied_primes(GateType.MUX, 3, (False, True, True))
+        assert ((0, False), (1, True)) in primes
+        assert ((1, True), (2, True)) in primes
+
+    @given(
+        st.sampled_from(_VARIADIC + [GateType.MUX, GateType.NOT, GateType.BUF]),
+        st.data(),
+    )
+    def test_satisfied_primes_match_value(self, gtype, data):
+        n = 3 if gtype is GateType.MUX else (
+            1 if gtype in (GateType.NOT, GateType.BUF) else
+            data.draw(st.integers(1, 4))
+        )
+        values = tuple(data.draw(st.booleans()) for _ in range(n))
+        primes = satisfied_primes(gtype, n, values)
+        assert primes, "at least one prime of the output phase must fire"
+        for prime in primes:
+            assert all(values[i] == v for i, v in prime)

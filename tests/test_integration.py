@@ -1,0 +1,77 @@
+"""Grand integration: every analyzer, one circuit family, one ordering.
+
+For random hierarchical designs under random arrival conditions, the full
+analyzer stack must line up:
+
+    flat XBD0  ≤  conditional (any vector)  — per-vector never exceeds worst
+    flat XBD0  ≤  footnote-12 per-instance  ≤  two-step hierarchical
+    two-step   ==  composed multi-level models (same algebra)
+    demand-driven and two-step both within [flat, topological]
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.partition import cascade_bipartition
+from repro.circuits.random_logic import random_network
+from repro.core.conditional import ConditionalAnalyzer
+from repro.core.demand import DemandDrivenAnalyzer
+from repro.core.hier import HierarchicalAnalyzer
+from repro.core.multilevel import compose_design_models, evaluate_composed
+from repro.core.subflat import SubcircuitFlatAnalyzer
+from repro.core.xbd0 import functional_delays
+from repro.sim.vectors import random_vectors
+from repro.sta.topological import arrival_times
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(0, 10_000), st.data())
+def test_analyzer_stack_ordering(seed, data):
+    net = random_network(6, 20, seed=seed, num_outputs=2)
+    try:
+        design = cascade_bipartition(net)
+    except Exception:
+        return
+    arrival = {
+        x: float(data.draw(st.integers(0, 3))) for x in design.inputs
+    }
+    flat = design.flatten()
+    topo = max(arrival_times(flat, arrival)[o] for o in flat.outputs)
+    exact = max(functional_delays(flat, arrival).values())
+
+    two_step = HierarchicalAnalyzer(design).analyze(arrival).delay
+    demand = DemandDrivenAnalyzer(design).analyze(arrival).delay
+    subflat = SubcircuitFlatAnalyzer(design).analyze(arrival).delay
+    composed = max(
+        evaluate_composed(compose_design_models(design), arrival)[o]
+        for o in design.outputs
+    )
+
+    for estimate in (two_step, demand, subflat, composed):
+        assert exact <= estimate + 1e-9
+        assert estimate <= topo + 1e-9
+    assert subflat <= two_step + 1e-9
+    assert composed == pytest.approx(two_step)
+
+    conditional = ConditionalAnalyzer(design)
+    for vec in random_vectors(design.inputs, 4, seed=seed):
+        per_vector = conditional.analyze(vec, arrival).delay
+        assert per_vector <= exact + 1e-9
+
+
+@settings(max_examples=4, deadline=None)
+@given(st.integers(0, 10_000))
+def test_conditional_worst_case_closes_the_loop(seed):
+    net = random_network(5, 14, seed=seed, num_outputs=2)
+    try:
+        design = cascade_bipartition(net)
+    except Exception:
+        return
+    flat = design.flatten()
+    exact = max(functional_delays(flat).values())
+    worst, witness = ConditionalAnalyzer(design).worst_case_by_enumeration()
+    assert worst == pytest.approx(exact)
+    assert ConditionalAnalyzer(design).analyze(witness).delay == pytest.approx(
+        worst
+    )

@@ -1,0 +1,95 @@
+"""Tests for the known-false-subgraph (Belkhale-Suess) baseline."""
+
+import pytest
+
+from repro.circuits.adders import cascade_adder
+from repro.core.demand import DemandDrivenAnalyzer, flat_functional_delay
+from repro.core.hier import HierarchicalAnalyzer
+from repro.errors import AnalysisError
+from repro.sta.known_false import (
+    KnownFalseAnalyzer,
+    annotations_from_models,
+)
+
+NEG_INF = float("-inf")
+
+
+@pytest.fixture(scope="module")
+def design():
+    return cascade_adder(8, 2)
+
+
+class TestUnannotated:
+    def test_matches_topological(self, design):
+        analyzer = KnownFalseAnalyzer(design)
+        result = analyzer.analyze()
+        demand = DemandDrivenAnalyzer(design).analyze()
+        assert result.delay == demand.topological_delay
+        assert result.applied == ()
+
+    def test_arrival_condition(self, design):
+        analyzer = KnownFalseAnalyzer(design)
+        base = analyzer.analyze().delay
+        shifted = analyzer.analyze(
+            arrival={x: 2.0 for x in design.inputs}
+        ).delay
+        assert shifted == base + 2.0
+
+
+class TestManualAnnotations:
+    def test_designer_asserts_skip_delay(self, design):
+        """The classic manual assertion: carry in->out of a skip block
+        is effectively 2 — the exact fact the paper automates."""
+        analyzer = KnownFalseAnalyzer(design)
+        annotated = analyzer.analyze(
+            {("csa_block2", "c_in", "c_out"): 2.0}
+        )
+        assert annotated.applied == ((("csa_block2", "c_in", "c_out")),)
+        demand = DemandDrivenAnalyzer(design).analyze()
+        assert annotated.delay == demand.delay  # 16 for csa8.2
+
+    def test_wrong_assertion_is_trusted(self, design):
+        """[1]'s hazard: a wrong manual assertion silently underestimates."""
+        analyzer = KnownFalseAnalyzer(design)
+        reckless = analyzer.analyze(
+            {("csa_block2", "a0", "c_out"): 0.0,
+             ("csa_block2", "b0", "c_out"): 0.0,
+             ("csa_block2", "c_in", "c_out"): 0.0}
+        )
+        flat_delay, _, _ = flat_functional_delay(design)
+        assert reckless.delay < flat_delay  # optimism, exactly the danger
+
+    def test_unknown_pin_pair_rejected(self, design):
+        analyzer = KnownFalseAnalyzer(design)
+        with pytest.raises(AnalysisError):
+            analyzer.analyze({("csa_block2", "a1", "s0"): 1.0})
+
+    def test_neg_inf_assertion_on_missing_pair_is_noop(self, design):
+        analyzer = KnownFalseAnalyzer(design)
+        result = analyzer.analyze({("csa_block2", "a1", "s0"): NEG_INF})
+        assert result.applied == ()
+
+
+class TestAutomation:
+    def test_annotations_from_models_are_safe(self, design):
+        hier = HierarchicalAnalyzer(design)
+        hier.characterize_all()
+        annotations = annotations_from_models(hier._models)
+        analyzer = KnownFalseAnalyzer(design)
+        annotated = analyzer.analyze(annotations)
+        flat_delay, _, _ = flat_functional_delay(design)
+        demand = DemandDrivenAnalyzer(design).analyze()
+        # never optimistic w.r.t. the true delay...
+        assert annotated.delay >= flat_delay - 1e-9
+        # ...and no looser than plain topological
+        assert annotated.delay <= demand.topological_delay + 1e-9
+        # on the cascades, worst-per-pin-pair already captures the skip
+        assert annotated.delay == demand.delay
+
+    def test_automation_covers_all_model_pairs(self, design):
+        hier = HierarchicalAnalyzer(design)
+        hier.characterize_all()
+        annotations = annotations_from_models(hier._models)
+        assert ("csa_block2", "c_in", "c_out") in annotations
+        assert annotations[("csa_block2", "c_in", "c_out")] == 2.0
+        assert annotations[("csa_block2", "a0", "c_out")] == 8.0

@@ -1,0 +1,96 @@
+"""Tests for per-output lazy characterization (observability pruning)."""
+
+import pytest
+
+from repro.circuits.adders import carry_skip_block, cascade_adder
+from repro.core.hier import HierarchicalAnalyzer
+from repro.errors import AnalysisError
+from repro.netlist.hierarchy import HierDesign, Module
+
+
+def carry_only_design(blocks: int = 4) -> HierDesign:
+    """A cascade exposing ONLY the final carry: sum outputs are dead."""
+    design = HierDesign("carry_only")
+    module = Module("blk", carry_skip_block(2))
+    design.add_module(module)
+    design.add_input("c_in")
+    for i in range(2 * blocks):
+        design.add_input(f"a{i}")
+        design.add_input(f"b{i}")
+    carry = "c_in"
+    for blk in range(blocks):
+        conns = {"c_in": carry}
+        for i in range(2):
+            bit = 2 * blk + i
+            conns[f"a{i}"] = f"a{bit}"
+            conns[f"b{i}"] = f"b{bit}"
+            conns[f"s{i}"] = f"s{bit}"  # dangling nets
+        carry = f"c{2 * (blk + 1)}"
+        conns["c_out"] = carry
+        design.add_instance(f"u{blk}", "blk", conns)
+    design.set_outputs([carry])
+    design.validate()
+    return design
+
+
+class TestAnalyzeLazy:
+    def test_matches_full_analysis(self):
+        design = cascade_adder(8, 2)
+        full = HierarchicalAnalyzer(design).analyze()
+        lazy = HierarchicalAnalyzer(design).analyze_lazy()
+        assert lazy.delay == full.delay
+        for out in design.outputs:
+            assert lazy.output_times[out] == full.output_times[out]
+
+    def test_skips_dead_outputs(self):
+        design = carry_only_design()
+        analyzer = HierarchicalAnalyzer(design)
+        result = analyzer.analyze_lazy()
+        # only c_out was ever characterized; s0/s1 models never built
+        assert set(analyzer._models["blk"]) == {"c_out"}
+        assert result.delay == 2 * 4 + 6  # the closed form
+
+    def test_dead_nets_absent_from_net_times(self):
+        design = carry_only_design()
+        result = HierarchicalAnalyzer(design).analyze_lazy()
+        assert "s0" not in result.net_times
+        assert "c8" in result.net_times
+
+    def test_model_for_single_output(self):
+        design = cascade_adder(4, 2)
+        analyzer = HierarchicalAnalyzer(design)
+        model = analyzer.model_for("csa_block2", "c_out")
+        assert model.tuples == ((2.0, 8.0, 8.0, 6.0, 6.0),)
+        assert set(analyzer._models["csa_block2"]) == {"c_out"}
+
+    def test_model_for_unknown_port(self):
+        design = cascade_adder(4, 2)
+        analyzer = HierarchicalAnalyzer(design)
+        with pytest.raises(AnalysisError):
+            analyzer.model_for("csa_block2", "ghost")
+
+    def test_models_for_completes_partial_cache(self):
+        design = cascade_adder(4, 2)
+        analyzer = HierarchicalAnalyzer(design)
+        analyzer.model_for("csa_block2", "c_out")
+        models = analyzer.models_for("csa_block2")
+        assert set(models) == {"s0", "s1", "c_out"}
+
+    def test_lazy_topological_mode(self):
+        design = carry_only_design()
+        analyzer = HierarchicalAnalyzer(design, functional=False)
+        result = analyzer.analyze_lazy()
+        # topological: 6 per block chained... c_in->c_out topo is 6,
+        # first block's a0 path is 8
+        assert result.delay == 8.0 + 6.0 * 3
+
+    def test_lazy_after_preload_uses_preloaded(self):
+        from repro.core.required import characterize_network
+
+        design = carry_only_design()
+        models = characterize_network(carry_skip_block(2))
+        analyzer = HierarchicalAnalyzer(design)
+        analyzer.preload_models("blk", models)
+        result = analyzer.analyze_lazy()
+        assert result.characterized == ()
+        assert result.delay == 14.0

@@ -1,0 +1,73 @@
+"""Unit tests for structural network utilities."""
+
+from repro.circuits.adders import carry_skip_block
+from repro.netlist.gates import GateType
+from repro.netlist.network import Network
+from repro.netlist.ops import depth, levelize, networks_equivalent_on, stats
+from repro.sim.vectors import all_vectors
+
+
+def test_levelize_simple_chain():
+    net = Network()
+    net.add_input("a")
+    net.add_gate("g1", "NOT", ["a"])
+    net.add_gate("g2", "NOT", ["g1"])
+    net.set_outputs(["g2"])
+    levels = levelize(net)
+    assert levels == {"a": 0, "g1": 1, "g2": 2}
+
+
+def test_levelize_takes_max_fanin_level():
+    net = Network()
+    net.add_inputs(["a", "b"])
+    net.add_gate("deep", "NOT", ["a"])
+    net.add_gate("z", "AND", ["deep", "b"])
+    levels = levelize(net)
+    assert levels["z"] == 2
+
+
+def test_depth_of_carry_skip_block():
+    # longest structural chain: p0 -> t0 -> c1 -> t1 -> c2 -> mux
+    assert depth(carry_skip_block(2)) == 6
+
+
+def test_depth_empty_outputs():
+    assert depth(Network()) == 0
+
+
+def test_stats_counts():
+    block = carry_skip_block(2)
+    st = stats(block)
+    assert st.num_inputs == 5
+    assert st.num_outputs == 3
+    assert st.num_gates == 12
+    assert st.gate_counts[GateType.MUX] == 1
+    assert st.gate_counts[GateType.XOR] == 4
+    assert st.gate_counts[GateType.AND] == 5  # g0,g1,t0,t1,skip
+    assert st.gate_counts[GateType.OR] == 2
+
+
+def test_networks_equivalent_on_detects_difference():
+    a = Network("x")
+    a.add_inputs(["p", "q"])
+    a.add_gate("z", "AND", ["p", "q"])
+    a.set_outputs(["z"])
+    b = Network("y")
+    b.add_inputs(["p", "q"])
+    b.add_gate("z", "OR", ["p", "q"])
+    b.set_outputs(["z"])
+    vectors = list(all_vectors(["p", "q"]))
+    assert not networks_equivalent_on(a, b, vectors)
+    assert networks_equivalent_on(a, a.copy(), vectors)
+
+
+def test_networks_equivalent_requires_same_interface():
+    a = Network("x")
+    a.add_input("p")
+    a.add_gate("z", "BUF", ["p"])
+    a.set_outputs(["z"])
+    b = Network("y")
+    b.add_inputs(["p", "q"])
+    b.add_gate("z", "BUF", ["p"])
+    b.set_outputs(["z"])
+    assert not networks_equivalent_on(a, b, [])

@@ -1,0 +1,122 @@
+"""End-to-end reproduction of every number in the paper's Section 4.
+
+This is the canonical "does the reproduction reproduce" test module: each
+test states the paper's claim and checks our pipeline against it.
+"""
+
+import pytest
+
+from repro.circuits.adders import carry_skip_block, cascade_adder
+from repro.core.demand import DemandDrivenAnalyzer, flat_functional_delay
+from repro.core.hier import HierarchicalAnalyzer
+from repro.core.required import characterize_network
+from repro.core.xbd0 import functional_delays
+from repro.sta.topological import arrival_times, pin_to_pin_delay
+
+
+@pytest.fixture(scope="module")
+def models():
+    return characterize_network(carry_skip_block(2))
+
+
+class TestSection31Models:
+    """T_s0 = {(2,4,4,-inf,-inf)}, T_s1 = {(4,6,6,4,4)}, T_cout = {(2,8,8,6,6)}."""
+
+    def test_t_s0(self, models):
+        assert models["s0"].tuples == (
+            (2.0, 4.0, 4.0, float("-inf"), float("-inf")),
+        )
+
+    def test_t_s1(self, models):
+        assert models["s1"].tuples == ((4.0, 6.0, 6.0, 4.0, 4.0),)
+
+    def test_t_cout(self, models):
+        assert models["c_out"].tuples == ((2.0, 8.0, 8.0, 6.0, 6.0),)
+
+    def test_s_models_match_topological(self, models, csa_block2):
+        """Paper: "The timing models for s0 and s1 are exactly the same as
+        those under topological analysis."""
+        for out in ("s0", "s1"):
+            for x, d in zip(models[out].inputs, models[out].tuples[0]):
+                assert d == pin_to_pin_delay(csa_block2, x, out)
+
+    def test_cout_beats_topological_on_cin(self, models, csa_block2):
+        """Paper: "the delay from c_in to c_out is 2 in T_cout while the
+        longest topological path is of length 6."""
+        assert pin_to_pin_delay(csa_block2, "c_in", "c_out") == 6.0
+        assert models["c_out"].delay_from("c_in") == 2.0
+
+
+class TestSection4Cascade:
+    """The 4-bit adder of Figure 2 (two cascaded 2-bit blocks)."""
+
+    def test_tmp_arrival_is_8(self, csa4_design):
+        result = HierarchicalAnalyzer(csa4_design).analyze()
+        assert result.net_times["c2"] == 8.0
+
+    def test_c4_arrival_is_10(self, csa4_design):
+        result = HierarchicalAnalyzer(csa4_design).analyze()
+        assert result.output_times["c4"] == 10.0
+
+    def test_matches_flat_analysis(self, csa4_design):
+        """Paper: "which matches the result of flat analysis"."""
+        hier = HierarchicalAnalyzer(csa4_design).analyze()
+        _, flat_times, _ = flat_functional_delay(csa4_design)
+        assert hier.output_times["c4"] == flat_times["c4"]
+
+    def test_other_outputs_equal_topological(self, csa4_design):
+        """Paper: "The arrival times for all the other primary outputs are
+        the same as their topological delays."""
+        hier = HierarchicalAnalyzer(csa4_design).analyze()
+        flat = csa4_design.flatten()
+        at = arrival_times(flat)
+        for out in ("s0", "s1", "s2", "s3"):
+            assert hier.output_times[out] == at[out]
+
+    @pytest.mark.parametrize("blocks", [1, 2, 3, 4, 6, 8])
+    def test_closed_form_2n_plus_6(self, blocks):
+        """Paper: delay of the last carry of n cascaded 2-bit adders is
+        2n + 6 (verified against flat analysis at least up to n = 8)."""
+        design = cascade_adder(2 * blocks, 2)
+        hier = HierarchicalAnalyzer(design).analyze()
+        assert hier.output_times[f"c{2 * blocks}"] == 2 * blocks + 6
+
+    @pytest.mark.parametrize("blocks", [2, 4, 8])
+    def test_closed_form_matches_flat(self, blocks):
+        design = cascade_adder(2 * blocks, 2)
+        flat = design.flatten()
+        got = functional_delays(flat, outputs=(f"c{2 * blocks}",))
+        assert got[f"c{2 * blocks}"] == 2 * blocks + 6
+
+
+class TestFigure5:
+    """arr(c_in)=5, others 0: c_out at 8; slack(c_in) = +1 vs topo -3."""
+
+    def test_cout_under_fig5_arrivals(self, csa_block2):
+        got = functional_delays(csa_block2, {"c_in": 5.0})
+        assert got["c_out"] == 8.0
+
+    def test_functional_slack_plus_one(self, models):
+        assert models["c_out"].input_slack({"c_in": 5.0}, "c_in") == 1.0
+
+    def test_topological_slack_minus_three(self, csa_block2):
+        # required 8 at c_out, topological path from c_in is 6:
+        # required(c_in) = 2, arrival 5 -> slack -3
+        longest = pin_to_pin_delay(csa_block2, "c_in", "c_out")
+        assert (8.0 - longest) - 5.0 == -3.0
+
+    def test_delaying_cin_by_one_is_free(self, csa_block2):
+        for arr, want in ((5.0, 8.0), (6.0, 8.0), (7.0, 9.0)):
+            got = functional_delays(csa_block2, {"c_in": arr})
+            assert got["c_out"] == want
+
+
+class TestSaldanhaArrivalCase:
+    """[7] analyzes the block under arr(c_in)=5, others 0: delay 8 with
+    a0/b0 critical (0 + 8)."""
+
+    def test_demand_driven_agrees(self):
+        design = cascade_adder(2, 2)
+        analyzer = DemandDrivenAnalyzer(design)
+        result = analyzer.analyze({"c_in": 5.0})
+        assert result.output_times["c2"] == 8.0

@@ -1,0 +1,81 @@
+"""Tests for the polygon picture (Figures 3-5)."""
+
+import pytest
+
+from repro.core.polygon import (
+    place_polygon,
+    render_polygon_ascii,
+    stack_cascade,
+)
+from repro.core.timing_model import NEG_INF, POS_INF, TimingModel
+from repro.errors import AnalysisError
+
+COUT = TimingModel(
+    "c_out",
+    ("c_in", "a0", "b0", "a1", "b1"),
+    ((2.0, 8.0, 8.0, 6.0, 6.0),),
+)
+
+
+class TestPlacement:
+    def test_all_zero_arrivals(self):
+        p = place_polygon(COUT, {})
+        assert p.stable_time == 8.0
+        assert set(p.critical) == {"a0", "b0"}
+        assert p.bottoms == (6.0, 0.0, 0.0, 2.0, 2.0)
+
+    def test_fig5_arrival(self):
+        p = place_polygon(COUT, {"c_in": 5.0})
+        assert p.stable_time == 8.0
+        assert set(p.critical) == {"a0", "b0"}
+        # c_in's column bottom sits at 6, one unit above its arrival of 5
+        assert p.bottoms[0] == 6.0
+
+    def test_late_cin_becomes_critical(self):
+        p = place_polygon(COUT, {"c_in": 8.0})
+        assert p.stable_time == 10.0
+        assert p.critical == ("c_in",)
+
+    def test_multi_tuple_picks_lowest(self):
+        model = TimingModel("z", ("a", "b"), ((4.0, NEG_INF), (NEG_INF, 2.0)))
+        p = place_polygon(model, {"a": 0.0, "b": 0.0})
+        assert p.stable_time == 2.0
+        assert p.tuple_index == 1
+        assert p.bottoms[0] == POS_INF  # absent column in the chosen tuple
+
+
+class TestStacking:
+    def test_fig4_two_stages(self):
+        placements = stack_cascade(
+            [COUT, COUT], [("c_in", "c_out"), ("c_in", "c_out")], {}
+        )
+        assert placements[0].stable_time == 8.0
+        assert placements[1].stable_time == 10.0
+        assert placements[1].critical == ("c_in",)
+
+    def test_chain_length_mismatch_raises(self):
+        with pytest.raises(AnalysisError):
+            stack_cascade([COUT], [("c_in", "c_out"), ("c_in", "c_out")], {})
+
+    def test_eight_stage_closed_form(self):
+        """Paper: n cascaded 2-bit blocks -> last carry at 2n + 6."""
+        for n in range(1, 9):
+            placements = stack_cascade(
+                [COUT] * n, [("c_in", "c_out")] * n, {}
+            )
+            assert placements[-1].stable_time == 2 * n + 6
+
+
+class TestRender:
+    def test_render_contains_key_facts(self):
+        p = place_polygon(COUT, {"c_in": 5.0})
+        text = render_polygon_ascii(p, {"c_in": 5.0})
+        assert "stable" in text and "8" in text
+        assert "c_in" in text and "a0" in text
+        assert "critical inputs: a0, b0" in text
+
+    def test_render_handles_absent_columns(self):
+        model = TimingModel("z", ("a", "b"), ((1.0, NEG_INF),))
+        p = place_polygon(model, {})
+        text = render_polygon_ascii(p, {})
+        assert "none" in text

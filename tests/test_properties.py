@@ -1,0 +1,123 @@
+"""Cross-cutting property tests for the invariants in DESIGN.md §7."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.adders import cascade_adder
+from repro.circuits.partition import cascade_bipartition
+from repro.circuits.random_logic import random_network
+from repro.core.required import approx_required_tuples
+from repro.core.xbd0 import StabilityAnalyzer
+from repro.netlist.ops import networks_equivalent_on
+from repro.sat.solver import SolveResult, solve_cnf
+from repro.sat.tseitin import miter_cnf
+from repro.sim.timed import stable_times
+from repro.sim.vectors import random_vectors
+from repro.sta.topological import arrival_times
+
+
+class TestMonotoneSpeedup:
+    """XBD0's monotone speedup property (paper footnote 7): making any
+    input arrive earlier never worsens the stability of an output."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000), st.data())
+    def test_earlier_arrival_never_hurts(self, seed, data):
+        net = random_network(4, 10, seed=seed, num_outputs=1)
+        out = net.outputs[0]
+        base_arrival = {
+            x: float(data.draw(st.integers(0, 4))) for x in net.inputs
+        }
+        sped_up = dict(base_arrival)
+        victim = data.draw(st.sampled_from(sorted(net.inputs)))
+        sped_up[victim] = base_arrival[victim] - float(
+            data.draw(st.integers(1, 3))
+        )
+        base = StabilityAnalyzer(net, base_arrival).functional_delay(out)
+        faster = StabilityAnalyzer(net, sped_up).functional_delay(out)
+        assert faster <= base + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000), st.data())
+    def test_per_vector_monotone(self, seed, data):
+        net = random_network(4, 10, seed=seed, num_outputs=1)
+        out = net.outputs[0]
+        vec = {x: data.draw(st.booleans()) for x in net.inputs}
+        base_arrival = {
+            x: float(data.draw(st.integers(0, 4))) for x in net.inputs
+        }
+        sped_up = {x: t - 1.0 for x, t in base_arrival.items()}
+        base = stable_times(net, vec, base_arrival)[out]
+        faster = stable_times(net, vec, sped_up)[out]
+        assert faster <= base + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_stability_monotone_in_time(self, seed):
+        net = random_network(4, 12, seed=seed, num_outputs=1)
+        out = net.outputs[0]
+        analyzer = StabilityAnalyzer(net)
+        topo = arrival_times(net)[out]
+        flags = [
+            analyzer.stable_at(out, t)
+            for t in (topo - 3, topo - 2, topo - 1, topo, topo + 1)
+        ]
+        assert flags == sorted(flags)
+        assert flags[-1] is True  # topological arrival always suffices
+
+
+class TestFlattening:
+    @settings(max_examples=6, deadline=None)
+    @given(st.sampled_from([(4, 2), (6, 2), (8, 4), (6, 3)]))
+    def test_cascade_flatten_miter_unsat(self, nm):
+        """SAT-proved equivalence of hierarchy vs reference ripple sum."""
+        n, m = nm
+        design = cascade_adder(n, m)
+        flat = design.flatten()
+        # self-miter against an independent flattening
+        again = design.flatten(name="again")
+        cnf, _ = miter_cnf(flat, again)
+        result, _ = solve_cnf(cnf)
+        assert result is SolveResult.UNSAT
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_bipartition_flatten_equivalence(self, seed):
+        net = random_network(6, 20, seed=seed, num_outputs=2)
+        try:
+            design = cascade_bipartition(net)
+        except Exception:
+            return
+        assert networks_equivalent_on(
+            net, design.flatten(), random_vectors(net.inputs, 24, seed=seed)
+        )
+
+
+class TestRequiredTupleSoundness:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(-4, 4))
+    def test_tuples_valid_at_any_required_time(self, seed, required):
+        net = random_network(4, 10, seed=seed, num_outputs=1)
+        out = net.outputs[0]
+        result = approx_required_tuples(net, out, required=float(required))
+        cone = net.extract_cone(out)
+        for tup in result.tuples:
+            arrival = dict(zip(result.inputs, tup))
+            analyzer = StabilityAnalyzer(cone, arrival)
+            assert analyzer.stable_at(out, float(required))
+
+
+class TestEngineAgreementOnChecks:
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(-2, 8))
+    def test_stable_at_same_verdict(self, seed, t):
+        net = random_network(5, 12, seed=seed, num_outputs=1)
+        out = net.outputs[0]
+        verdicts = {
+            engine: StabilityAnalyzer(net, engine=engine).stable_at(
+                out, float(t)
+            )
+            for engine in ("sat", "bdd", "brute")
+        }
+        assert len(set(verdicts.values())) == 1, verdicts

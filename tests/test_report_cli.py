@@ -1,0 +1,153 @@
+"""Tests for k-worst-paths, timing reports, and the CLI."""
+
+import pytest
+
+from repro.circuits.adders import carry_skip_block
+from repro.circuits.iscaslike import c17
+from repro.cli import load_circuit, main, parse_arrivals
+from repro.errors import AnalysisError, ReproError
+from repro.netlist.network import Network
+from repro.parsers.bench import dumps_bench
+from repro.parsers.blif import dumps_blif
+from repro.sta.paths import k_worst_paths
+from repro.sta.report import functional_timing_report, timing_report
+from repro.sta.topological import arrival_times, pin_to_pin_delay
+
+
+class TestKWorstPaths:
+    def test_ordering_and_count(self, csa_block2):
+        paths = k_worst_paths(csa_block2, "c_out", 6)
+        delays = [d for _, d in paths]
+        assert delays == sorted(delays, reverse=True)
+        assert delays[0] == 8.0
+        assert len(paths) == 6
+
+    def test_first_path_matches_arrival(self, csa_block2):
+        at = arrival_times(csa_block2)
+        for out in csa_block2.outputs:
+            paths = k_worst_paths(csa_block2, out, 1)
+            assert paths[0][1] == at[out]
+
+    def test_paths_are_real(self, csa_block2):
+        for path, delay in k_worst_paths(csa_block2, "c_out", 10):
+            assert csa_block2.is_input(path[0])
+            assert path[-1] == "c_out"
+            # recompute the delay along the path
+            total = 0.0
+            for sig in path[1:]:
+                total += csa_block2.gate(sig).delay
+            assert total == delay
+            # consecutive signals really are connected
+            for a, b in zip(path, path[1:]):
+                assert a in csa_block2.gate(b).fanins
+
+    def test_respects_arrival_times(self, csa_block2):
+        paths = k_worst_paths(csa_block2, "c_out", 1, {"c_in": 10.0})
+        path, delay = paths[0]
+        assert path[0] == "c_in"
+        assert delay == 16.0  # 10 + longest c_in path (6)
+
+    def test_k_zero(self, csa_block2):
+        assert k_worst_paths(csa_block2, "c_out", 0) == []
+
+    def test_unknown_sink(self, csa_block2):
+        with pytest.raises(AnalysisError):
+            k_worst_paths(csa_block2, "ghost")
+
+    def test_exhausts_small_cone(self):
+        net = Network()
+        net.add_inputs(["a", "b"])
+        net.add_gate("z", "AND", ["a", "b"], 1.0)
+        net.set_outputs(["z"])
+        assert len(k_worst_paths(net, "z", 10)) == 2
+
+
+class TestReports:
+    def test_timing_report_contents(self, csa_block2):
+        text = timing_report(csa_block2)
+        assert "Timing report for csa_block2" in text
+        assert "c_out" in text and "slack" in text
+        assert "worst paths to c_out" in text
+        assert "VIOLATED" not in text  # default deadline = worst arrival
+
+    def test_violated_marker(self, csa_block2):
+        text = timing_report(csa_block2, required={"c_out": 5.0})
+        assert "VIOLATED" in text
+
+    def test_functional_report_flags_false_paths(self, csa_block2):
+        text = functional_timing_report(csa_block2, {"c_in": 6.0})
+        assert "pessimism" in text
+        assert "false-path slack" in text
+        # with c_in late, the ripple chain exceeds the stable time
+        assert "c_in ->" in text
+
+    def test_functional_report_quiet_when_no_falsity(self, and2):
+        text = functional_timing_report(and2)
+        assert "false-path slack" not in text
+
+
+class TestCLI:
+    @pytest.fixture()
+    def bench_file(self, tmp_path):
+        f = tmp_path / "c17.bench"
+        f.write_text(dumps_bench(c17()))
+        return str(f)
+
+    @pytest.fixture()
+    def blif_file(self, tmp_path):
+        f = tmp_path / "csa.blif"
+        f.write_text(dumps_blif(carry_skip_block(2)))
+        return str(f)
+
+    def test_load_by_extension(self, bench_file, blif_file):
+        assert load_circuit(bench_file).outputs == ("G22", "G23")
+        assert len(load_circuit(blif_file).outputs) == 3
+
+    def test_load_unknown_extension(self, tmp_path):
+        f = tmp_path / "x.v"
+        f.write_text("")
+        with pytest.raises(ReproError):
+            load_circuit(str(f))
+
+    def test_parse_arrivals(self):
+        assert parse_arrivals(["a=1", "b=2.5"]) == {"a": 1.0, "b": 2.5}
+        with pytest.raises(ReproError):
+            parse_arrivals(["oops"])
+        with pytest.raises(ReproError):
+            parse_arrivals(["a=zebra"])
+
+    def test_report_command(self, bench_file, capsys):
+        assert main(["report", bench_file]) == 0
+        out = capsys.readouterr().out
+        assert "Timing report" in out
+        assert "Functional (XBD0) timing report" in out
+
+    def test_report_topological_only(self, bench_file, capsys):
+        assert main(["report", bench_file, "--topological-only"]) == 0
+        out = capsys.readouterr().out
+        assert "Functional" not in out
+
+    def test_delay_command_with_arrival(self, bench_file, capsys):
+        assert main(["delay", bench_file, "--arrival", "G1=3"]) == 0
+        out = capsys.readouterr().out
+        assert "G22" in out and "G23" in out
+
+    def test_characterize_to_file(self, blif_file, tmp_path, capsys):
+        target = tmp_path / "lib.json"
+        assert main(["characterize", blif_file, "-o", str(target)]) == 0
+        assert target.exists()
+        import json
+
+        doc = json.loads(target.read_text())
+        assert doc["format"] == "repro-timing-library"
+        assert "c_out" in doc["models"]
+
+    def test_error_exit_code(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.bench")
+        assert main(["delay", missing]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_figures_command(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out and "Figure 5" in out

@@ -1,0 +1,242 @@
+"""Unit and property tests for the CNF container and CDCL solver."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.sat.cnf import CNF
+from repro.sat.dimacs import dumps_dimacs, loads_dimacs
+from repro.sat.solver import Solver, SolveResult, luby, solve_cnf
+
+
+class TestCNF:
+    def test_new_vars(self):
+        cnf = CNF()
+        assert cnf.new_vars(3) == [1, 2, 3]
+        assert cnf.num_vars == 3
+
+    def test_unallocated_literal_rejected(self):
+        cnf = CNF(2)
+        with pytest.raises(SolverError):
+            cnf.add_clause((3,))
+
+    def test_zero_literal_rejected(self):
+        cnf = CNF(1)
+        with pytest.raises(SolverError):
+            cnf.add_clause((0,))
+
+    def test_evaluate(self):
+        cnf = CNF(2)
+        cnf.add_clause((1, 2))
+        cnf.add_clause((-1,))
+        assert cnf.evaluate({1: False, 2: True})
+        assert not cnf.evaluate({1: True, 2: True})
+
+    def test_copy_independent(self):
+        cnf = CNF(1)
+        cnf.add_clause((1,))
+        cp = cnf.copy()
+        cp.add_clause((-1,))
+        assert len(cnf) == 1
+        assert len(cp) == 2
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        cnf = CNF(3)
+        cnf.add_clause((1, -2))
+        cnf.add_clause((2, 3))
+        again = loads_dimacs(dumps_dimacs(cnf))
+        assert again.num_vars == 3
+        assert list(again) == list(cnf)
+
+    def test_comments_ignored(self):
+        cnf = loads_dimacs("c hi\np cnf 2 1\n1 -2 0\n")
+        assert cnf.clauses == [(1, -2)]
+
+    def test_clause_before_header_rejected(self):
+        with pytest.raises(Exception):
+            loads_dimacs("1 0\np cnf 1 1\n")
+
+    def test_multiline_clause(self):
+        cnf = loads_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert cnf.clauses == [(1, 2, 3)]
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8
+        ]
+
+    def test_invalid(self):
+        with pytest.raises(SolverError):
+            luby(0)
+
+
+class TestSolverBasics:
+    def test_empty_formula_sat(self):
+        assert Solver(CNF()).solve() is SolveResult.SAT
+
+    def test_unit_clauses(self):
+        cnf = CNF(2)
+        cnf.add_clause((1,))
+        cnf.add_clause((-2,))
+        result, model = solve_cnf(cnf)
+        assert result is SolveResult.SAT
+        assert model[1] is True and model[2] is False
+
+    def test_trivial_unsat(self):
+        cnf = CNF(1)
+        cnf.add_clause((1,))
+        cnf.add_clause((-1,))
+        assert Solver(cnf).solve() is SolveResult.UNSAT
+
+    def test_tautological_clause_dropped(self):
+        cnf = CNF(1)
+        solver = Solver(cnf)
+        solver.add_clause((1, -1))
+        assert solver.solve() is SolveResult.SAT
+
+    def test_propagation_chain(self):
+        # implications 1 -> 2 -> 3 -> -1 force 1 false
+        cnf = CNF(3)
+        cnf.add_clause((-1, 2))
+        cnf.add_clause((-2, 3))
+        cnf.add_clause((-3, -1))
+        cnf.add_clause((1, 2))
+        result, model = solve_cnf(cnf)
+        assert result is SolveResult.SAT
+        assert cnf.evaluate(model)
+
+    def test_model_satisfies_formula(self):
+        cnf = CNF(4)
+        cnf.add_clause((1, 2))
+        cnf.add_clause((-1, 3))
+        cnf.add_clause((-3, -2, 4))
+        cnf.add_clause((-4, 1))
+        result, model = solve_cnf(cnf)
+        assert result is SolveResult.SAT
+        assert cnf.evaluate(model)
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # var p{i}{j}: pigeon i in hole j (i in 0..2, j in 0..1)
+        cnf = CNF(6)
+
+        def var(i, j):
+            return 1 + i * 2 + j
+
+        for i in range(3):
+            cnf.add_clause((var(i, 0), var(i, 1)))
+        for j in range(2):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    cnf.add_clause((-var(i1, j), -var(i2, j)))
+        assert Solver(cnf).solve() is SolveResult.UNSAT
+
+    def test_pigeonhole_4_into_3_unsat(self):
+        cnf = CNF(12)
+
+        def var(i, j):
+            return 1 + i * 3 + j
+
+        for i in range(4):
+            cnf.add_clause(tuple(var(i, j) for j in range(3)))
+        for j in range(3):
+            for i1 in range(4):
+                for i2 in range(i1 + 1, 4):
+                    cnf.add_clause((-var(i1, j), -var(i2, j)))
+        assert Solver(cnf).solve() is SolveResult.UNSAT
+
+    def test_add_clause_mid_search_rejected(self):
+        cnf = CNF(2)
+        cnf.add_clause((1, 2))
+        solver = Solver(cnf)
+        solver.solve()
+        # after solve, decision levels may remain; adding must fail then
+        if solver._trail_lim:
+            with pytest.raises(SolverError):
+                solver.add_clause((1,))
+
+    def test_conflict_limit(self):
+        cnf = CNF(12)
+
+        def var(i, j):
+            return 1 + i * 3 + j
+
+        for i in range(4):
+            cnf.add_clause(tuple(var(i, j) for j in range(3)))
+        for j in range(3):
+            for i1 in range(4):
+                for i2 in range(i1 + 1, 4):
+                    cnf.add_clause((-var(i1, j), -var(i2, j)))
+        with pytest.raises(SolverError):
+            Solver(cnf).solve(conflict_limit=1)
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        cnf = CNF(2)
+        cnf.add_clause((1, 2))
+        solver = Solver(cnf)
+        assert solver.solve(assumptions=[-1]) is SolveResult.SAT
+        assert solver.model()[2] is True
+
+    def test_conflicting_assumptions_unsat(self):
+        cnf = CNF(2)
+        cnf.add_clause((1, 2))
+        solver = Solver(cnf)
+        assert solver.solve(assumptions=[-1, -2]) is SolveResult.UNSAT
+
+    def test_assumption_vs_implication_unsat(self):
+        cnf = CNF(2)
+        cnf.add_clause((-1, 2))
+        solver = Solver(cnf)
+        assert solver.solve(assumptions=[1, -2]) is SolveResult.UNSAT
+
+    def test_reusable_across_assumption_sets(self):
+        cnf = CNF(3)
+        cnf.add_clause((1, 2, 3))
+        solver = Solver(cnf)
+        assert solver.solve(assumptions=[-1, -2]) is SolveResult.SAT
+        assert solver.model()[3] is True
+        assert solver.solve(assumptions=[-1, -3]) is SolveResult.SAT
+        assert solver.model()[2] is True
+        assert solver.solve(assumptions=[-1, -2, -3]) is SolveResult.UNSAT
+        assert solver.solve(assumptions=[]) is SolveResult.SAT
+
+
+def _brute_force_sat(num_vars: int, clauses: list[tuple[int, ...]]) -> bool:
+    for bits in itertools.product((False, True), repeat=num_vars):
+        assignment = {v: bits[v - 1] for v in range(1, num_vars + 1)}
+        if all(
+            any(assignment[abs(l)] == (l > 0) for l in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.data())
+def test_solver_agrees_with_brute_force(data):
+    num_vars = data.draw(st.integers(1, 8))
+    num_clauses = data.draw(st.integers(1, 24))
+    literal = st.integers(1, num_vars).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    clauses = [
+        tuple(data.draw(st.lists(literal, min_size=1, max_size=4)))
+        for _ in range(num_clauses)
+    ]
+    cnf = CNF(num_vars)
+    for c in clauses:
+        cnf.add_clause(c)
+    result, model = solve_cnf(cnf)
+    expected = _brute_force_sat(num_vars, clauses)
+    assert (result is SolveResult.SAT) == expected
+    if model is not None:
+        assert cnf.evaluate(model)

@@ -1,0 +1,110 @@
+"""Tests for SDC exception export."""
+
+import io
+
+from repro.circuits.adders import cascade_adder
+from repro.core.demand import DemandDrivenAnalyzer
+from repro.core.sdc_export import (
+    collect_exceptions,
+    dumps_sdc,
+    export_design_sdc,
+)
+from repro.sta.known_false import KnownFalseAnalyzer
+
+
+class TestCollect:
+    def test_one_exception_per_instance(self):
+        design = cascade_adder(8, 2)
+        result = DemandDrivenAnalyzer(design).analyze()
+        rows = collect_exceptions(design, result)
+        # c_in->c_out refined once at module level -> 4 instance rows
+        assert len(rows) == 4
+        for inst, inp, out, topo, weight in rows:
+            assert (inp, out) == ("c_in", "c_out")
+            assert topo == 6.0
+            assert weight == 2.0
+
+    def test_no_refinements_no_rows(self):
+        from repro.circuits.trees import parity_tree
+        from repro.circuits.partition import cascade_bipartition
+
+        design = cascade_bipartition(parity_tree(8))
+        result = DemandDrivenAnalyzer(design).analyze()
+        assert collect_exceptions(design, result) == []
+
+
+class TestWrite:
+    def test_sdc_text(self):
+        design = cascade_adder(4, 2)
+        result = DemandDrivenAnalyzer(design).analyze()
+        text = dumps_sdc(design, result)
+        assert "set_max_delay 2 -from [get_pins u0/c_in]" in text
+        assert "-to [get_pins u0/c_out]" in text
+        assert ";# topological 6" in text
+
+    def test_separator(self):
+        design = cascade_adder(4, 2)
+        result = DemandDrivenAnalyzer(design).analyze()
+        from repro.core.sdc_export import write_sdc
+
+        buf = io.StringIO()
+        write_sdc(design, result, buf, separator=".")
+        assert "u0.c_in" in buf.getvalue()
+
+    def test_one_step_export(self):
+        design = cascade_adder(8, 2)
+        buf = io.StringIO()
+        count = export_design_sdc(design, buf)
+        assert count == 4
+        assert buf.getvalue().count("set_max_delay") == 4
+
+
+class TestRoundTrip:
+    def test_constraints_reproduce_functional_answer(self):
+        """A topological tool consuming the exported exceptions must land
+        on the demand-driven delay — closing the [1] loop."""
+        design = cascade_adder(16, 2)
+        result = DemandDrivenAnalyzer(design).analyze()
+        annotations = {}
+        for inst, inp, out, _topo, weight in collect_exceptions(
+            design, result
+        ):
+            module_name = design.instances[inst].module_name
+            annotations[(module_name, inp, out)] = weight
+        annotated = KnownFalseAnalyzer(design).analyze(annotations)
+        assert annotated.delay == result.delay
+
+
+class TestCLI:
+    def test_sdc_command(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.parsers.verilog import dumps_verilog
+
+        design = cascade_adder(8, 2)
+        design.name = "csa8_2"
+        f = tmp_path / "csa8_2.v"
+        f.write_text(dumps_verilog(design))
+        assert main(["sdc", str(f)]) == 0
+        out = capsys.readouterr().out
+        assert "set_max_delay" in out
+
+    def test_sdc_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.parsers.verilog import dumps_verilog
+
+        design = cascade_adder(8, 2)
+        design.name = "csa8_2"
+        f = tmp_path / "csa8_2.v"
+        f.write_text(dumps_verilog(design))
+        target = tmp_path / "out.sdc"
+        assert main(["sdc", str(f), "-o", str(target)]) == 0
+        assert "set_max_delay" in target.read_text()
+
+    def test_sdc_rejects_flat(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.circuits.adders import carry_skip_block
+        from repro.parsers.verilog import dumps_verilog
+
+        f = tmp_path / "flat.v"
+        f.write_text(dumps_verilog(carry_skip_block(2)))
+        assert main(["sdc", str(f)]) == 2

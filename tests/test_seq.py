@@ -1,0 +1,114 @@
+"""Tests for the sequential-circuit extension."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.network import Network
+from repro.seq.circuit import Flop, SequentialCircuit
+from repro.seq.generators import accumulator, shift_register
+
+
+def toggle_circuit() -> SequentialCircuit:
+    """Single flop toggling through an inverter."""
+    core = Network("toggle")
+    core.add_input("q0")
+    core.add_gate("d0", "NOT", ["q0"], 1.0)
+    core.set_outputs(["d0"])
+    return SequentialCircuit(core, [Flop("ff0", d="d0", q="q0")])
+
+
+class TestConstruction:
+    def test_q_must_be_core_input(self):
+        core = Network("c")
+        core.add_input("a")
+        core.add_gate("d", "NOT", ["a"], 1.0)
+        core.set_outputs(["d"])
+        with pytest.raises(NetlistError):
+            SequentialCircuit(core, [Flop("f", d="d", q="d")])
+
+    def test_d_must_exist(self):
+        core = Network("c")
+        core.add_input("q")
+        core.add_gate("d", "NOT", ["q"], 1.0)
+        core.set_outputs(["d"])
+        with pytest.raises(NetlistError):
+            SequentialCircuit(core, [Flop("f", d="ghost", q="q")])
+
+    def test_duplicate_q_rejected(self):
+        core = Network("c")
+        core.add_input("q")
+        core.add_gate("d", "NOT", ["q"], 1.0)
+        core.set_outputs(["d"])
+        with pytest.raises(NetlistError):
+            SequentialCircuit(
+                core, [Flop("f1", d="d", q="q"), Flop("f2", d="d", q="q")]
+            )
+
+    def test_pin_partition(self):
+        seq = accumulator(4)
+        assert "in0" in seq.primary_inputs
+        assert "acc0" not in seq.primary_inputs
+        assert "c4" in seq.primary_outputs
+        assert "s0" not in seq.primary_outputs
+        assert set(seq.endpoints()) == {
+            "s0", "s1", "s2", "s3", "c4"
+        }
+
+
+class TestClockPeriod:
+    def test_toggle_period(self):
+        seq = toggle_circuit()
+        assert seq.min_clock_period() == 1.0
+        assert seq.min_clock_period(clk_to_q=0.5, setup=0.25) == 1.75
+
+    def test_functional_beats_topological_on_accumulator(self):
+        seq = accumulator(8, 2)
+        topo = seq.min_clock_period(functional=False)
+        func = seq.min_clock_period(functional=True)
+        assert func < topo
+        # Table-1 numbers carried over: csa8.2 is 16 functional, 26 topo
+        assert func == 16.0
+        assert topo == 26.0
+
+    def test_clk_to_q_shifts_register_paths_only(self):
+        seq = accumulator(4, 2)
+        base = seq.min_clock_period()
+        shifted = seq.min_clock_period(clk_to_q=2.0)
+        assert base < shifted <= base + 2.0
+
+    def test_input_arrival_constrains(self):
+        seq = accumulator(4, 2)
+        base = seq.min_clock_period()
+        late = seq.min_clock_period(input_arrival={"in0": 20.0})
+        assert late > base
+
+    def test_input_arrival_rejects_q_pins(self):
+        seq = accumulator(4, 2)
+        with pytest.raises(NetlistError):
+            seq.min_clock_period(input_arrival={"acc0": 1.0})
+
+    def test_critical_endpoint(self):
+        seq = accumulator(8, 2)
+        pin, time = seq.critical_endpoint()
+        assert time == 16.0
+        assert pin == "s7"  # last sum: carry-in of last block + XOR
+
+    def test_shift_register(self):
+        seq = shift_register(6, taps=2)
+        # critical: feedback XOR chain q -> fb -> d0: 2 units
+        assert seq.min_clock_period() == 2.0
+        assert seq.min_clock_period(functional=False) == 2.0
+
+    def test_accumulator_functional_correctness(self):
+        """One clock tick of the accumulator adds correctly."""
+        seq = accumulator(4, 2)
+        acc = 5
+        addend = 9
+        vec = {"c_in": False}
+        for i in range(4):
+            vec[f"in{i}"] = bool((addend >> i) & 1)
+            vec[f"acc{i}"] = bool((acc >> i) & 1)
+        values = seq.core.output_values(vec)
+        next_acc = sum((1 << i) for i in range(4) if values[f"s{i}"])
+        carry = values["c4"]
+        assert next_acc + (16 if carry else 0) == acc + addend

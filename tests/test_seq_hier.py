@@ -1,0 +1,80 @@
+"""Tests for hierarchical sequential designs."""
+
+import pytest
+
+from repro.circuits.adders import cascade_adder
+from repro.core.demand import flat_functional_delay
+from repro.errors import NetlistError
+from repro.seq.circuit import Flop
+from repro.seq.generators import accumulator
+from repro.seq.hier import SequentialDesign, registered_cascade
+
+
+class TestConstruction:
+    def test_q_must_be_top_input(self):
+        core = cascade_adder(4, 2)
+        with pytest.raises(NetlistError, match="Q net"):
+            SequentialDesign(core, [Flop("f", d="s0", q="s1")])
+
+    def test_d_must_be_top_output(self):
+        core = cascade_adder(4, 2)
+        with pytest.raises(NetlistError, match="D net"):
+            SequentialDesign(core, [Flop("f", d="a0", q="b0")])
+
+    def test_duplicate_q_rejected(self):
+        core = cascade_adder(4, 2)
+        with pytest.raises(NetlistError, match="duplicate"):
+            SequentialDesign(
+                core,
+                [Flop("f1", d="s0", q="b0"), Flop("f2", d="s1", q="b0")],
+            )
+
+    def test_pin_partition(self):
+        seq = registered_cascade(8, 2)
+        assert "a0" in seq.primary_inputs
+        assert "b0" not in seq.primary_inputs
+        assert "c8" in seq.primary_outputs
+        assert "s0" not in seq.primary_outputs
+
+
+class TestClockPeriod:
+    def test_matches_flat_sequential_analysis(self):
+        """The hierarchical sequential clock period equals the flat one
+        (registered accumulator over the same adder)."""
+        hier = registered_cascade(8, 2)
+        flat = accumulator(8, 2)
+        assert hier.min_clock_period() == flat.min_clock_period()
+
+    def test_functional_beats_topological(self):
+        seq = registered_cascade(8, 2)
+        report = seq.clock_report()
+        assert report.period == 16.0
+        assert report.topological_period == 26.0
+        assert report.critical_endpoint == "s7"
+
+    def test_clk_to_q_and_setup(self):
+        seq = registered_cascade(8, 2)
+        base = seq.min_clock_period()
+        dressed = seq.min_clock_period(clk_to_q=1.0, setup=0.5)
+        assert base < dressed <= base + 1.5
+
+    def test_analyzer_cached_across_queries(self):
+        seq = registered_cascade(8, 2)
+        seq.min_clock_period()
+        analyzer = seq._analyzer
+        seq.min_clock_period(clk_to_q=2.0)
+        assert seq._analyzer is analyzer  # refinements reused
+
+    def test_input_constraint_validation(self):
+        seq = registered_cascade(4, 2)
+        with pytest.raises(NetlistError, match="register output"):
+            seq.min_clock_period(input_arrival={"b0": 1.0})
+        with pytest.raises(NetlistError, match="unknown"):
+            seq.min_clock_period(input_arrival={"zz": 1.0})
+
+    def test_endpoint_times_conservative_vs_flat(self):
+        seq = registered_cascade(4, 2)
+        report = seq.clock_report()
+        _, flat_times, _ = flat_functional_delay(seq.core)
+        for endpoint, t in report.endpoint_times.items():
+            assert flat_times[endpoint] <= t + 1e-9

@@ -1,0 +1,96 @@
+"""Stateful property tests: incremental network construction invariants."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.netlist.gates import GateType
+from repro.netlist.network import Network
+from repro.sta.topological import arrival_times
+
+_GATES = [
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.NOT,
+]
+
+
+class NetworkMachine(RuleBasedStateMachine):
+    """Randomly grow a network; structural invariants must always hold."""
+
+    def __init__(self):
+        super().__init__()
+        self.net = Network("stateful")
+        self.counter = 0
+
+    def _fresh(self) -> str:
+        self.counter += 1
+        return f"s{self.counter}"
+
+    @rule()
+    def add_input(self):
+        self.net.add_input(self._fresh())
+
+    @precondition(lambda self: self.counter >= 1)
+    @rule(data=st.data())
+    def add_gate(self, data):
+        signals = list(self.net.signals())
+        gtype = data.draw(st.sampled_from(_GATES))
+        arity = 1 if gtype is GateType.NOT else data.draw(st.integers(1, 3))
+        fanins = [
+            data.draw(st.sampled_from(signals)) for _ in range(arity)
+        ]
+        self.net.add_gate(self._fresh(), gtype, fanins)
+
+    @precondition(lambda self: self.net.num_gates() >= 1)
+    @rule(data=st.data())
+    def declare_output(self, data):
+        gates = list(self.net.gates)
+        self.net.set_outputs([data.draw(st.sampled_from(gates))])
+
+    @invariant()
+    def topological_order_is_consistent(self):
+        order = self.net.topological_order()
+        assert len(order) == len(self.net.inputs) + self.net.num_gates()
+        position = {s: i for i, s in enumerate(order)}
+        for name in self.net.gates:
+            for f in self.net.fanins(name):
+                assert position[f] < position[name]
+
+    @invariant()
+    def fanin_fanout_duality(self):
+        for s in self.net.signals():
+            for sink in self.net.fanouts(s):
+                assert s in self.net.fanins(sink)
+
+    @invariant()
+    def evaluation_total(self):
+        if not self.net.inputs:
+            return
+        vec = {x: False for x in self.net.inputs}
+        values = self.net.evaluate(vec)
+        assert set(values) == set(self.net.signals())
+
+    @invariant()
+    def arrival_times_monotone_along_edges(self):
+        if not self.net.inputs:
+            return
+        at = arrival_times(self.net)
+        for name, gate in self.net.gates.items():
+            for f in gate.fanins:
+                if at[f] != float("-inf"):
+                    assert at[name] >= at[f] + gate.delay - 1e-9
+
+
+NetworkMachineTest = NetworkMachine.TestCase
+NetworkMachineTest.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,60 @@
+"""Tests for the footnote-12 per-instance flat baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.adders import cascade_adder
+from repro.circuits.iscaslike import shared_select_chain
+from repro.circuits.partition import cascade_bipartition
+from repro.circuits.random_logic import random_network
+from repro.core.demand import flat_functional_delay
+from repro.core.hier import HierarchicalAnalyzer
+from repro.core.subflat import SubcircuitFlatAnalyzer
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("n,m", [(4, 2), (8, 2), (8, 4)])
+    def test_matches_flat_on_cascades(self, n, m):
+        design = cascade_adder(n, m)
+        result = SubcircuitFlatAnalyzer(design).analyze()
+        flat_delay, flat_times, _ = flat_functional_delay(design)
+        assert result.delay == flat_delay
+        for out, t in result.output_times.items():
+            assert t == pytest.approx(flat_times[out])
+
+    def test_analyses_scale_with_instances_not_modules(self):
+        design = cascade_adder(16, 2)  # 8 instances, 1 module
+        result = SubcircuitFlatAnalyzer(design).analyze()
+        assert result.module_analyses == 8
+
+    def test_at_least_as_accurate_as_two_step(self):
+        # on the gfp cut both lose the global falsity; check ordering
+        design = cascade_bipartition(shared_select_chain(6), 0.85)
+        sub = SubcircuitFlatAnalyzer(design).analyze()
+        two_step = HierarchicalAnalyzer(design).analyze()
+        flat_delay, _, _ = flat_functional_delay(design)
+        assert flat_delay <= sub.delay <= two_step.delay + 1e-9
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_sandwich_random(self, seed):
+        net = random_network(6, 22, seed=seed, num_outputs=2)
+        try:
+            design = cascade_bipartition(net)
+        except Exception:
+            return
+        sub = SubcircuitFlatAnalyzer(design).analyze()
+        two_step = HierarchicalAnalyzer(design).analyze()
+        flat_delay, _, _ = flat_functional_delay(design)
+        assert flat_delay <= sub.delay + 1e-9
+        assert sub.delay <= two_step.delay + 1e-9
+
+    def test_arrival_condition(self):
+        design = cascade_adder(4, 2)
+        analyzer = SubcircuitFlatAnalyzer(design)
+        base = analyzer.analyze().delay
+        shifted = analyzer.analyze(
+            {x: 1.5 for x in design.inputs}
+        ).delay
+        assert shifted == base + 1.5

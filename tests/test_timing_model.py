@@ -1,0 +1,126 @@
+"""Tests for timing tuples, dominance pruning, and min-max propagation."""
+
+import pytest
+
+from repro.core.timing_model import (
+    NEG_INF,
+    POS_INF,
+    TimingModel,
+    prune_dominated,
+)
+from repro.errors import AnalysisError
+
+
+class TestPruneDominated:
+    def test_keeps_incomparable(self):
+        tuples = [(1.0, 5.0), (5.0, 1.0)]
+        assert set(prune_dominated(tuples)) == set(tuples)
+
+    def test_drops_dominated(self):
+        kept = prune_dominated([(1.0, 1.0), (2.0, 2.0)])
+        assert kept == ((1.0, 1.0),)
+
+    def test_equal_tuples_collapse(self):
+        kept = prune_dominated([(1.0, 2.0), (1.0, 2.0)])
+        assert kept == ((1.0, 2.0),)
+
+    def test_neg_inf_dominates(self):
+        kept = prune_dominated([(NEG_INF, 3.0), (2.0, 3.0)])
+        assert kept == ((NEG_INF, 3.0),)
+
+    def test_partial_domination_chain(self):
+        kept = prune_dominated([(3.0, 3.0), (2.0, 4.0), (1.0, 5.0), (3.0, 4.0)])
+        assert set(kept) == {(3.0, 3.0), (2.0, 4.0), (1.0, 5.0)}
+
+
+class TestTimingModel:
+    def test_requires_tuples(self):
+        with pytest.raises(AnalysisError):
+            TimingModel("z", ("a",), ())
+
+    def test_arity_checked(self):
+        with pytest.raises(AnalysisError):
+            TimingModel("z", ("a", "b"), ((1.0,),))
+
+    def test_topological_factory(self):
+        model = TimingModel.topological("z", ["a", "b", "c"], {"a": 3.0})
+        assert model.tuples == ((3.0, NEG_INF, NEG_INF),)
+
+    def test_stable_time_single_tuple(self):
+        model = TimingModel("z", ("a", "b"), ((2.0, 5.0),))
+        assert model.stable_time({"a": 0.0, "b": 0.0}) == 5.0
+        assert model.stable_time({"a": 10.0, "b": 0.0}) == 12.0
+
+    def test_stable_time_min_over_tuples(self):
+        # two incomparable tuples: either input alone suffices
+        model = TimingModel("z", ("a", "b"), ((1.0, NEG_INF), (NEG_INF, 1.0)))
+        assert model.stable_time({"a": 0.0, "b": 100.0}) == 1.0
+        assert model.stable_time({"a": 100.0, "b": 0.0}) == 1.0
+
+    def test_stable_time_unconstrained_inputs_ignored(self):
+        model = TimingModel("z", ("a", "b"), ((2.0, NEG_INF),))
+        assert model.stable_time({"a": 1.0, "b": 1e9}) == 3.0
+
+    def test_stable_time_default_arrival_zero(self):
+        model = TimingModel("z", ("a",), ((4.0,),))
+        assert model.stable_time({}) == 4.0
+
+    def test_all_unconstrained_tuple(self):
+        model = TimingModel("z", ("a",), ((NEG_INF,),))
+        assert model.stable_time({"a": 7.0}) == NEG_INF
+
+    def test_delay_from(self):
+        model = TimingModel("z", ("a", "b"), ((2.0, 5.0), (3.0, 1.0)))
+        assert model.delay_from("a") == 3.0
+        assert model.delay_from("b") == 5.0
+        with pytest.raises(AnalysisError):
+            model.delay_from("ghost")
+
+    def test_required_tuples(self):
+        model = TimingModel("z", ("a", "b"), ((2.0, NEG_INF),))
+        assert model.required_tuples(0.0) == ((-2.0, POS_INF),)
+        assert model.required_tuples(10.0) == ((8.0, POS_INF),)
+
+    def test_serialization_roundtrip(self):
+        model = TimingModel("z", ("a", "b"), ((2.0, NEG_INF), (1.0, 3.0)))
+        again = TimingModel.from_dict(model.to_dict())
+        assert again == model
+
+    def test_pruned(self):
+        model = TimingModel("z", ("a",), ((2.0,), (3.0,)))
+        assert model.pruned().tuples == ((2.0,),)
+
+
+class TestInputSlack:
+    def test_paper_fig5_slack(self):
+        model = TimingModel(
+            "c_out",
+            ("c_in", "a0", "b0", "a1", "b1"),
+            ((2.0, 8.0, 8.0, 6.0, 6.0),),
+        )
+        arr = {"c_in": 5.0}
+        assert model.stable_time(arr) == 8.0
+        assert model.input_slack(arr, "c_in") == 1.0
+        assert model.input_slack(arr, "a0") == 0.0
+
+    def test_unconstrained_input_infinite_slack(self):
+        model = TimingModel("z", ("a", "b"), ((2.0, NEG_INF),))
+        assert model.input_slack({}, "b") == POS_INF
+
+    def test_multi_tuple_slack_uses_best_certifying_tuple(self):
+        # tuple 1 makes 'a' critical at T0=5; tuple 2 ignores 'a' but can
+        # only certify 8 > T0, so it cannot grant 'a' any slack: any delay
+        # on 'a' moves the stable time.
+        model = TimingModel("z", ("a", "b"), ((5.0, 1.0), (NEG_INF, 8.0)))
+        arr = {"a": 0.0, "b": 0.0}
+        assert model.stable_time(arr) == 5.0
+        assert model.input_slack(arr, "a") == 0.0
+        # but if the second tuple certifies T0 itself, 'a' is free forever
+        model2 = TimingModel("z", ("a", "b"), ((5.0, 1.0), (NEG_INF, 5.0)))
+        assert model2.stable_time(arr) == 5.0
+        assert model2.input_slack(arr, "a") == POS_INF
+
+    def test_unknown_input_raises(self):
+        model = TimingModel("z", ("a",), ((1.0,),))
+        with pytest.raises(AnalysisError):
+            model.input_slack({}, "zz")

@@ -1,0 +1,151 @@
+"""Tests for the event-driven waveform simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.adders import carry_skip_block
+from repro.circuits.random_logic import random_network
+from repro.core.xbd0 import StabilityAnalyzer
+from repro.errors import AnalysisError
+from repro.netlist.network import Network
+from repro.sim.waveform import (
+    Waveform,
+    last_output_event,
+    last_transition_bound,
+    simulate_transition,
+    transition_pairs,
+)
+
+
+def inverter_chain(n: int) -> Network:
+    net = Network("chain")
+    net.add_input("a")
+    prev = "a"
+    for i in range(n):
+        prev = net.add_gate(f"n{i}", "NOT", [prev], 1.0)
+    net.set_outputs([prev])
+    return net
+
+
+class TestWaveform:
+    def test_value_at(self):
+        wf = Waveform(initial=False, events=[(1.0, True), (3.0, False)])
+        assert wf.value_at(0.5) is False
+        assert wf.value_at(1.0) is True
+        assert wf.value_at(2.9) is True
+        assert wf.value_at(3.0) is False
+        assert wf.final is False
+        assert wf.last_event_time == 3.0
+
+    def test_quiet_signal(self):
+        wf = Waveform(initial=True)
+        assert wf.final is True
+        assert wf.last_event_time == float("-inf")
+
+
+class TestSimulateTransition:
+    def test_chain_propagation(self):
+        net = inverter_chain(3)
+        waveforms = simulate_transition(net, {"a": False}, {"a": True})
+        assert waveforms["a"].events == [(0.0, True)]
+        assert waveforms["n0"].events == [(1.0, False)]
+        assert waveforms["n2"].events == [(3.0, False)]
+
+    def test_no_change_no_events(self):
+        net = inverter_chain(2)
+        waveforms = simulate_transition(net, {"a": True}, {"a": True})
+        assert all(not wf.events for wf in waveforms.values())
+
+    def test_final_values_match_static_evaluation(self):
+        net = carry_skip_block(2)
+        src = {x: False for x in net.inputs}
+        dst = {x: True for x in net.inputs}
+        waveforms = simulate_transition(net, src, dst)
+        expected = net.evaluate(dst)
+        for sig, wf in waveforms.items():
+            assert wf.final == expected[sig], sig
+
+    def test_glitch_captured(self):
+        # z = AND(a, NOT a): static 0 -> 0 but a 0->1 step glitches z high
+        net = Network("glitch")
+        net.add_input("a")
+        net.add_gate("na", "NOT", ["a"], 1.0)
+        net.add_gate("z", "AND", ["a", "na"], 1.0)
+        net.set_outputs(["z"])
+        waveforms = simulate_transition(net, {"a": False}, {"a": True})
+        events = waveforms["z"].events
+        assert events == [(1.0, True), (2.0, False)]
+
+    def test_arrival_offsets(self):
+        net = Network("or2")
+        net.add_inputs(["a", "b"])
+        net.add_gate("z", "OR", ["a", "b"], 1.0)
+        net.set_outputs(["z"])
+        waveforms = simulate_transition(
+            net, {"a": False, "b": False}, {"a": True, "b": True},
+            arrival={"a": 0.0, "b": 5.0},
+        )
+        # z rises from a's edge; b's later rise changes nothing
+        assert waveforms["z"].events == [(1.0, True)]
+
+    def test_missing_target_value_raises(self):
+        net = inverter_chain(1)
+        with pytest.raises(AnalysisError):
+            simulate_transition(net, {"a": False}, {})
+
+
+class TestTransitionPairs:
+    def test_counts(self):
+        pairs = list(transition_pairs(("a", "b")))
+        assert len(pairs) == 12  # 4 * 3
+
+    def test_cap(self):
+        pairs = list(transition_pairs(("a", "b"), cap=5))
+        assert len(pairs) == 5
+
+
+class TestDynamicVsAnalytic:
+    def test_carry_skip_dynamic_bound(self):
+        """No stimulus moves c_out after the XBD0 stable time (8.0)."""
+        net = carry_skip_block(2)
+        dynamic = last_transition_bound(net, "c_out")
+        analytic = StabilityAnalyzer(net).functional_delay("c_out")
+        assert dynamic <= analytic
+        # the ripple path is real under simultaneous switching:
+        assert dynamic == analytic == 8.0
+
+    def test_fig5_dynamic_witness(self):
+        """With c_in arriving at 6, events at c_out still stop by 8."""
+        net = carry_skip_block(2)
+        arrival = {"c_in": 6.0}
+        dynamic = last_transition_bound(net, "c_out", arrival)
+        assert dynamic <= 8.0
+
+    def test_support_cap(self):
+        net = random_network(10, 20, seed=5, num_outputs=1)
+        if len(net.support(net.outputs[0])) > 4:
+            with pytest.raises(AnalysisError):
+                last_transition_bound(net, net.outputs[0], max_inputs=4)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_dynamic_never_exceeds_functional(self, seed):
+        net = random_network(4, 10, seed=seed, num_outputs=1)
+        out = net.outputs[0]
+        dynamic = last_transition_bound(net, out)
+        analytic = StabilityAnalyzer(net).functional_delay(out)
+        assert dynamic <= analytic + 1e-9
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000), st.data())
+    def test_single_stimulus_never_exceeds_functional(self, seed, data):
+        net = random_network(5, 12, seed=seed, num_outputs=2)
+        src = {x: data.draw(st.booleans()) for x in net.inputs}
+        dst = {x: data.draw(st.booleans()) for x in net.inputs}
+        last = last_output_event(net, src, dst)
+        analyzer = StabilityAnalyzer(net)
+        worst = max(
+            analyzer.functional_delay(o) for o in net.outputs
+        )
+        assert last <= worst + 1e-9

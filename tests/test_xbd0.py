@@ -1,0 +1,182 @@
+"""Tests for the XBD0 stability-function engine (the core of the library)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.adders import carry_skip_block
+from repro.circuits.random_logic import random_network
+from repro.core.xbd0 import (
+    NEG_INF,
+    StabilityAnalyzer,
+    circuit_delay,
+    functional_delays,
+    topological_upper_bound,
+)
+from repro.errors import AnalysisError
+from repro.netlist.network import Network
+from repro.sim.timed import brute_force_delay, brute_force_stable_at
+from repro.sta.topological import arrival_times
+
+ENGINES = ("sat", "bdd", "brute")
+
+
+class TestStableAt:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_and_gate(self, and2, engine):
+        analyzer = StabilityAnalyzer(and2, engine=engine)
+        assert not analyzer.stable_at("z", 0.5)
+        assert analyzer.stable_at("z", 1.0)
+        assert analyzer.stable_at("z", 2.0)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_carry_skip_known_threshold(self, csa_block2, engine):
+        analyzer = StabilityAnalyzer(csa_block2, engine=engine)
+        assert not analyzer.stable_at("c_out", 7.0)
+        assert analyzer.stable_at("c_out", 8.0)
+
+    def test_unconstrained_input_still_stabilizes_controlled_gate(self):
+        # z = AND(a, b): with b unconstrained (-inf = always there) the
+        # output still waits on a.
+        net = Network()
+        net.add_inputs(["a", "b"])
+        net.add_gate("z", "AND", ["a", "b"], 1.0)
+        net.set_outputs(["z"])
+        analyzer = StabilityAnalyzer(net, {"b": NEG_INF})
+        assert analyzer.stable_at("z", 1.0)
+        assert not analyzer.stable_at("z", 0.5)
+
+    def test_never_arriving_input(self):
+        # b arrives at +inf: output can never be stable for vectors that
+        # depend on it, so stability must fail at any finite time.
+        net = Network()
+        net.add_inputs(["a", "b"])
+        net.add_gate("z", "AND", ["a", "b"], 1.0)
+        net.set_outputs(["z"])
+        analyzer = StabilityAnalyzer(net, {"b": float("inf")})
+        assert not analyzer.stable_at("z", 100.0)
+
+    def test_paper_tuple_condition(self, csa_block2):
+        # the (2,8,8,6,6) tuple: valid at exactly those offsets, invalid
+        # if c_in is given one unit less margin
+        good = {"c_in": -2.0, "a0": -8.0, "b0": -8.0, "a1": -6.0, "b1": -6.0}
+        assert StabilityAnalyzer(csa_block2, good).stable_at("c_out", 0.0)
+        bad = dict(good, c_in=-1.0)
+        # loosening c_in by 1 keeps falsity? check against brute force
+        expected = brute_force_stable_at(csa_block2, "c_out", 0.0, bad)
+        assert StabilityAnalyzer(csa_block2, bad).stable_at(
+            "c_out", 0.0
+        ) == expected
+
+    def test_monotone_in_time(self, csa_block2):
+        analyzer = StabilityAnalyzer(csa_block2)
+        times = [0.0, 2.0, 4.0, 6.0, 7.0, 8.0, 10.0]
+        flags = [analyzer.stable_at("c_out", t) for t in times]
+        # once stable, stays stable
+        assert flags == sorted(flags)
+
+
+class TestFunctionalDelay:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_carry_skip_all_outputs(self, csa_block2, engine):
+        delays = functional_delays(csa_block2, engine=engine)
+        assert delays == {"s0": 4.0, "s1": 6.0, "c_out": 8.0}
+
+    def test_fig5_arrival_condition(self, csa_block2):
+        delays = functional_delays(csa_block2, {"c_in": 5.0})
+        assert delays["c_out"] == 8.0
+        delays = functional_delays(csa_block2, {"c_in": 7.0})
+        assert delays["c_out"] == 9.0
+
+    def test_constant_output(self):
+        net = Network()
+        net.add_input("a")
+        net.add_gate("k", "CONST1", [], 1.0)
+        net.add_gate("z", "OR", ["a", "k"], 1.0)
+        net.set_outputs(["z"])
+        assert functional_delays(net)["z"] == NEG_INF
+
+    def test_functionally_constant_but_not_structurally(self):
+        # z = a AND NOT a == 0, but before 'a' arrives the gates can
+        # glitch, so the stable time is the real path delay, not -inf.
+        net = Network()
+        net.add_input("a")
+        net.add_gate("n", "NOT", ["a"], 1.0)
+        net.add_gate("z", "AND", ["a", "n"], 1.0)
+        net.set_outputs(["z"])
+        assert functional_delays(net)["z"] == 2.0
+
+    def test_circuit_delay_is_max(self, csa_block2):
+        assert circuit_delay(csa_block2) == 8.0
+
+    def test_unknown_output_raises(self, csa_block2):
+        with pytest.raises(AnalysisError):
+            StabilityAnalyzer(csa_block2).functional_delay("ghost")
+
+    def test_false_path_visible_under_late_side_input(self, false_path_circuit):
+        # all inputs at 0: chain dominates (delay 5)
+        assert functional_delays(false_path_circuit)["z"] == 5.0
+        # chain start 'a' delayed: when s=1 mux passes 'a' directly, but
+        # when s=0 the chain matters -> both see a's lateness; the skip
+        # keeps the delay at a+? check against the oracle
+        arr = {"a": 10.0}
+        want = brute_force_delay(false_path_circuit, "z", arr)
+        assert functional_delays(false_path_circuit, arr)["z"] == want
+
+
+class TestEnginesAgree:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_circuits_all_engines_match_oracle(self, seed):
+        net = random_network(5, 12, seed=seed, num_outputs=2)
+        for out in net.outputs:
+            oracle = brute_force_delay(net, out)
+            for engine in ENGINES:
+                got = StabilityAnalyzer(net, engine=engine).functional_delay(out)
+                assert got == pytest.approx(oracle), (out, engine)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000), st.data())
+    def test_random_arrival_conditions(self, seed, data):
+        net = random_network(4, 10, seed=seed, num_outputs=1)
+        arrival = {
+            x: float(data.draw(st.integers(-3, 3))) for x in net.inputs
+        }
+        out = net.outputs[0]
+        oracle = brute_force_delay(net, out, arrival)
+        got = StabilityAnalyzer(net, arrival).functional_delay(out)
+        assert got == pytest.approx(oracle)
+
+
+class TestBounds:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_delay_between_zero_and_topological(self, seed):
+        net = random_network(6, 18, seed=seed, num_outputs=2)
+        at = arrival_times(net)
+        delays = functional_delays(net)
+        for o in net.outputs:
+            assert delays[o] <= at[o] + 1e-9
+
+    def test_topological_upper_bound_helper(self, csa_block2):
+        assert topological_upper_bound(csa_block2) == 8.0
+
+
+class TestStats:
+    def test_sat_calls_counted(self, csa_block2):
+        analyzer = StabilityAnalyzer(csa_block2)
+        analyzer.functional_delay("c_out")
+        assert analyzer.stats["stability_checks"] > 0
+        assert analyzer.stats["sat_calls"] > 0
+
+    def test_brute_engine_rejects_wide_support(self):
+        net = random_network(26, 30, seed=1, num_outputs=1)
+        analyzer = StabilityAnalyzer(net, engine="brute")
+        out = net.outputs[0]
+        if len(net.support(out)) > 24:
+            with pytest.raises(AnalysisError):
+                analyzer.functional_delay(out)
+
+    def test_unknown_engine_rejected(self, csa_block2):
+        with pytest.raises(AnalysisError):
+            StabilityAnalyzer(csa_block2, engine="magic")
