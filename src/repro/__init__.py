@@ -21,6 +21,8 @@ The public API re-exports the main types; subpackages hold the substrates:
 * :mod:`repro.sta`      — topological STA + path-length machinery
 * :mod:`repro.core`     — XBD0 engine, required times, hierarchical and
   demand-driven analysis
+* :mod:`repro.library`  — persistent content-addressed model library with
+  parallel leaf characterization
 * :mod:`repro.circuits` — benchmark generators and partitioning
 * :mod:`repro.bench`    — table/figure regenerators
 """
@@ -33,6 +35,7 @@ from repro.core.hier import HierarchicalAnalyzer, IncrementalAnalyzer
 from repro.core.required import characterize_network, characterize_output
 from repro.core.timing_model import TimingModel
 from repro.core.xbd0 import StabilityAnalyzer, circuit_delay, functional_delays
+from repro.library.store import ModelLibrary
 from repro.netlist.aig import equivalent
 from repro.netlist.hierarchy import HierDesign, Instance, Module
 from repro.netlist.network import Gate, GateType, Network
@@ -50,6 +53,7 @@ __all__ = [
     "HierarchicalAnalyzer",
     "IncrementalAnalyzer",
     "Instance",
+    "ModelLibrary",
     "Module",
     "Network",
     "SequentialCircuit",

@@ -85,7 +85,10 @@ def cmd_delay(args: argparse.Namespace) -> int:
 
 
 def cmd_hier_report(args: argparse.Namespace) -> int:
-    from repro.core.design_report import design_timing_report
+    from repro.core.design_report import (
+        design_timing_report,
+        library_timing_report,
+    )
     from repro.netlist.hierarchy import HierDesign
     from repro.parsers.verilog import read_verilog
 
@@ -98,14 +101,34 @@ def cmd_hier_report(args: argparse.Namespace) -> int:
         raise ReproError(
             "file holds a single flat module; use 'report' instead"
         )
-    print(
-        design_timing_report(
-            circuit,
-            parse_arrivals(args.arrival),
-            engine=args.engine,
-            show_nets=args.nets,
+    arrival = parse_arrivals(args.arrival)
+    if args.cache_dir is not None or args.jobs > 1:
+        from repro.library.store import ModelLibrary
+
+        library = (
+            ModelLibrary(args.cache_dir)
+            if args.cache_dir is not None
+            else None
         )
-    )
+        print(
+            library_timing_report(
+                circuit,
+                arrival,
+                engine=args.engine,
+                show_nets=args.nets,
+                library=library,
+                jobs=args.jobs,
+            )
+        )
+    else:
+        print(
+            design_timing_report(
+                circuit,
+                arrival,
+                engine=args.engine,
+                show_nets=args.nets,
+            )
+        )
     return 0
 
 
@@ -133,7 +156,26 @@ def cmd_sdc(args: argparse.Namespace) -> int:
 
 def cmd_characterize(args: argparse.Namespace) -> int:
     net = load_circuit(args.circuit)
-    models = characterize_network(net, engine=args.engine)
+    if args.cache_dir is not None or args.jobs > 1:
+        from repro.library.scheduler import characterize_network_parallel
+        from repro.library.store import ModelLibrary
+
+        library = (
+            ModelLibrary(args.cache_dir)
+            if args.cache_dir is not None
+            else None
+        )
+        models = characterize_network_parallel(
+            net, jobs=args.jobs, engine=args.engine, library=library
+        )
+        if library is not None:
+            print(
+                f"model library: {library.stats.hits} hits, "
+                f"{library.stats.characterizations} characterizations",
+                file=sys.stderr,
+            )
+    else:
+        models = characterize_network(net, engine=args.engine)
     target = Path(args.output) if args.output else None
     if target is None:
         export_timing_library(
@@ -205,11 +247,27 @@ def build_parser() -> argparse.ArgumentParser:
     add_circuit_opts(delay)
     delay.set_defaults(func=cmd_delay)
 
+    def add_cache_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="characterize with N worker processes (default 1)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="persistent model-library directory (default: no cache)",
+        )
+
     hier = sub.add_parser(
         "hier-report",
         help="demand-driven report for a hierarchical Verilog design",
     )
     add_circuit_opts(hier)
+    add_cache_opts(hier)
     hier.add_argument(
         "--nets", action="store_true", help="include the per-net table"
     )
@@ -227,6 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
         "characterize", help="write a black-box timing library (JSON)"
     )
     add_circuit_opts(character)
+    add_cache_opts(character)
     character.add_argument(
         "-o", "--output", help="output file (default: stdout)"
     )

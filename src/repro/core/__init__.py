@@ -2,7 +2,11 @@
 
 from repro.core.budget import InputBudget, input_budgets
 from repro.core.conditional import ConditionalAnalyzer, ConditionalResult
-from repro.core.design_report import design_timing_report, render_design_report
+from repro.core.design_report import (
+    design_timing_report,
+    library_timing_report,
+    render_design_report,
+)
 from repro.core.demand import (
     DemandDrivenAnalyzer,
     DemandDrivenResult,
@@ -109,6 +113,7 @@ __all__ = [
     "import_timing_library",
     "input_budgets",
     "instance_care_network",
+    "library_timing_report",
     "place_polygon",
     "prune_dominated",
     "render_design_report",

@@ -22,15 +22,18 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.core.required import characterize_network
 from repro.core.timing_model import NEG_INF, POS_INF, TimingModel
 from repro.core.xbd0 import Engine
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, NetlistError
 from repro.netlist.hierarchy import HierDesign, Module
 from repro.netlist.network import Network
 from repro.sta.paths import all_pin_path_lengths
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.library.store import ModelLibrary
 
 
 def topological_models(network: Network) -> dict[str, TimingModel]:
@@ -95,6 +98,13 @@ class HierarchicalAnalyzer:
     functional:
         If False, use topological pin-to-pin models instead (the baseline
         hierarchical-topological analyzer).
+    library:
+        Optional :class:`~repro.library.store.ModelLibrary`.  Cached
+        models short-circuit Step 1; fresh characterizations are stored
+        back.  Only consulted for functional models (topological ones
+        are cheaper than a lookup).
+    jobs:
+        Default worker-process count for :meth:`characterize_all`.
     """
 
     def __init__(
@@ -104,6 +114,8 @@ class HierarchicalAnalyzer:
         functional: bool = True,
         max_orders: int = 4,
         max_tuples: int = 8,
+        library: "ModelLibrary | None" = None,
+        jobs: int = 1,
     ):
         design.validate()
         self.design = design
@@ -111,6 +123,8 @@ class HierarchicalAnalyzer:
         self.functional = functional
         self.max_orders = max_orders
         self.max_tuples = max_tuples
+        self.library = library
+        self.jobs = max(1, int(jobs))
         self._models: dict[str, dict[str, TimingModel]] = {}
 
     # ------------------------------------------------------------------ step 1
@@ -139,19 +153,48 @@ class HierarchicalAnalyzer:
         self._models[module_name] = dict(models)
 
     def models_for(self, module_name: str) -> dict[str, TimingModel]:
-        """Cached timing models of one module (characterizing on miss)."""
+        """Cached timing models of one module (characterizing on miss).
+
+        With a :attr:`library`, a hit on the module's structural
+        signature short-circuits characterization entirely; a miss
+        characterizes and stores the result for every later run.
+        """
         if module_name not in self._models or any(
             port not in self._models[module_name]
             for port in self.design.modules[module_name].outputs
         ):
             module = self.design.modules[module_name]
             if self.functional:
-                self._models[module_name] = characterize_module(
-                    module, self.engine, self.max_orders, self.max_tuples
-                )
+                models = None
+                signature = None
+                if self.library is not None:
+                    from repro.library.signature import module_signature
+
+                    signature = module_signature(
+                        module, self.engine, self.max_orders, self.max_tuples
+                    )
+                    models = self.library.lookup(
+                        signature, module.inputs, module.outputs
+                    )
+                if models is None:
+                    t0 = time.perf_counter()
+                    models = characterize_module(
+                        module, self.engine, self.max_orders, self.max_tuples
+                    )
+                    if self.library is not None:
+                        self.library.store(
+                            signature, module.inputs, module.outputs, models
+                        )
+                        self.library.stats.record_characterization(
+                            module_name, time.perf_counter() - t0
+                        )
+                self._models[module_name] = models
             else:
                 self._models[module_name] = topological_models(module.network)
         return self._models[module_name]
+
+    def _note_fresh(self, module_name: str) -> None:
+        """Hook: models for ``module_name`` were installed this run."""
 
     def model_for(self, module_name: str, port: str) -> TimingModel:
         """One output's model, characterized on demand (per-output lazy).
@@ -168,6 +211,21 @@ class HierarchicalAnalyzer:
                 raise AnalysisError(
                     f"{port!r} is not an output of {module_name!r}"
                 )
+            if self.functional and self.library is not None:
+                from repro.library.signature import module_signature
+
+                cached = self.library.lookup(
+                    module_signature(
+                        module, self.engine, self.max_orders, self.max_tuples
+                    ),
+                    module.inputs,
+                    module.outputs,
+                )
+                if cached is not None:
+                    # A library hit covers the whole module; install every
+                    # port so later lazy touches are free too.
+                    models.update(cached)
+                    return models[port]
             network = module.network
             if self.functional:
                 from repro.core.required import characterize_output
@@ -266,13 +324,36 @@ class HierarchicalAnalyzer:
             propagation_seconds=t2 - t1,
         )
 
-    def characterize_all(self) -> tuple[str, ...]:
-        """Characterize every module not yet cached; returns their names."""
+    def characterize_all(self, jobs: int | None = None) -> tuple[str, ...]:
+        """Characterize every module not yet cached; returns their names.
+
+        ``jobs`` (default: the analyzer's ``jobs``) fans functional
+        characterization out over worker processes via the library
+        scheduler; results are identical for any job count.
+        """
+        jobs = self.jobs if jobs is None else max(1, int(jobs))
         fresh = tuple(
             name for name in self.design.modules if name not in self._models
         )
-        for name in fresh:
-            self.models_for(name)
+        if not fresh:
+            return fresh
+        if self.functional and (jobs > 1 or self.library is not None):
+            from repro.library.scheduler import characterize_modules
+
+            results = characterize_modules(
+                {name: self.design.modules[name] for name in fresh},
+                jobs,
+                self.engine,
+                self.max_orders,
+                self.max_tuples,
+                self.library,
+            )
+            for name in fresh:
+                self._models[name] = results[name]
+                self._note_fresh(name)
+        else:
+            for name in fresh:
+                self.models_for(name)
         return fresh
 
     # ------------------------------------------------------------------ step 2
@@ -389,28 +470,28 @@ class IncrementalAnalyzer(HierarchicalAnalyzer):
         super().__init__(design, engine, **kwargs)
         self.recharacterizations: dict[str, int] = {}
 
+    def _note_fresh(self, module_name: str) -> None:
+        self.recharacterizations[module_name] = (
+            self.recharacterizations.get(module_name, 0) + 1
+        )
+
     def models_for(self, module_name: str) -> dict[str, TimingModel]:
         fresh = module_name not in self._models
         models = super().models_for(module_name)
         if fresh:
-            self.recharacterizations[module_name] = (
-                self.recharacterizations.get(module_name, 0) + 1
-            )
+            self._note_fresh(module_name)
         return models
 
     def replace_module(self, module_name: str, new_network: Network) -> None:
         """Swap a module's implementation; only its models are invalidated.
 
-        The new network must keep the same port interface.
+        The new network must keep the same port interface.  With a
+        model library, replacing a module *back* to a structure seen
+        before is free: the next analysis hits the library instead of
+        re-characterizing (Section 3.3's incremental claim, persisted).
         """
-        if module_name not in self.design.modules:
-            raise AnalysisError(f"unknown module {module_name!r}")
-        old = self.design.modules[module_name]
-        if set(old.inputs) != set(new_network.inputs) or set(
-            old.outputs
-        ) != set(new_network.outputs):
-            raise AnalysisError(
-                f"module {module_name!r}: replacement changes the interface"
-            )
-        self.design._modules[module_name] = Module(module_name, new_network)
+        try:
+            self.design.replace_module(module_name, new_network)
+        except NetlistError as exc:
+            raise AnalysisError(str(exc)) from None
         self._models.pop(module_name, None)

@@ -202,6 +202,23 @@ def characterize_output(
     return result.as_timing_model()
 
 
+def expand_model_to_inputs(
+    model: TimingModel, inputs: Sequence[str]
+) -> TimingModel:
+    """Re-align a cone-local model to a full input order.
+
+    Inputs outside the model's support get delay ``-inf``
+    (unconstrained).
+    """
+    expanded = []
+    for tup in model.tuples:
+        by_name = dict(zip(model.inputs, tup))
+        expanded.append(tuple(by_name.get(x, NEG_INF) for x in inputs))
+    return TimingModel(
+        model.output, tuple(inputs), prune_dominated(tuple(expanded))
+    )
+
+
 def characterize_network(
     network: Network,
     engine: Engine = "sat",
@@ -212,21 +229,15 @@ def characterize_network(
 
     Inputs outside an output's support get delay ``-inf``.
     """
-    models: dict[str, TimingModel] = {}
-    for output in network.outputs:
-        local = characterize_output(
-            network, output, engine, max_orders, max_tuples
+    return {
+        output: expand_model_to_inputs(
+            characterize_output(
+                network, output, engine, max_orders, max_tuples
+            ),
+            network.inputs,
         )
-        expanded = []
-        for tup in local.tuples:
-            by_name = dict(zip(local.inputs, tup))
-            expanded.append(
-                tuple(by_name.get(x, NEG_INF) for x in network.inputs)
-            )
-        models[output] = TimingModel(
-            output, network.inputs, prune_dominated(tuple(expanded))
-        )
-    return models
+        for output in network.outputs
+    }
 
 
 # --------------------------------------------------------------------- exact

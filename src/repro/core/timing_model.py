@@ -37,22 +37,31 @@ def prune_dominated(tuples: Iterable[DelayTuple]) -> tuple[DelayTuple, ...]:
     A tuple whose every delay is ≥ another tuple's is redundant: any
     arrival condition it certifies, the smaller tuple certifies at least as
     early a stable time for.
+
+    Sort-then-sweep: a dominator is lexicographically smaller than
+    anything it dominates, so sweeping in lexicographic order only ever
+    compares a candidate against the *minimal* tuples found so far —
+    O(n log n) for the sort plus O(n · |frontier|) for the sweep, and the
+    frontier of pairwise-incomparable survivors is small in practice
+    (models cap it at ``max_tuples``).  Survivors keep their first-seen
+    input order, so truncations like ``prune_dominated(ts)[:k]`` are
+    unaffected by the sweep order.
     """
     unique = list(dict.fromkeys(tuples))
-    kept: list[DelayTuple] = []
-    for cand in unique:
-        dominated = False
-        for other in unique:
-            if other is cand or other == cand:
-                continue
+    if len(unique) <= 1:
+        return tuple(unique)
+    frontier: list[DelayTuple] = []
+    dominated: set[DelayTuple] = set()
+    for cand in sorted(unique):
+        for other in frontier:
             if all(o <= c for o, c in zip(other, cand)):
-                # strict domination somewhere, or exact tie broken by order
-                if any(o < c for o, c in zip(other, cand)):
-                    dominated = True
-                    break
-        if not dominated:
-            kept.append(cand)
-    return tuple(kept)
+                # strict somewhere is guaranteed: equal tuples were
+                # collapsed, and other ≠ cand with other ≤ cand.
+                dominated.add(cand)
+                break
+        else:
+            frontier.append(cand)
+    return tuple(t for t in unique if t not in dominated)
 
 
 @dataclass(frozen=True)

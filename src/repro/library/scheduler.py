@@ -1,0 +1,188 @@
+"""Parallel leaf-module characterization with deterministic merging.
+
+Step 1 of the hierarchical flow is embarrassingly parallel: each leaf
+module (indeed each output cone) is characterized independently.  This
+module fans the uncached work of a :class:`HierDesign` out over a
+``ProcessPoolExecutor``:
+
+* distinct modules sharing one structural signature are characterized
+  once and re-keyed to every twin (content-addressing inside a run, not
+  just across runs);
+* work items are submitted in a fixed order and merged with
+  ``Executor.map``, so results are bit-identical for any ``--jobs N``;
+* if the platform cannot spawn worker processes (restricted sandboxes),
+  the scheduler silently degrades to the serial path — same results,
+  one process.
+
+``characterize_network_parallel`` applies the same treatment to the
+output cones of a single flat network (the ``repro characterize`` CLI).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from time import perf_counter
+from typing import Mapping
+
+from repro.core.required import (
+    characterize_network,
+    characterize_output,
+    expand_model_to_inputs,
+)
+from repro.core.timing_model import TimingModel
+from repro.library.signature import module_signature
+from repro.library.store import ModelLibrary
+from repro.netlist.hierarchy import HierDesign, Module
+from repro.netlist.network import Network
+
+
+def _characterize_module_task(payload):
+    """Worker: characterize one module (top-level for pickling)."""
+    name, network, engine, max_orders, max_tuples = payload
+    t0 = perf_counter()
+    models = characterize_network(network, engine, max_orders, max_tuples)
+    return name, perf_counter() - t0, models
+
+
+def _characterize_output_task(payload):
+    """Worker: characterize one output cone of a flat network."""
+    network, output, engine, max_orders, max_tuples = payload
+    t0 = perf_counter()
+    local = characterize_output(network, output, engine, max_orders, max_tuples)
+    return output, perf_counter() - t0, local
+
+
+def _run_tasks(task, payloads, jobs):
+    """Map ``task`` over ``payloads`` in order, across ``jobs`` processes.
+
+    Falls back to in-process execution when multiprocessing is
+    unavailable or the pool dies before producing results.
+    """
+    if jobs <= 1 or len(payloads) <= 1:
+        return [task(p) for p in payloads]
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(payloads))
+        ) as pool:
+            return list(pool.map(task, payloads))
+    except (OSError, ValueError, ImportError, NotImplementedError, RuntimeError):
+        return [task(p) for p in payloads]
+
+
+def _rekey_models(
+    models: Mapping[str, TimingModel], src: Module, dst: Module
+) -> dict[str, TimingModel]:
+    """Port a structural twin's models onto ``dst``'s port names."""
+    return {
+        d: TimingModel(d, dst.inputs, models[s].tuples)
+        for s, d in zip(src.outputs, dst.outputs)
+    }
+
+
+def characterize_modules(
+    modules: Mapping[str, Module],
+    jobs: int = 1,
+    engine: str = "sat",
+    max_orders: int = 4,
+    max_tuples: int = 8,
+    library: ModelLibrary | None = None,
+) -> dict[str, dict[str, TimingModel]]:
+    """Characterize every module, consulting/filling ``library``.
+
+    Returns ``{module name: {output port: model}}`` with models aligned
+    to each module's own input order.  Results are independent of
+    ``jobs``; modules already present in ``library`` are never
+    re-characterized.
+    """
+    signatures = {
+        name: module_signature(module, engine, max_orders, max_tuples)
+        for name, module in modules.items()
+    }
+    results: dict[str, dict[str, TimingModel]] = {}
+    representative: dict[str, str] = {}
+    pending: list[str] = []
+    for name, module in modules.items():
+        sig = signatures[name]
+        if library is not None:
+            cached = library.lookup(sig, module.inputs, module.outputs)
+            if cached is not None:
+                results[name] = cached
+                representative.setdefault(sig, name)
+                continue
+        if sig not in representative:
+            representative[sig] = name
+            pending.append(name)
+    payloads = [
+        (name, modules[name].network, engine, max_orders, max_tuples)
+        for name in pending
+    ]
+    for name, seconds, models in _run_tasks(
+        _characterize_module_task, payloads, jobs
+    ):
+        results[name] = models
+        if library is not None:
+            module = modules[name]
+            library.store(
+                signatures[name], module.inputs, module.outputs, models
+            )
+            library.stats.record_characterization(name, seconds)
+    for name, module in modules.items():
+        if name in results:
+            continue
+        src_name = representative[signatures[name]]
+        results[name] = _rekey_models(
+            results[src_name], modules[src_name], module
+        )
+    return results
+
+
+def characterize_design(
+    design: HierDesign,
+    jobs: int = 1,
+    engine: str = "sat",
+    max_orders: int = 4,
+    max_tuples: int = 8,
+    library: ModelLibrary | None = None,
+) -> dict[str, dict[str, TimingModel]]:
+    """Step 1 for a whole design: all distinct leaf modules, in parallel."""
+    return characterize_modules(
+        design.modules, jobs, engine, max_orders, max_tuples, library
+    )
+
+
+def characterize_network_parallel(
+    network: Network,
+    jobs: int = 1,
+    engine: str = "sat",
+    max_orders: int = 4,
+    max_tuples: int = 8,
+    library: ModelLibrary | None = None,
+) -> dict[str, TimingModel]:
+    """Like ``characterize_network`` but fanned out per output cone.
+
+    With a ``library``, the whole network is treated as one module:
+    a hit short-circuits every cone, a miss characterizes then stores.
+    """
+    sig = None
+    if library is not None:
+        sig = module_signature(network, engine, max_orders, max_tuples)
+        cached = library.lookup(sig, network.inputs, network.outputs)
+        if cached is not None:
+            return cached
+    payloads = [
+        (network, output, engine, max_orders, max_tuples)
+        for output in network.outputs
+    ]
+    t0 = perf_counter()
+    models = {
+        output: expand_model_to_inputs(local, network.inputs)
+        for output, _seconds, local in _run_tasks(
+            _characterize_output_task, payloads, jobs
+        )
+    }
+    if library is not None and sig is not None:
+        library.store(sig, network.inputs, network.outputs, models)
+        library.stats.record_characterization(
+            network.name, perf_counter() - t0
+        )
+    return models

@@ -1,0 +1,77 @@
+"""Counters for the model library: cache behaviour and characterization cost.
+
+One :class:`LibraryStats` instance lives on each
+:class:`~repro.library.store.ModelLibrary` and is updated by the store,
+the scheduler, and the analyzer hook.  ``hier-report --cache-dir``
+surfaces the rendered block so cache effectiveness is visible per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LibraryStats:
+    """Hit/miss/evict and characterization-time counters."""
+
+    #: Total lookups satisfied from the library (memory or disk).
+    hits: int = 0
+    #: Hits served by the in-memory LRU layer.
+    memory_hits: int = 0
+    #: Hits that had to read (and re-validate) an on-disk entry.
+    disk_hits: int = 0
+    #: Lookups that found nothing usable.
+    misses: int = 0
+    #: Models written to the library.
+    stores: int = 0
+    #: In-memory LRU entries dropped to respect the capacity bound.
+    evictions: int = 0
+    #: On-disk entries rejected as unreadable/malformed (treated as misses).
+    corrupt_entries: int = 0
+    #: On-disk entries rejected for a format/version mismatch.
+    schema_mismatches: int = 0
+    #: Modules actually characterized from their netlists.
+    characterizations: int = 0
+    #: Wall-clock seconds spent in those characterizations.
+    characterization_seconds: float = 0.0
+    #: Module names characterized, in completion order.
+    characterized_modules: list[str] = field(default_factory=list)
+
+    def record_characterization(self, name: str, seconds: float) -> None:
+        """Count one from-netlist characterization of ``name``."""
+        self.characterizations += 1
+        self.characterization_seconds += seconds
+        self.characterized_modules.append(name)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot (for benchmarks and tooling)."""
+        return {
+            "hits": self.hits,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "corrupt_entries": self.corrupt_entries,
+            "schema_mismatches": self.schema_mismatches,
+            "characterizations": self.characterizations,
+            "characterization_seconds": self.characterization_seconds,
+        }
+
+    def render(self, indent: str = "  ") -> str:
+        """Human-readable block for timing reports."""
+        lines = [
+            f"{indent}model library:",
+            f"{indent}  hits                 : {self.hits} "
+            f"({self.memory_hits} memory, {self.disk_hits} disk)",
+            f"{indent}  misses               : {self.misses}",
+            f"{indent}  stores               : {self.stores}",
+            f"{indent}  evictions            : {self.evictions}",
+            f"{indent}  corrupt entries      : {self.corrupt_entries}",
+            f"{indent}  schema mismatches    : {self.schema_mismatches}",
+            f"{indent}  characterizations    : {self.characterizations}",
+            f"{indent}  characterization time: "
+            f"{self.characterization_seconds:.3f}s",
+        ]
+        return "\n".join(lines)

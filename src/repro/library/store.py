@@ -1,0 +1,218 @@
+"""Persistent, content-addressed store of characterized timing models.
+
+Entries are keyed by :func:`~repro.library.signature.module_signature`
+and stored *positionally* — input ports by index, one model per output
+index — so a cached entry serves any module with the same structure
+regardless of port names.  Two layers:
+
+* an in-memory LRU (``max_memory_entries``) holding decoded tuples, and
+* an optional on-disk JSON directory (one file per signature) written
+  atomically via ``os.replace`` so readers never observe a torn entry.
+
+Robustness: any unreadable, malformed, or schema-mismatched disk entry
+is counted and treated as a cache miss — the caller falls back to
+re-characterization and the next store overwrites the bad file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.core.timing_model import TimingModel
+from repro.library.stats import LibraryStats
+
+#: Format marker stored in every on-disk entry.
+FORMAT_NAME = "repro-model-library"
+#: Bump on incompatible payload changes; old entries then re-characterize.
+FORMAT_VERSION = 1
+
+#: Decoded in-memory entry: one tuple-set per output index.
+_Entry = tuple[tuple[tuple[float, ...], ...], ...]
+
+
+class ModelLibrary:
+    """Content-addressed timing-model cache with an LRU memory layer.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for persistent entries (created if missing).  ``None``
+        keeps the library memory-only.
+    max_memory_entries:
+        LRU capacity of the in-memory layer (≥ 1).
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike | None = None,
+        max_memory_entries: int = 256,
+    ):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.max_memory_entries = max(1, int(max_memory_entries))
+        self._memory: OrderedDict[str, _Entry] = OrderedDict()
+        self.stats = LibraryStats()
+
+    # ----------------------------------------------------------------- lookup
+    def path_for(self, signature: str) -> Path | None:
+        """On-disk location of one entry (``None`` when memory-only)."""
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{signature}.json"
+
+    def lookup(
+        self,
+        signature: str,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+    ) -> dict[str, TimingModel] | None:
+        """Models re-keyed to ``inputs``/``outputs``, or ``None`` on miss.
+
+        The positional payload must match the requested port arity; an
+        arity mismatch means the signature collided with a different
+        interface and is treated as corrupt.
+        """
+        entry = self._memory.get(signature)
+        if entry is not None:
+            self._memory.move_to_end(signature)
+            if len(entry) == len(outputs) and all(
+                len(t) == len(inputs) for tuples in entry for t in tuples
+            ):
+                self.stats.hits += 1
+                self.stats.memory_hits += 1
+                return self._rekey(entry, inputs, outputs)
+            self._memory.pop(signature, None)
+            self.stats.corrupt_entries += 1
+        entry = self._read_disk(signature, len(inputs), len(outputs))
+        if entry is not None:
+            self._remember(signature, entry)
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            return self._rekey(entry, inputs, outputs)
+        self.stats.misses += 1
+        return None
+
+    def _read_disk(
+        self, signature: str, num_inputs: int, num_outputs: int
+    ) -> _Entry | None:
+        path = self.path_for(signature)
+        if path is None:
+            return None
+        try:
+            raw = path.read_text()
+        except OSError:
+            return None
+        try:
+            document = json.loads(raw)
+        except (ValueError, RecursionError):
+            self.stats.corrupt_entries += 1
+            return None
+        if not isinstance(document, dict):
+            self.stats.corrupt_entries += 1
+            return None
+        if (
+            document.get("format") != FORMAT_NAME
+            or document.get("version") != FORMAT_VERSION
+        ):
+            self.stats.schema_mismatches += 1
+            return None
+        try:
+            if (
+                document["signature"] != signature
+                or int(document["num_inputs"]) != num_inputs
+            ):
+                self.stats.corrupt_entries += 1
+                return None
+            models = document["models"]
+            if len(models) != num_outputs:
+                self.stats.corrupt_entries += 1
+                return None
+            entry = tuple(
+                tuple(
+                    tuple(float(v) for v in tup) for tup in model["tuples"]
+                )
+                for model in models
+            )
+        except (KeyError, TypeError, ValueError):
+            self.stats.corrupt_entries += 1
+            return None
+        if any(
+            not tuples or any(len(t) != num_inputs for t in tuples)
+            for tuples in entry
+        ):
+            self.stats.corrupt_entries += 1
+            return None
+        return entry
+
+    @staticmethod
+    def _rekey(
+        entry: _Entry, inputs: Sequence[str], outputs: Sequence[str]
+    ) -> dict[str, TimingModel]:
+        return {
+            out: TimingModel(out, tuple(inputs), entry[j])
+            for j, out in enumerate(outputs)
+        }
+
+    # ------------------------------------------------------------------ store
+    def store(
+        self,
+        signature: str,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        models: Mapping[str, TimingModel],
+    ) -> None:
+        """Persist one module's models under ``signature``.
+
+        ``models`` must hold one model per output, aligned with
+        ``inputs`` (the shape produced by ``characterize_network``).
+        """
+        entry: _Entry = tuple(models[out].tuples for out in outputs)
+        self._remember(signature, entry)
+        self.stats.stores += 1
+        path = self.path_for(signature)
+        if path is None:
+            return
+        document = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "signature": signature,
+            "num_inputs": len(inputs),
+            "models": [
+                {"tuples": [list(t) for t in tuples]} for tuples in entry
+            ],
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{signature[:16]}.", suffix=".tmp", dir=self.cache_dir
+        )
+        try:
+            with os.fdopen(fd, "w") as fp:
+                json.dump(document, fp)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _remember(self, signature: str, entry: _Entry) -> None:
+        self._memory[signature] = entry
+        self._memory.move_to_end(signature)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------ misc
+    def __len__(self) -> int:
+        """Number of entries currently in the memory layer."""
+        return len(self._memory)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = str(self.cache_dir) if self.cache_dir else "memory-only"
+        return f"ModelLibrary({where!r}, entries={len(self._memory)})"

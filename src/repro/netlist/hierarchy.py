@@ -114,6 +114,27 @@ class HierDesign:
         """Declare the top-level primary output nets."""
         self._outputs = list(nets)
 
+    def replace_module(self, module_name: str, new_network: Network) -> Module:
+        """Swap one module's implementation (an ECO edit).
+
+        The replacement must keep the same port interface so existing
+        instances stay wired; connectivity and instance order are
+        unchanged, which is why Section 3.3's incremental re-analysis
+        only ever re-characterizes the edited module.
+        """
+        old = self._modules.get(module_name)
+        if old is None:
+            raise NetlistError(f"unknown module {module_name!r}")
+        if set(old.inputs) != set(new_network.inputs) or set(
+            old.outputs
+        ) != set(new_network.outputs):
+            raise NetlistError(
+                f"module {module_name!r}: replacement changes the interface"
+            )
+        module = Module(module_name, new_network)
+        self._modules[module_name] = module
+        return module
+
     # ------------------------------------------------------------------ query
     @property
     def inputs(self) -> tuple[str, ...]:

@@ -1,6 +1,8 @@
 """Tests for timing tuples, dominance pruning, and min-max propagation."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.timing_model import (
     NEG_INF,
@@ -31,6 +33,61 @@ class TestPruneDominated:
     def test_partial_domination_chain(self):
         kept = prune_dominated([(3.0, 3.0), (2.0, 4.0), (1.0, 5.0), (3.0, 4.0)])
         assert set(kept) == {(3.0, 3.0), (2.0, 4.0), (1.0, 5.0)}
+
+    def test_survivors_keep_input_order(self):
+        tuples = [(5.0, 1.0), (1.0, 5.0), (3.0, 3.0), (6.0, 6.0)]
+        assert prune_dominated(tuples) == ((5.0, 1.0), (1.0, 5.0), (3.0, 3.0))
+
+
+def _dominates(a, b):
+    return a != b and all(x <= y for x, y in zip(a, b))
+
+
+@st.composite
+def tuple_lists(draw):
+    arity = draw(st.integers(1, 4))
+    entries = st.sampled_from([NEG_INF, 0.0, 1.0, 2.0, 3.0])
+    return draw(
+        st.lists(
+            st.tuples(*([entries] * arity)), min_size=0, max_size=14
+        )
+    )
+
+
+class TestPruneDominatedProperties:
+    """The satellite properties: idempotent, order-independent, minimal."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(tuple_lists())
+    def test_idempotent(self, tuples):
+        once = prune_dominated(tuples)
+        assert prune_dominated(once) == once
+
+    @settings(max_examples=60, deadline=None)
+    @given(tuple_lists(), st.randoms(use_true_random=False))
+    def test_order_independent_as_a_set(self, tuples, rng):
+        shuffled = list(tuples)
+        rng.shuffle(shuffled)
+        assert set(prune_dominated(shuffled)) == set(prune_dominated(tuples))
+
+    @settings(max_examples=60, deadline=None)
+    @given(tuple_lists())
+    def test_kept_are_minimal_and_cover_dropped(self, tuples):
+        kept = prune_dominated(tuples)
+        for a in kept:
+            assert not any(_dominates(b, a) for b in kept)
+        for t in tuples:
+            if t not in kept:
+                assert any(_dominates(k, t) for k in kept)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tuple_lists())
+    def test_matches_quadratic_reference(self, tuples):
+        unique = list(dict.fromkeys(tuples))
+        reference = {
+            c for c in unique if not any(_dominates(o, c) for o in unique)
+        }
+        assert set(prune_dominated(tuples)) == reference
 
 
 class TestTimingModel:
