@@ -1,0 +1,31 @@
+module csa_block2 (c_in, a0, b0, a1, b1, s0, s1, c_out);
+  input c_in, a0, b0, a1, b1;
+  output s0, s1, c_out;
+  wire p0, g0, t0, c1, p1, g1, t1, c2, skip;
+  and U$0 (g1, a1, b1);
+  xor U$1 (p1, a1, b1);
+  and U$2 (g0, a0, b0);
+  xor U$3 (p0, a0, b0);
+  and U$4 (skip, p0, p1);
+  and U$5 (t0, p0, c_in);
+  or U$6 (c1, g0, t0);
+  and U$7 (t1, p1, c1);
+  or U$8 (c2, g1, t1);
+  wire c_out$ns, c_out$a0, c_out$a1;
+  not U$9n (c_out$ns, skip);
+  and U$9a0 (c_out$a0, c_out$ns, c2);
+  and U$9a1 (c_out$a1, skip, c_in);
+  or U$9 (c_out, c_out$a0, c_out$a1);
+  xor U$10 (s1, p1, c1);
+  xor U$11 (s0, p0, c_in);
+endmodule
+
+module csa8_2 (c_in, a0, b0, a1, b1, a2, b2, a3, b3, a4, b4, a5, b5, a6, b6, a7, b7, s0, s1, s2, s3, s4, s5, s6, s7, c8);
+  input c_in, a0, b0, a1, b1, a2, b2, a3, b3, a4, b4, a5, b5, a6, b6, a7, b7;
+  output s0, s1, s2, s3, s4, s5, s6, s7, c8;
+  wire c2, c4, c6;
+  csa_block2 u0 (.c_in(c_in), .a0(a0), .b0(b0), .s0(s0), .a1(a1), .b1(b1), .s1(s1), .c_out(c2));
+  csa_block2 u1 (.c_in(c2), .a0(a2), .b0(b2), .s0(s2), .a1(a3), .b1(b3), .s1(s3), .c_out(c4));
+  csa_block2 u2 (.c_in(c4), .a0(a4), .b0(b4), .s0(s4), .a1(a5), .b1(b5), .s1(s5), .c_out(c6));
+  csa_block2 u3 (.c_in(c6), .a0(a6), .b0(b6), .s0(s6), .a1(a7), .b1(b7), .s1(s7), .c_out(c8));
+endmodule

@@ -25,8 +25,12 @@ The public API re-exports the main types; subpackages hold the substrates:
   parallel leaf characterization
 * :mod:`repro.circuits` — benchmark generators and partitioning
 * :mod:`repro.bench`    — table/figure regenerators
+* :mod:`repro.obs`      — tracer, metrics, and sinks (observability)
+* :mod:`repro.api`      — :class:`AnalysisSession` facade +
+  :class:`AnalysisOptions`
 """
 
+from repro.api import AnalysisOptions, AnalysisSession
 from repro.circuits.adders import carry_skip_block, cascade_adder
 from repro.core.budget import input_budgets
 from repro.core.conditional import ConditionalAnalyzer
@@ -39,11 +43,14 @@ from repro.library.store import ModelLibrary
 from repro.netlist.aig import equivalent
 from repro.netlist.hierarchy import HierDesign, Instance, Module
 from repro.netlist.network import Gate, GateType, Network
+from repro.obs import Metrics, Tracer
 from repro.seq.circuit import Flop, SequentialCircuit
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AnalysisOptions",
+    "AnalysisSession",
     "ConditionalAnalyzer",
     "DemandDrivenAnalyzer",
     "Flop",
@@ -53,12 +60,14 @@ __all__ = [
     "HierarchicalAnalyzer",
     "IncrementalAnalyzer",
     "Instance",
+    "Metrics",
     "ModelLibrary",
     "Module",
     "Network",
     "SequentialCircuit",
     "StabilityAnalyzer",
     "TimingModel",
+    "Tracer",
     "carry_skip_block",
     "cascade_adder",
     "characterize_network",

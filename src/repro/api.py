@@ -1,0 +1,410 @@
+"""Unified analysis facade: :class:`AnalysisOptions` + :class:`AnalysisSession`.
+
+The analyzers under :mod:`repro.core` grew their configuration one
+keyword at a time (engine here, ``max_orders`` there, ``jobs`` and
+``cache_dir`` only on some).  This module is the single front door:
+
+* :class:`AnalysisOptions` — one keyword-only, validated, frozen bundle
+  of every analysis knob.  Every analyzer constructor accepts
+  ``options=``; the scattered legacy keywords keep working by being
+  forwarded into an options bundle internally.
+* :class:`AnalysisSession` — one object wrapping a loaded circuit
+  (flat :class:`~repro.netlist.network.Network` or hierarchical
+  :class:`~repro.netlist.hierarchy.HierDesign`) that exposes the whole
+  analyzer surface as methods.  Analyzers, the model library, and the
+  tracer are created once and shared, so successive calls reuse cached
+  timing models and aggregate into one trace.
+
+Example::
+
+    from repro.api import AnalysisOptions, AnalysisSession
+    from repro.obs import Tracer, RingBufferSink
+
+    tracer = Tracer(sinks=[RingBufferSink()])
+    session = AnalysisSession.from_file(
+        "design.v", options=AnalysisOptions(engine="sat", tracer=tracer)
+    )
+    result = session.demand_driven()
+    print(result.delay, result.critical_outputs())
+    print(tracer.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import AnalysisError, ReproError
+from repro.netlist.hierarchy import HierDesign
+from repro.netlist.network import Network
+from repro.obs.trace import NULL_TRACER, Tracer, ensure_tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.conditional import ConditionalResult
+    from repro.core.demand import DemandDrivenResult, PinPairExplanation
+    from repro.core.hier import HierResult
+    from repro.core.subflat import SubFlatResult
+    from repro.core.timing_model import TimingModel
+    from repro.library.store import ModelLibrary
+
+#: Tautology engines accepted by every analyzer.
+ENGINES = ("sat", "bdd", "brute")
+
+
+@dataclass(frozen=True, kw_only=True)
+class AnalysisOptions:
+    """Every analysis knob, in one validated keyword-only bundle.
+
+    Parameters
+    ----------
+    engine:
+        Tautology engine for XBD0 stability checks (``sat``, ``bdd``,
+        or ``brute``).
+    functional:
+        ``False`` selects topological (baseline) timing models.
+    max_orders:
+        Relaxation-order budget of approximate characterization.
+    max_tuples:
+        Per-output tuple budget of approximate characterization.
+    jobs:
+        Worker processes for parallel characterization (clamped ≥ 1).
+    cache_dir:
+        Persistent model-library directory (``None`` = no disk cache).
+    tracer:
+        :class:`~repro.obs.trace.Tracer` receiving the run's spans,
+        events, and counters (``None`` = tracing off, zero overhead).
+    """
+
+    engine: str = "sat"
+    functional: bool = True
+    max_orders: int = 4
+    max_tuples: int = 8
+    jobs: int = 1
+    cache_dir: str | Path | None = None
+    tracer: Tracer | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
+        if int(self.max_orders) < 1:
+            raise ValueError(f"max_orders must be >= 1, got {self.max_orders}")
+        if int(self.max_tuples) < 1:
+            raise ValueError(f"max_tuples must be >= 1, got {self.max_tuples}")
+        object.__setattr__(self, "max_orders", int(self.max_orders))
+        object.__setattr__(self, "max_tuples", int(self.max_tuples))
+        object.__setattr__(self, "jobs", max(1, int(self.jobs)))
+        if self.cache_dir is not None:
+            object.__setattr__(self, "cache_dir", Path(self.cache_dir))
+
+    def with_changes(self, **changes) -> "AnalysisOptions":
+        """A copy with the given fields replaced (re-validated)."""
+        return replace(self, **changes)
+
+    @property
+    def effective_tracer(self) -> Tracer:
+        """The tracer, with ``None`` coerced to the shared null tracer."""
+        return ensure_tracer(self.tracer)
+
+
+def load_circuit_file(path: str | Path) -> Network | HierDesign:
+    """Load a netlist by extension, keeping hierarchy when present.
+
+    ``.bench`` and ``.blif`` yield a flat
+    :class:`~repro.netlist.network.Network`; ``.v`` yields a
+    :class:`~repro.netlist.hierarchy.HierDesign` when the file holds
+    more than a single module.
+    """
+    from repro.parsers.bench import read_bench
+    from repro.parsers.blif import read_blif
+    from repro.parsers.verilog import read_verilog
+
+    file = Path(path)
+    with file.open() as fp:
+        if file.suffix == ".bench":
+            return read_bench(fp, name=file.stem)
+        if file.suffix == ".blif":
+            return read_blif(fp)
+        if file.suffix == ".v":
+            return read_verilog(fp)
+    raise ReproError(f"unsupported netlist format: {file.suffix!r}")
+
+
+class AnalysisSession:
+    """One circuit, every analysis, one configuration.
+
+    Wraps a flat network or hierarchical design and exposes the full
+    analyzer surface; per-kind analyzer instances are cached so repeated
+    calls (re-analysis under new arrival times, incremental edits,
+    slack queries) reuse characterized timing models, the shared model
+    library, and the shared tracer.
+
+    Flat-only methods raise :class:`~repro.errors.AnalysisError` on a
+    hierarchical session and vice versa; :attr:`design` / :attr:`network`
+    tell you which one you have.
+    """
+
+    def __init__(
+        self,
+        circuit: Network | HierDesign,
+        options: AnalysisOptions | None = None,
+        **option_kwargs,
+    ):
+        if options is None:
+            options = AnalysisOptions(**option_kwargs)
+        elif option_kwargs:
+            options = options.with_changes(**option_kwargs)
+        self.options = options
+        self.circuit = circuit
+        self._library: "ModelLibrary | None" = None
+        self._analyzers: dict[str, object] = {}
+
+    # ------------------------------------------------------------- construction
+    @classmethod
+    def from_file(
+        cls,
+        path: str | Path,
+        options: AnalysisOptions | None = None,
+        **option_kwargs,
+    ) -> "AnalysisSession":
+        """Load ``path`` (.bench/.blif/.v) and wrap it in a session."""
+        return cls(load_circuit_file(path), options, **option_kwargs)
+
+    # ------------------------------------------------------------------ surface
+    @property
+    def tracer(self) -> Tracer:
+        """The session tracer (the shared null tracer when disabled)."""
+        return self.options.effective_tracer
+
+    @property
+    def is_hierarchical(self) -> bool:
+        return isinstance(self.circuit, HierDesign)
+
+    @property
+    def design(self) -> HierDesign:
+        """The hierarchical design (raises on a flat session)."""
+        if not isinstance(self.circuit, HierDesign):
+            raise AnalysisError(
+                "session wraps a flat network; hierarchical analyses "
+                "need a HierDesign (structural Verilog)"
+            )
+        return self.circuit
+
+    @property
+    def network(self) -> Network:
+        """The flat network (a hierarchical session flattens once)."""
+        if isinstance(self.circuit, HierDesign):
+            if "flat" not in self._analyzers:
+                self._analyzers["flat"] = self.circuit.flatten()
+            return self._analyzers["flat"]  # type: ignore[return-value]
+        return self.circuit
+
+    @property
+    def library(self) -> "ModelLibrary | None":
+        """The shared model library (created once from ``cache_dir``)."""
+        if self._library is None and self.options.cache_dir is not None:
+            from repro.library.store import ModelLibrary
+
+            self._library = ModelLibrary(
+                self.options.cache_dir, tracer=self.tracer
+            )
+        return self._library
+
+    def _analyzer(self, key: str, factory):
+        if key not in self._analyzers:
+            self._analyzers[key] = factory()
+        return self._analyzers[key]
+
+    # ---------------------------------------------------------------- analyses
+    def hierarchical(
+        self,
+        arrival: Mapping[str, float] | None = None,
+        lazy: bool = False,
+    ) -> "HierResult":
+        """Two-step (Section 3) analysis; ``lazy`` skips unused cones."""
+        from repro.core.hier import HierarchicalAnalyzer
+
+        analyzer = self._analyzer(
+            "hier",
+            lambda: HierarchicalAnalyzer(
+                self.design, library=self.library, options=self.options
+            ),
+        )
+        if lazy:
+            return analyzer.analyze_lazy(arrival)
+        return analyzer.analyze(arrival)
+
+    def incremental(self):
+        """The session's :class:`~repro.core.hier.IncrementalAnalyzer`.
+
+        Returned directly (not just its result) because incremental flows
+        interleave :meth:`~repro.core.hier.IncrementalAnalyzer.replace_module`
+        with re-analysis.
+        """
+        from repro.core.hier import IncrementalAnalyzer
+
+        return self._analyzer(
+            "incremental",
+            lambda: IncrementalAnalyzer(
+                self.design, library=self.library, options=self.options
+            ),
+        )
+
+    def demand_driven(
+        self, arrival: Mapping[str, float] | None = None
+    ) -> "DemandDrivenResult":
+        """Demand-driven (Section 5) analysis."""
+        from repro.core.demand import DemandDrivenAnalyzer
+
+        analyzer = self._analyzer(
+            "demand",
+            lambda: DemandDrivenAnalyzer(self.design, options=self.options),
+        )
+        return analyzer.analyze(arrival)
+
+    def explain_pin(
+        self, module: str, inp: str, out: str
+    ) -> "PinPairExplanation":
+        """Provenance of one refined pin pair (after :meth:`demand_driven`)."""
+        analyzer = self._analyzers.get("demand")
+        if analyzer is None:
+            raise AnalysisError("run demand_driven() before explain_pin()")
+        return analyzer.explain_pin(module, inp, out)
+
+    def per_instance(
+        self, arrival: Mapping[str, float] | None = None
+    ) -> "HierResult":
+        """Footnote-6 SDC-aware per-instance analysis."""
+        from repro.core.instance_models import PerInstanceAnalyzer
+
+        analyzer = self._analyzer(
+            "per_instance",
+            lambda: PerInstanceAnalyzer(self.design, options=self.options),
+        )
+        return analyzer.analyze(arrival)
+
+    def subflat(
+        self, arrival: Mapping[str, float] | None = None
+    ) -> "SubFlatResult":
+        """Footnote-12 baseline: flat analysis per instance."""
+        from repro.core.subflat import SubcircuitFlatAnalyzer
+
+        analyzer = self._analyzer(
+            "subflat",
+            lambda: SubcircuitFlatAnalyzer(self.design, options=self.options),
+        )
+        return analyzer.analyze(arrival)
+
+    def conditional(
+        self,
+        vector: Mapping[str, bool],
+        arrival: Mapping[str, float] | None = None,
+    ) -> "ConditionalResult":
+        """Footnote-8 exact per-vector analysis."""
+        from repro.core.conditional import ConditionalAnalyzer
+
+        analyzer = self._analyzer(
+            "conditional",
+            lambda: ConditionalAnalyzer(self.design, tracer=self.tracer),
+        )
+        return analyzer.analyze(vector, arrival)
+
+    def functional_delays(
+        self, arrival: Mapping[str, float] | None = None
+    ) -> dict[str, float]:
+        """Flat XBD0 stable time per primary output."""
+        from repro.core.xbd0 import functional_delays
+
+        return functional_delays(
+            self.network,
+            arrival,
+            engine=self.options.engine,
+            tracer=self.options.tracer,
+        )
+
+    def characterize(self) -> "dict[str, TimingModel]":
+        """Timing models for the (flattened) network's outputs.
+
+        Honors ``jobs`` and ``cache_dir``: with either set, work fans
+        out through the library scheduler; otherwise the serial
+        characterizer runs in-process.
+        """
+        options = self.options
+        if options.jobs > 1 or self.library is not None:
+            from repro.library.scheduler import characterize_network_parallel
+
+            return characterize_network_parallel(
+                self.network,
+                jobs=options.jobs,
+                engine=options.engine,
+                max_orders=options.max_orders,
+                max_tuples=options.max_tuples,
+                library=self.library,
+                tracer=options.tracer,
+            )
+        from repro.core.required import characterize_network
+
+        return characterize_network(
+            self.network,
+            options.engine,
+            options.max_orders,
+            options.max_tuples,
+            tracer=options.tracer,
+        )
+
+    # ----------------------------------------------------------------- reports
+    def report(self, arrival: Mapping[str, float] | None = None) -> str:
+        """Flat topological + functional report (the ``report`` command)."""
+        from repro.sta.report import functional_timing_report, timing_report
+
+        return (
+            timing_report(self.network, arrival)
+            + "\n"
+            + functional_timing_report(
+                self.network,
+                arrival,
+                engine=self.options.engine,
+                tracer=self.options.tracer,
+            )
+        )
+
+    def hier_report(
+        self,
+        arrival: Mapping[str, float] | None = None,
+        show_nets: bool = False,
+    ) -> str:
+        """Hierarchical report (the ``hier-report`` command)."""
+        from repro.core.design_report import (
+            design_timing_report,
+            library_timing_report,
+        )
+
+        options = self.options
+        if options.cache_dir is not None or options.jobs > 1:
+            return library_timing_report(
+                self.design,
+                arrival,
+                engine=options.engine,
+                show_nets=show_nets,
+                library=self.library,
+                jobs=options.jobs,
+                tracer=options.tracer,
+            )
+        return design_timing_report(
+            self.design,
+            arrival,
+            engine=options.engine,
+            show_nets=show_nets,
+            tracer=options.tracer,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "HierDesign" if self.is_hierarchical else "Network"
+        name = getattr(self.circuit, "name", "?")
+        traced = self.tracer is not NULL_TRACER
+        return (
+            f"AnalysisSession({kind} {name!r}, engine={self.options.engine!r},"
+            f" traced={traced})"
+        )

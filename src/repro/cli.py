@@ -66,21 +66,70 @@ def parse_arrivals(pairs: list[str]) -> dict[str, float]:
     return out
 
 
+def make_tracer(args: argparse.Namespace):
+    """Build a tracer from ``--trace/--profile/--trace-file``, else None.
+
+    ``None`` (all flags off, the default) keeps the zero-overhead null
+    path everywhere and the command output byte-identical to untraced
+    runs.
+    """
+    trace = getattr(args, "trace", False)
+    profile = getattr(args, "profile", False)
+    trace_file = getattr(args, "trace_file", None)
+    if not (trace or profile or trace_file):
+        return None
+    from repro.obs import JsonlSink, SummarySink, Tracer
+
+    tracer = Tracer()
+    if trace_file:
+        tracer.add_sink(JsonlSink(trace_file))
+    if profile:
+        sink = SummarySink()
+        tracer.add_sink(sink)
+        tracer.profile_sink = sink
+    return tracer
+
+
+def finish_tracer(args: argparse.Namespace, tracer, stream=None) -> None:
+    """Close sinks and print the summary the obs flags asked for."""
+    if tracer is None:
+        return
+    tracer.close()
+    stream = stream if stream is not None else sys.stdout
+    if getattr(args, "trace", False) or getattr(args, "profile", False):
+        print(tracer.summary(), file=stream)
+    profile_sink = getattr(tracer, "profile_sink", None)
+    if profile_sink is not None:
+        print("", file=stream)
+        print(profile_sink.render(), file=stream)
+    trace_file = getattr(args, "trace_file", None)
+    if trace_file:
+        print(f"wrote trace to {trace_file}", file=sys.stderr)
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     net = load_circuit(args.circuit)
     arrival = parse_arrivals(args.arrival)
+    tracer = make_tracer(args)
     print(timing_report(net, arrival))
     if not args.topological_only:
-        print(functional_timing_report(net, arrival, engine=args.engine))
+        print(
+            functional_timing_report(
+                net, arrival, engine=args.engine, tracer=tracer
+            )
+        )
+    finish_tracer(args, tracer)
     return 0
 
 
 def cmd_delay(args: argparse.Namespace) -> int:
     net = load_circuit(args.circuit)
     arrival = parse_arrivals(args.arrival)
-    delays = functional_delays(net, arrival, engine=args.engine)
+    tracer = make_tracer(args)
+    delays = functional_delays(net, arrival, engine=args.engine, tracer=tracer)
     for out in net.outputs:
         print(f"{out}\t{delays[out]:g}")
+    finish_tracer(args, tracer)
     return 0
 
 
@@ -102,11 +151,12 @@ def cmd_hier_report(args: argparse.Namespace) -> int:
             "file holds a single flat module; use 'report' instead"
         )
     arrival = parse_arrivals(args.arrival)
+    tracer = make_tracer(args)
     if args.cache_dir is not None or args.jobs > 1:
         from repro.library.store import ModelLibrary
 
         library = (
-            ModelLibrary(args.cache_dir)
+            ModelLibrary(args.cache_dir, tracer=tracer)
             if args.cache_dir is not None
             else None
         )
@@ -118,6 +168,7 @@ def cmd_hier_report(args: argparse.Namespace) -> int:
                 show_nets=args.nets,
                 library=library,
                 jobs=args.jobs,
+                tracer=tracer,
             )
         )
     else:
@@ -127,8 +178,10 @@ def cmd_hier_report(args: argparse.Namespace) -> int:
                 arrival,
                 engine=args.engine,
                 show_nets=args.nets,
+                tracer=tracer,
             )
         )
+    finish_tracer(args, tracer)
     return 0
 
 
@@ -144,29 +197,37 @@ def cmd_sdc(args: argparse.Namespace) -> int:
         circuit = read_verilog(fp)
     if not isinstance(circuit, HierDesign):
         raise ReproError("file holds a single flat module; no hierarchy")
+    tracer = make_tracer(args)
     if args.output:
         with Path(args.output).open("w") as out:
-            count = export_design_sdc(circuit, out, engine=args.engine)
+            count = export_design_sdc(
+                circuit, out, engine=args.engine, tracer=tracer
+            )
         print(f"wrote {count} constraints to {args.output}",
               file=sys.stderr)
     else:
-        count = export_design_sdc(circuit, sys.stdout, engine=args.engine)
+        count = export_design_sdc(
+            circuit, sys.stdout, engine=args.engine, tracer=tracer
+        )
+    finish_tracer(args, tracer, stream=sys.stderr)
     return 0
 
 
 def cmd_characterize(args: argparse.Namespace) -> int:
     net = load_circuit(args.circuit)
+    tracer = make_tracer(args)
     if args.cache_dir is not None or args.jobs > 1:
         from repro.library.scheduler import characterize_network_parallel
         from repro.library.store import ModelLibrary
 
         library = (
-            ModelLibrary(args.cache_dir)
+            ModelLibrary(args.cache_dir, tracer=tracer)
             if args.cache_dir is not None
             else None
         )
         models = characterize_network_parallel(
-            net, jobs=args.jobs, engine=args.engine, library=library
+            net, jobs=args.jobs, engine=args.engine, library=library,
+            tracer=tracer,
         )
         if library is not None:
             print(
@@ -175,7 +236,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
     else:
-        models = characterize_network(net, engine=args.engine)
+        models = characterize_network(net, engine=args.engine, tracer=tracer)
     target = Path(args.output) if args.output else None
     if target is None:
         export_timing_library(
@@ -187,6 +248,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
                 net.name, net.inputs, net.outputs, models, fp
             )
         print(f"wrote {target}", file=sys.stderr)
+    finish_tracer(args, tracer, stream=sys.stderr)
     return 0
 
 
@@ -234,8 +296,48 @@ def build_parser() -> argparse.ArgumentParser:
             help="tautology engine for stability checks",
         )
 
+    def add_cache_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="characterize with N worker processes (default 1; "
+            "ignored by commands that never characterize)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="persistent model-library directory (default: no cache; "
+            "ignored by commands that never characterize)",
+        )
+
+    def add_obs_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace",
+            action="store_true",
+            help="collect a trace and print the per-phase breakdown",
+        )
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="like --trace, plus a per-record-type cost table",
+        )
+        p.add_argument(
+            "--trace-file",
+            default=None,
+            metavar="FILE",
+            help="also write every trace record as JSON lines to FILE",
+        )
+
+    def add_analysis_opts(p: argparse.ArgumentParser) -> None:
+        add_circuit_opts(p)
+        add_cache_opts(p)
+        add_obs_opts(p)
+
     report = sub.add_parser("report", help="print a timing report")
-    add_circuit_opts(report)
+    add_analysis_opts(report)
     report.add_argument(
         "--topological-only",
         action="store_true",
@@ -244,30 +346,14 @@ def build_parser() -> argparse.ArgumentParser:
     report.set_defaults(func=cmd_report)
 
     delay = sub.add_parser("delay", help="print per-output XBD0 delays")
-    add_circuit_opts(delay)
+    add_analysis_opts(delay)
     delay.set_defaults(func=cmd_delay)
-
-    def add_cache_opts(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
-            "--jobs",
-            type=int,
-            default=1,
-            metavar="N",
-            help="characterize with N worker processes (default 1)",
-        )
-        p.add_argument(
-            "--cache-dir",
-            default=None,
-            metavar="DIR",
-            help="persistent model-library directory (default: no cache)",
-        )
 
     hier = sub.add_parser(
         "hier-report",
         help="demand-driven report for a hierarchical Verilog design",
     )
-    add_circuit_opts(hier)
-    add_cache_opts(hier)
+    add_analysis_opts(hier)
     hier.add_argument(
         "--nets", action="store_true", help="include the per-net table"
     )
@@ -277,15 +363,14 @@ def build_parser() -> argparse.ArgumentParser:
         "sdc",
         help="export false-path SDC exceptions for a hierarchical design",
     )
-    add_circuit_opts(sdc)
+    add_analysis_opts(sdc)
     sdc.add_argument("-o", "--output", help="output file (default: stdout)")
     sdc.set_defaults(func=cmd_sdc)
 
     character = sub.add_parser(
         "characterize", help="write a black-box timing library (JSON)"
     )
-    add_circuit_opts(character)
-    add_cache_opts(character)
+    add_analysis_opts(character)
     character.add_argument(
         "-o", "--output", help="output file (default: stdout)"
     )

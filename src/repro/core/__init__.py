@@ -49,6 +49,7 @@ from repro.core.required import (
     characterize_output,
     exact_required_relation,
 )
+from repro.core.result import AnalysisResult, AnalysisResultMixin
 from repro.core.sdc_export import (
     collect_exceptions,
     dumps_sdc,
@@ -71,6 +72,8 @@ from repro.core.xbd0 import (
 )
 
 __all__ = [
+    "AnalysisResult",
+    "AnalysisResultMixin",
     "ConditionalAnalyzer",
     "ConditionalResult",
     "DelayTuple",

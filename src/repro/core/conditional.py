@@ -28,8 +28,10 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.core.required import exact_required_tuples_for_vector
+from repro.core.result import AnalysisResultMixin
 from repro.errors import AnalysisError
 from repro.netlist.hierarchy import HierDesign
+from repro.obs.trace import Tracer, ensure_tracer
 from repro.sim.vectors import all_vectors
 
 NEG_INF = float("-inf")
@@ -37,7 +39,7 @@ POS_INF = float("inf")
 
 
 @dataclass
-class ConditionalResult:
+class ConditionalResult(AnalysisResultMixin):
     """Exact per-vector analysis outcome."""
 
     #: Boolean value of every top-level net under the vector.
@@ -48,6 +50,11 @@ class ConditionalResult:
     output_times: dict[str, float]
     #: max over primary outputs.
     delay: float
+
+    def _to_dict_extra(self) -> dict:
+        return {
+            "net_values": {n: bool(v) for n, v in self.net_values.items()}
+        }
 
 
 class ConditionalAnalyzer:
@@ -62,10 +69,16 @@ class ConditionalAnalyzer:
         exact relation is exponential in it).
     """
 
-    def __init__(self, design: HierDesign, max_cone_support: int = 16):
+    def __init__(
+        self,
+        design: HierDesign,
+        max_cone_support: int = 16,
+        tracer: Tracer | None = None,
+    ):
         design.validate()
         self.design = design
         self.max_cone_support = max_cone_support
+        self.tracer = ensure_tracer(tracer)
         # (module, output, restricted value tuple) -> exact delay tuples
         self._cache: dict[tuple[str, str, tuple[bool, ...]], tuple] = {}
         self._cones: dict[tuple[str, str], tuple] = {}
@@ -98,6 +111,12 @@ class ConditionalAnalyzer:
         restricted = tuple(bool(values[x]) for x in inputs)
         cache_key = (module_name, output, restricted)
         if cache_key not in self._cache:
+            if self.tracer.enabled:
+                self.tracer.count("conditional.model_misses")
+                self.tracer.event(
+                    "cache-miss", phase="cache",
+                    module=module_name, output=output,
+                )
             required = exact_required_tuples_for_vector(
                 cone, output, dict(zip(inputs, restricted)), required=0.0
             )
@@ -106,6 +125,8 @@ class ConditionalAnalyzer:
                 for tup in required
             )
             self._cache[cache_key] = delays
+        elif self.tracer.enabled:
+            self.tracer.count("conditional.model_hits")
         return inputs, self._cache[cache_key]
 
     def analyze(

@@ -28,14 +28,19 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
+from repro.core.result import AnalysisResultMixin, deprecated_alias
 from repro.core.xbd0 import Engine, StabilityAnalyzer
 from repro.errors import AnalysisError
 from repro.netlist.hierarchy import HierDesign
 from repro.netlist.network import Network
+from repro.obs.trace import Tracer, ensure_tracer
 from repro.sta.paths import distinct_path_lengths
 from repro.sta.topological import pin_to_pin_delay
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api import AnalysisOptions
 
 NEG_INF = float("-inf")
 POS_INF = float("inf")
@@ -111,7 +116,7 @@ class PinPairExplanation:
 
 
 @dataclass
-class DemandDrivenResult:
+class DemandDrivenResult(AnalysisResultMixin):
     """Outcome of a demand-driven analysis run."""
 
     #: Stable-time estimate of every vertex (top-level net).
@@ -129,19 +134,51 @@ class DemandDrivenResult:
     #: Graph STA re-runs.
     sta_passes: int = 0
     #: Wall-clock seconds for the whole run.
-    seconds: float = 0.0
+    elapsed_seconds: float = 0.0
     #: Final weight per (module, input, output) pin pair that was refined
     #: below its topological value.
     refined_weights: dict[PinPair, float] = field(default_factory=dict)
 
+    #: Deprecated spelling of :attr:`elapsed_seconds`.
+    seconds = deprecated_alias("seconds", "elapsed_seconds")
+
+    def _to_dict_extra(self) -> dict:
+        return {
+            "topological_delay": self.topological_delay,
+            "refinement_checks": self.refinement_checks,
+            "refinements": self.refinements,
+            "sta_passes": self.sta_passes,
+            "refined_weights": [
+                {"module": m, "input": i, "output": o, "weight": w}
+                for (m, i, o), w in sorted(self.refined_weights.items())
+            ],
+        }
+
 
 class DemandDrivenAnalyzer:
-    """Timing-graph based analyzer with lazy critical-edge refinement."""
+    """Timing-graph based analyzer with lazy critical-edge refinement.
 
-    def __init__(self, design: HierDesign, engine: Engine = "sat"):
+    ``tracer`` (or ``options.tracer``) receives one event per graph STA
+    pass, per refinement step, and per second-longest-path query, plus
+    edges-refined-vs-total counters — the Section-5 effort profile.
+    """
+
+    def __init__(
+        self,
+        design: HierDesign,
+        engine: Engine = "sat",
+        tracer: Tracer | None = None,
+        options: "AnalysisOptions | None" = None,
+    ):
+        from repro.api import AnalysisOptions
+
+        if options is None:
+            options = AnalysisOptions(engine=engine, tracer=tracer)
         design.validate()
         self.design = design
-        self.engine: Engine = engine
+        self.options = options
+        self.engine: Engine = options.engine
+        self.tracer = ensure_tracer(options.tracer)
         self._states: dict[PinPair, _PinPairState] = {}
         self._cones: dict[tuple[str, str], Network] = {}
         self._build_graph()
@@ -188,13 +225,29 @@ class DemandDrivenAnalyzer:
     def _full_lengths(self, key: PinPair) -> tuple[float, ...]:
         module_name, inp, out = key
         cone = self._cone(module_name, out)
-        return distinct_path_lengths(cone, inp, out)
+        if not self.tracer.enabled:
+            return distinct_path_lengths(cone, inp, out)
+        t0 = time.perf_counter()
+        lengths = distinct_path_lengths(cone, inp, out)
+        self.tracer.count("demand.path_length_queries")
+        # seconds are timed but not phase-attributed: this runs inside the
+        # "refinement-step" interval, which owns the refinement phase time.
+        self.tracer.event(
+            "second-longest-path",
+            seconds=time.perf_counter() - t0,
+            module=module_name,
+            input=inp,
+            output=out,
+            count=len(lengths),
+        )
+        return lengths
 
     # -------------------------------------------------------------------- STA
     def _graph_sta(
         self, arrival: Mapping[str, float]
     ) -> tuple[dict[str, float], dict[str, float]]:
         """Forward arrivals and backward requireds on the timing graph."""
+        t0 = time.perf_counter() if self.tracer.enabled else 0.0
         design = self.design
         at: dict[str, float] = {
             x: float(arrival.get(x, 0.0)) for x in design.inputs
@@ -230,6 +283,15 @@ class DemandDrivenAnalyzer:
                 budget = rt[net] - w
                 if budget < rt[src]:
                     rt[src] = budget
+        if self.tracer.enabled:
+            self.tracer.count("demand.sta_passes")
+            self.tracer.event(
+                "sta-pass",
+                phase="propagation",
+                seconds=time.perf_counter() - t0,
+                nets=len(self.nets),
+                edges=len(self.edges),
+            )
         return at, rt
 
     # ------------------------------------------------------------- refinement
@@ -267,6 +329,7 @@ class DemandDrivenAnalyzer:
         condition the timing graph can present.
         """
         module_name, inp, out = key
+        t0 = time.perf_counter() if self.tracer.enabled else 0.0
         state = self._states[key]
         if len(state.lengths) == 1 and state.index == 0:
             # Lazily expand the seed into the full distinct-length list.
@@ -282,9 +345,12 @@ class DemandDrivenAnalyzer:
             else:
                 w = self._states[(module_name, x, out)].weight
                 arrival[x] = POS_INF if w == NEG_INF else -w
-        analyzer = StabilityAnalyzer(cone, arrival, self.engine)
+        analyzer = StabilityAnalyzer(
+            cone, arrival, self.engine, tracer=self.tracer
+        )
         self._checks += 1
-        if analyzer.stable_at(out, 0.0):
+        improved = analyzer.stable_at(out, 0.0)
+        if improved:
             if candidate == NEG_INF:
                 state.lengths = ()
                 state.index = 0
@@ -295,9 +361,23 @@ class DemandDrivenAnalyzer:
                     # keep going next round with candidate -inf
                     pass
             self._refinements += 1
-            return True
-        state.exact = True
-        return False
+        else:
+            state.exact = True
+        if self.tracer.enabled:
+            self.tracer.count("demand.refinement_checks")
+            if improved:
+                self.tracer.count("demand.edges_refined")
+            self.tracer.event(
+                "refinement-step",
+                phase="refinement",
+                seconds=time.perf_counter() - t0,
+                module=module_name,
+                input=inp,
+                output=out,
+                candidate=None if candidate == NEG_INF else candidate,
+                improved=improved,
+            )
+        return improved
 
     # ------------------------------------------------------------- explain
     def explain_pin(
@@ -395,6 +475,9 @@ class DemandDrivenAnalyzer:
         for key, state in self._states.items():
             if state.index > 0 or state.exact and not state.lengths:
                 refined[key] = state.weight
+        if self.tracer.enabled:
+            self.tracer.gauge("demand.edges_total", len(self.edges))
+            self.tracer.gauge("demand.edges_refined_final", len(refined))
         return DemandDrivenResult(
             net_times=at,
             output_times=output_times,
@@ -403,7 +486,7 @@ class DemandDrivenAnalyzer:
             refinement_checks=self._checks,
             refinements=self._refinements,
             sta_passes=sta_passes,
-            seconds=time.perf_counter() - start,
+            elapsed_seconds=time.perf_counter() - start,
             refined_weights=refined,
         )
 

@@ -11,8 +11,10 @@ from __future__ import annotations
 from typing import Mapping
 
 from repro.core.demand import DemandDrivenAnalyzer, DemandDrivenResult
+from repro.core.result import AnalysisResult
 from repro.core.xbd0 import Engine
 from repro.netlist.hierarchy import HierDesign
+from repro.obs.trace import Tracer
 from repro.sta.topological import NEG_INF
 
 
@@ -24,6 +26,32 @@ def _fmt(value: float) -> str:
     if value == int(value):
         return str(int(value))
     return f"{value:.3f}"
+
+
+def _output_table(result: AnalysisResult) -> list[str]:
+    """Per-output arrival table, shared by every report flavor.
+
+    Works off the :class:`~repro.core.result.AnalysisResult` protocol, so
+    any analyzer result renders identically — no per-class special cases.
+    """
+    times = result.arrival_times
+    lines = [
+        f"  {'output':<16} {'arrival':>8}",
+        "  " + "-" * 26,
+    ]
+    for out in sorted(times, key=lambda o: -times[o]):
+        lines.append(f"  {out:<16} {_fmt(times[out]):>8}")
+    return lines
+
+
+def _net_table(net_times: Mapping[str, float]) -> list[str]:
+    lines = [
+        f"  {'net':<20} {'arrival':>8}",
+        "  " + "-" * 30,
+    ]
+    for net, time in sorted(net_times.items()):
+        lines.append(f"  {net:<20} {_fmt(time):>8}")
+    return lines
 
 
 def render_design_report(
@@ -46,13 +74,8 @@ def render_design_report(
         f"({result.refinements} weight refinements, "
         f"{result.sta_passes} graph passes)",
         "",
-        f"  {'output':<16} {'arrival':>8}",
-        "  " + "-" * 26,
     ]
-    for out in sorted(
-        design.outputs, key=lambda o: -result.output_times[o]
-    ):
-        lines.append(f"  {out:<16} {_fmt(result.output_times[out]):>8}")
+    lines.extend(_output_table(result))
     if result.refined_weights:
         lines.append("")
         lines.append("  false-path facts established (module pin pairs):")
@@ -65,10 +88,7 @@ def render_design_report(
             )
     if show_nets:
         lines.append("")
-        lines.append(f"  {'net':<20} {'arrival':>8}")
-        lines.append("  " + "-" * 30)
-        for net, time in sorted(result.net_times.items()):
-            lines.append(f"  {net:<20} {_fmt(time):>8}")
+        lines.extend(_net_table(result.net_times))
     return "\n".join(lines) + "\n"
 
 
@@ -77,9 +97,12 @@ def design_timing_report(
     arrival: Mapping[str, float] | None = None,
     engine: Engine = "sat",
     show_nets: bool = False,
+    tracer: Tracer | None = None,
 ) -> str:
     """Analyze ``design`` demand-driven and render the report."""
-    result = DemandDrivenAnalyzer(design, engine=engine).analyze(arrival)
+    result = DemandDrivenAnalyzer(
+        design, engine=engine, tracer=tracer
+    ).analyze(arrival)
     return render_design_report(design, result, show_nets)
 
 
@@ -90,6 +113,8 @@ def library_timing_report(
     show_nets: bool = False,
     library=None,
     jobs: int = 1,
+    cache_dir=None,
+    tracer: Tracer | None = None,
 ) -> str:
     """Two-step hierarchical report backed by a persistent model library.
 
@@ -103,9 +128,12 @@ def library_timing_report(
     from repro.core.hier import HierarchicalAnalyzer
 
     analyzer = HierarchicalAnalyzer(
-        design, engine=engine, library=library, jobs=jobs
+        design, engine=engine, library=library, jobs=jobs,
+        cache_dir=cache_dir, tracer=tracer,
     )
     result = analyzer.analyze(arrival)
+    if library is None:
+        library = analyzer.library
     lines = [
         f"Hierarchical timing report for {design.name} (model library)",
         f"  {len(design.modules)} modules, {len(design.instances)} "
@@ -113,26 +141,16 @@ def library_timing_report(
         f"{len(design.outputs)} outputs",
         "",
         f"  estimated delay      : {_fmt(result.delay)}",
-        f"  modules characterized: {len(result.characterized)} "
+        f"  modules characterized: {len(result.characterized_modules)} "
         f"(step-1 {result.characterization_seconds:.3f}s, "
         f"step-2 {result.propagation_seconds:.3f}s, jobs={jobs})",
     ]
     if library is not None:
         lines.append("")
         lines.append(library.stats.render())
-    lines.extend(
-        [
-            "",
-            f"  {'output':<16} {'arrival':>8}",
-            "  " + "-" * 26,
-        ]
-    )
-    for out in sorted(design.outputs, key=lambda o: -result.output_times[o]):
-        lines.append(f"  {out:<16} {_fmt(result.output_times[out]):>8}")
+    lines.append("")
+    lines.extend(_output_table(result))
     if show_nets:
         lines.append("")
-        lines.append(f"  {'net':<20} {'arrival':>8}")
-        lines.append("  " + "-" * 30)
-        for net, time in sorted(result.net_times.items()):
-            lines.append(f"  {net:<20} {_fmt(time):>8}")
+        lines.extend(_net_table(result.net_times))
     return "\n".join(lines) + "\n"

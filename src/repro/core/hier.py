@@ -25,14 +25,17 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
 from repro.core.required import characterize_network
+from repro.core.result import AnalysisResultMixin, deprecated_alias
 from repro.core.timing_model import NEG_INF, POS_INF, TimingModel
 from repro.core.xbd0 import Engine
 from repro.errors import AnalysisError, NetlistError
 from repro.netlist.hierarchy import HierDesign, Module
 from repro.netlist.network import Network
+from repro.obs.trace import Tracer, ensure_tracer
 from repro.sta.paths import all_pin_path_lengths
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api import AnalysisOptions
     from repro.library.store import ModelLibrary
 
 
@@ -61,15 +64,16 @@ def characterize_module(
     engine: Engine = "sat",
     max_orders: int = 4,
     max_tuples: int = 8,
+    tracer: Tracer | None = None,
 ) -> dict[str, TimingModel]:
     """Step 1 for one module: a timing model per output port."""
     return characterize_network(
-        module.network, engine, max_orders, max_tuples
+        module.network, engine, max_orders, max_tuples, tracer=tracer
     )
 
 
 @dataclass
-class HierResult:
+class HierResult(AnalysisResultMixin):
     """Outcome of a hierarchical analysis run."""
 
     #: Stable time of every top-level net (PIs at their arrival times).
@@ -79,11 +83,26 @@ class HierResult:
     #: max over primary outputs.
     delay: float
     #: Modules characterized during this run (empty on a warm cache).
-    characterized: tuple[str, ...] = ()
+    characterized_modules: tuple[str, ...] = ()
     #: Wall-clock seconds spent characterizing leaf modules (step 1).
     characterization_seconds: float = 0.0
     #: Wall-clock seconds spent propagating arrivals (step 2).
     propagation_seconds: float = 0.0
+
+    #: Deprecated spelling of :attr:`characterized_modules`.
+    characterized = deprecated_alias("characterized", "characterized_modules")
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Total run time: step-1 characterization + step-2 propagation."""
+        return self.characterization_seconds + self.propagation_seconds
+
+    def _to_dict_extra(self) -> dict:
+        return {
+            "characterized_modules": list(self.characterized_modules),
+            "characterization_seconds": self.characterization_seconds,
+            "propagation_seconds": self.propagation_seconds,
+        }
 
 
 class HierarchicalAnalyzer:
@@ -105,6 +124,15 @@ class HierarchicalAnalyzer:
         are cheaper than a lookup).
     jobs:
         Default worker-process count for :meth:`characterize_all`.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` receiving
+        characterize-module spans, propagation spans, and the layer
+        counters of everything the analyzer calls into.
+    options:
+        An :class:`~repro.api.AnalysisOptions` bundle.  When given it is
+        the single source of configuration and the individual keyword
+        arguments above (except ``library``) are ignored; the legacy
+        keywords keep working by being forwarded into an options bundle.
     """
 
     def __init__(
@@ -116,15 +144,46 @@ class HierarchicalAnalyzer:
         max_tuples: int = 8,
         library: "ModelLibrary | None" = None,
         jobs: int = 1,
+        cache_dir=None,
+        tracer: Tracer | None = None,
+        options: "AnalysisOptions | None" = None,
     ):
+        from repro.api import AnalysisOptions
+
+        if options is None:
+            # Legacy construction path: forward the scattered keywords
+            # into the unified (and validated) options bundle.
+            options = AnalysisOptions(
+                engine=engine,
+                functional=functional,
+                max_orders=max_orders,
+                max_tuples=max_tuples,
+                jobs=jobs,
+                cache_dir=cache_dir,
+                tracer=tracer,
+            )
         design.validate()
         self.design = design
-        self.engine: Engine = engine
-        self.functional = functional
-        self.max_orders = max_orders
-        self.max_tuples = max_tuples
+        self.options = options
+        self.engine: Engine = options.engine
+        self.functional = options.functional
+        self.max_orders = options.max_orders
+        self.max_tuples = options.max_tuples
+        self.jobs = max(1, int(options.jobs))
+        self.tracer = ensure_tracer(options.tracer)
+        if library is None and options.cache_dir is not None:
+            from repro.library.store import ModelLibrary
+
+            library = ModelLibrary(options.cache_dir, tracer=self.tracer)
         self.library = library
-        self.jobs = max(1, int(jobs))
+        if (
+            self.library is not None
+            and self.tracer.enabled
+            and not self.library.tracer.enabled
+        ):
+            # Adopt the analyzer's tracer so cache hit/miss events from a
+            # caller-supplied library land in the same trace.
+            self.library.tracer = self.tracer
         self._models: dict[str, dict[str, TimingModel]] = {}
 
     # ------------------------------------------------------------------ step 1
@@ -178,9 +237,15 @@ class HierarchicalAnalyzer:
                     )
                 if models is None:
                     t0 = time.perf_counter()
-                    models = characterize_module(
-                        module, self.engine, self.max_orders, self.max_tuples
-                    )
+                    with self.tracer.span(
+                        "characterize-module",
+                        phase="characterization",
+                        module=module_name,
+                    ):
+                        models = characterize_module(
+                            module, self.engine, self.max_orders,
+                            self.max_tuples, tracer=self.tracer,
+                        )
                     if self.library is not None:
                         self.library.store(
                             signature, module.inputs, module.outputs, models
@@ -231,10 +296,16 @@ class HierarchicalAnalyzer:
                 from repro.core.required import characterize_output
                 from repro.core.timing_model import prune_dominated
 
-                local = characterize_output(
-                    network, port, self.engine, self.max_orders,
-                    self.max_tuples,
-                )
+                with self.tracer.span(
+                    "characterize-module",
+                    phase="characterization",
+                    module=module_name,
+                    port=port,
+                ):
+                    local = characterize_output(
+                        network, port, self.engine, self.max_orders,
+                        self.max_tuples, tracer=self.tracer,
+                    )
                 expanded = tuple(
                     tuple(
                         dict(zip(local.inputs, tup)).get(x, NEG_INF)
@@ -294,22 +365,25 @@ class HierarchicalAnalyzer:
             if set(models) != before.get(name, set())
         )
         t1 = time.perf_counter()
-        net_times: dict[str, float] = {
-            x: float(arrival.get(x, 0.0)) for x in design.inputs
-        }
-        for inst_name in design.instance_order():
-            inst = design.instances[inst_name]
-            module = design.module_of(inst)
-            if not useful[inst_name]:
-                continue
-            local_arrival = {
-                port: net_times[inst.net_of(port)]
-                for port in module.inputs
+        with self.tracer.span(
+            "propagate", phase="propagation", design=design.name, lazy=True
+        ):
+            net_times: dict[str, float] = {
+                x: float(arrival.get(x, 0.0)) for x in design.inputs
             }
-            for port in useful[inst_name]:
-                net_times[inst.net_of(port)] = self.model_for(
-                    inst.module_name, port
-                ).stable_time(local_arrival)
+            for inst_name in design.instance_order():
+                inst = design.instances[inst_name]
+                module = design.module_of(inst)
+                if not useful[inst_name]:
+                    continue
+                local_arrival = {
+                    port: net_times[inst.net_of(port)]
+                    for port in module.inputs
+                }
+                for port in useful[inst_name]:
+                    net_times[inst.net_of(port)] = self.model_for(
+                        inst.module_name, port
+                    ).stable_time(local_arrival)
         missing = [o for o in design.outputs if o not in net_times]
         if missing:
             raise AnalysisError(f"undriven outputs {missing!r}")
@@ -319,7 +393,7 @@ class HierarchicalAnalyzer:
             net_times=net_times,
             output_times=output_times,
             delay=max(output_times.values()) if output_times else NEG_INF,
-            characterized=fresh,
+            characterized_modules=fresh,
             characterization_seconds=t1 - t0,
             propagation_seconds=t2 - t1,
         )
@@ -347,6 +421,7 @@ class HierarchicalAnalyzer:
                 self.max_orders,
                 self.max_tuples,
                 self.library,
+                tracer=self.tracer,
             )
             for name in fresh:
                 self._models[name] = results[name]
@@ -364,19 +439,23 @@ class HierarchicalAnalyzer:
         t0 = time.perf_counter()
         fresh = self.characterize_all()
         t1 = time.perf_counter()
-        net_times: dict[str, float] = {
-            x: float(arrival.get(x, 0.0)) for x in design.inputs
-        }
-        for inst_name in design.instance_order():
-            inst = design.instances[inst_name]
-            module = design.module_of(inst)
-            models = self.models_for(inst.module_name)
-            local_arrival = {
-                port: net_times[inst.net_of(port)] for port in module.inputs
+        with self.tracer.span(
+            "propagate", phase="propagation", design=design.name
+        ):
+            net_times: dict[str, float] = {
+                x: float(arrival.get(x, 0.0)) for x in design.inputs
             }
-            for port in module.outputs:
-                stable = models[port].stable_time(local_arrival)
-                net_times[inst.net_of(port)] = stable
+            for inst_name in design.instance_order():
+                inst = design.instances[inst_name]
+                module = design.module_of(inst)
+                models = self.models_for(inst.module_name)
+                local_arrival = {
+                    port: net_times[inst.net_of(port)]
+                    for port in module.inputs
+                }
+                for port in module.outputs:
+                    stable = models[port].stable_time(local_arrival)
+                    net_times[inst.net_of(port)] = stable
         missing = [o for o in design.outputs if o not in net_times]
         if missing:
             raise AnalysisError(f"undriven outputs {missing!r}")
@@ -386,7 +465,7 @@ class HierarchicalAnalyzer:
             net_times=net_times,
             output_times=output_times,
             delay=max(output_times.values()) if output_times else NEG_INF,
-            characterized=fresh,
+            characterized_modules=fresh,
             characterization_seconds=t1 - t0,
             propagation_seconds=t2 - t1,
         )

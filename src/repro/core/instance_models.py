@@ -186,7 +186,7 @@ class PerInstanceAnalyzer(HierarchicalAnalyzer):
             net_times=net_times,
             output_times=output_times,
             delay=max(output_times.values()) if output_times else NEG_INF,
-            characterized=tuple(design.instance_order()),
+            characterized_modules=tuple(design.instance_order()),
             characterization_seconds=t1 - t0,
             propagation_seconds=t2 - t1,
         )

@@ -34,6 +34,7 @@ from repro.core.xbd0 import Engine, StabilityAnalyzer
 from repro.errors import AnalysisError
 from repro.netlist.gates import satisfied_primes
 from repro.netlist.network import Network
+from repro.obs.trace import Tracer, ensure_tracer
 from repro.sim.vectors import all_vectors
 from repro.sta.paths import distinct_path_lengths
 from repro.sta.topological import pin_to_pin_delay
@@ -90,6 +91,7 @@ def approx_required_tuples(
     max_tuples: int = 8,
     path_length_cap: int = 64,
     care: Network | None = None,
+    tracer: Tracer | None = None,
 ) -> RequiredTimeResult:
     """Approximate required-time analysis of one output cone.
 
@@ -104,7 +106,12 @@ def approx_required_tuples(
         incomparable tuples, at proportional cost).
     max_tuples:
         Cap on the tuple set after pruning.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; each relaxation order
+        and the final prune are reported as events (tuples generated vs
+        kept), with stability-check counts per order.
     """
+    tracer = ensure_tracer(tracer)
     cone = network.extract_cone(output)
     inputs = cone.inputs
     if not inputs:
@@ -126,7 +133,9 @@ def approx_required_tuples(
         nonlocal checks
         checks += 1
         arrival = dict(zip(inputs, tuple_values))
-        analyzer = StabilityAnalyzer(cone, arrival, engine, care=care)
+        analyzer = StabilityAnalyzer(
+            cone, arrival, engine, care=care, tracer=tracer
+        )
         return analyzer.stable_at(output, required)
 
     def relax(order: Sequence[str]) -> tuple[float, ...]:
@@ -158,7 +167,19 @@ def approx_required_tuples(
                 current[k] = best
         return tuple(current)
 
-    results = [relax(order) for order in _relaxation_orders(inputs, max_orders)]
+    results = []
+    for index, order in enumerate(_relaxation_orders(inputs, max_orders)):
+        before = checks
+        results.append(relax(order))
+        if tracer.enabled:
+            tracer.count("required.relaxation_orders")
+            tracer.event(
+                "relaxation-order",
+                phase="characterization",
+                output=output,
+                order=index,
+                checks=checks - before,
+            )
     # Re-validate whole tuples (greedy steps each validated individually;
     # this guards the composition end-to-end).
     validated = [t for t in results if t == base or stable_with(t)]
@@ -172,6 +193,19 @@ def approx_required_tuples(
     tuples = tuple(
         tuple(POS_INF if d == NEG_INF else -d for d in t) for t in kept
     )
+    if tracer.enabled:
+        tracer.count("required.tuples_generated", len(validated))
+        tracer.count("required.tuples_kept", len(tuples))
+        tracer.count("required.checks", checks)
+        tracer.event(
+            "tuple-prune",
+            phase="characterization",
+            output=output,
+            generated=len(validated),
+            kept=len(tuples),
+            pruned=len(validated) - len(tuples),
+            checks=checks,
+        )
     return RequiredTimeResult(
         output=output,
         inputs=inputs,
@@ -189,6 +223,7 @@ def characterize_output(
     max_orders: int = 4,
     max_tuples: int = 8,
     care: Network | None = None,
+    tracer: Tracer | None = None,
 ) -> TimingModel:
     """Timing model of one output (Section 3.1), in the cone's input order.
 
@@ -197,7 +232,8 @@ def characterize_output(
     :mod:`repro.core.instance_models`).
     """
     result = approx_required_tuples(
-        network, output, 0.0, engine, max_orders, max_tuples, care=care
+        network, output, 0.0, engine, max_orders, max_tuples,
+        care=care, tracer=tracer,
     )
     return result.as_timing_model()
 
@@ -224,6 +260,7 @@ def characterize_network(
     engine: Engine = "sat",
     max_orders: int = 4,
     max_tuples: int = 8,
+    tracer: Tracer | None = None,
 ) -> dict[str, TimingModel]:
     """Timing model of every primary output, aligned to the full PI order.
 
@@ -232,7 +269,8 @@ def characterize_network(
     return {
         output: expand_model_to_inputs(
             characterize_output(
-                network, output, engine, max_orders, max_tuples
+                network, output, engine, max_orders, max_tuples,
+                tracer=tracer,
             ),
             network.inputs,
         )

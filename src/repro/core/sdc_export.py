@@ -33,15 +33,20 @@ def collect_exceptions(
 
     One row per instance pin pair whose effective delay improved on the
     topological baseline; ``effective = -inf`` marks fully false pairs.
+
+    Accepts any :class:`~repro.core.result.AnalysisResult`; results
+    without refined pin pairs (e.g. :class:`~repro.core.hier.HierResult`)
+    simply yield no exceptions.
     """
     rows: list[tuple[str, str, str, float, float]] = []
-    if not result.refined_weights:
+    refined = getattr(result, "refined_weights", None)
+    if not refined:
         return rows
     topo_cache: dict[tuple[str, str, str], float] = {}
     for inst_name in design.instance_order():
         inst = design.instances[inst_name]
         module = design.module_of(inst)
-        for (mod, inp, out), weight in result.refined_weights.items():
+        for (mod, inp, out), weight in refined.items():
             if mod != inst.module_name:
                 continue
             key = (mod, inp, out)
@@ -98,8 +103,10 @@ def dumps_sdc(design: HierDesign, result: DemandDrivenResult) -> str:
 
 
 def export_design_sdc(
-    design: HierDesign, stream: TextIO, engine: str = "sat"
+    design: HierDesign, stream: TextIO, engine: str = "sat", tracer=None
 ) -> int:
     """One-step: analyze demand-driven, then write the SDC exceptions."""
-    result = DemandDrivenAnalyzer(design, engine=engine).analyze()
+    result = DemandDrivenAnalyzer(
+        design, engine=engine, tracer=tracer
+    ).analyze()
     return write_sdc(design, result, stream)

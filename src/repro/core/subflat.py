@@ -21,17 +21,22 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
+from repro.core.result import AnalysisResultMixin, deprecated_alias
 from repro.core.xbd0 import Engine, StabilityAnalyzer
 from repro.errors import AnalysisError
 from repro.netlist.hierarchy import HierDesign
+from repro.obs.trace import Tracer, ensure_tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api import AnalysisOptions
 
 NEG_INF = float("-inf")
 
 
 @dataclass
-class SubFlatResult:
+class SubFlatResult(AnalysisResultMixin):
     """Outcome of a per-instance flat analysis run."""
 
     net_times: dict[str, float]
@@ -40,16 +45,36 @@ class SubFlatResult:
     #: Number of per-instance module analyses performed (== instance
     #: count; contrast with the module count of the two-step analyzer).
     module_analyses: int
-    seconds: float
+    #: The default shadows the read-only mixin property so the dataclass
+    #: can assign the field.
+    elapsed_seconds: float = 0.0
+
+    #: Deprecated spelling of :attr:`elapsed_seconds`.
+    seconds = deprecated_alias("seconds", "elapsed_seconds")
+
+    def _to_dict_extra(self) -> dict:
+        return {"module_analyses": self.module_analyses}
 
 
 class SubcircuitFlatAnalyzer:
     """The footnote-12 baseline analyzer."""
 
-    def __init__(self, design: HierDesign, engine: Engine = "sat"):
+    def __init__(
+        self,
+        design: HierDesign,
+        engine: Engine = "sat",
+        tracer: Tracer | None = None,
+        options: "AnalysisOptions | None" = None,
+    ):
+        from repro.api import AnalysisOptions
+
+        if options is None:
+            options = AnalysisOptions(engine=engine, tracer=tracer)
         design.validate()
         self.design = design
-        self.engine: Engine = engine
+        self.options = options
+        self.engine: Engine = options.engine
+        self.tracer = ensure_tracer(options.tracer)
 
     def analyze(
         self, arrival: Mapping[str, float] | None = None
@@ -70,13 +95,20 @@ class SubcircuitFlatAnalyzer:
                 for port in module.inputs
             }
             analyzer = StabilityAnalyzer(
-                module.network, local_arrival, self.engine
+                module.network, local_arrival, self.engine,
+                tracer=self.tracer,
             )
             analyses += 1
-            for port in module.outputs:
-                net_times[inst.net_of(port)] = analyzer.functional_delay(
-                    port
-                )
+            with self.tracer.span(
+                "instance-analysis",
+                phase="propagation",
+                instance=inst_name,
+                module=inst.module_name,
+            ):
+                for port in module.outputs:
+                    net_times[inst.net_of(port)] = (
+                        analyzer.functional_delay(port)
+                    )
         missing = [o for o in design.outputs if o not in net_times]
         if missing:
             raise AnalysisError(f"undriven outputs {missing!r}")
@@ -86,5 +118,5 @@ class SubcircuitFlatAnalyzer:
             output_times=output_times,
             delay=max(output_times.values()) if output_times else NEG_INF,
             module_analyses=analyses,
-            seconds=time.perf_counter() - start,
+            elapsed_seconds=time.perf_counter() - start,
         )

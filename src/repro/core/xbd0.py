@@ -28,12 +28,14 @@ and ``"brute"`` (exhaustive enumeration, for tests/small cones).
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Literal, Mapping
 
 from repro.bdd.manager import BDDManager
 from repro.errors import AnalysisError
 from repro.netlist.gates import gate_primes
 from repro.netlist.network import Network
+from repro.obs.trace import Tracer, ensure_tracer
 from repro.sat.cnf import CNF
 from repro.sat.solver import Solver, SolveResult
 from repro.sta.paths import event_time_candidates
@@ -174,6 +176,10 @@ class StabilityAnalyzer:
         "available from the beginning of time" (an unconstrained input).
     engine:
         Tautology engine: ``"sat"`` (default), ``"bdd"`` or ``"brute"``.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; every SAT call and
+        stability check is counted (and timed, for SAT) against it.
+        ``None`` (the default) disables instrumentation entirely.
     """
 
     def __init__(
@@ -182,6 +188,7 @@ class StabilityAnalyzer:
         arrival: Mapping[str, float] | None = None,
         engine: Engine = "sat",
         care: Network | None = None,
+        tracer: Tracer | None = None,
     ):
         if engine not in ("sat", "bdd", "brute"):
             raise AnalysisError(f"unknown engine {engine!r}")
@@ -215,6 +222,7 @@ class StabilityAnalyzer:
         self._bdd: BDDManager | None = None
         self._bdd_memo: dict[int, int] = {}
         self.stats = {"stability_checks": 0, "sat_calls": 0}
+        self.tracer = ensure_tracer(tracer)
 
     # -------------------------------------------------- stability functions
     def _tkey(self, t: float) -> float:
@@ -331,7 +339,21 @@ class StabilityAnalyzer:
                     pi_vars[out] = cnf.new_var()
                 encode_equal(cnf, pi_vars[out], care_map[out])
         self.stats["sat_calls"] += 1
-        return Solver(cnf).solve() is SolveResult.UNSAT
+        tracer = self.tracer
+        if not tracer.enabled:
+            return Solver(cnf).solve() is SolveResult.UNSAT
+        t0 = time.perf_counter()
+        unsat = Solver(cnf).solve() is SolveResult.UNSAT
+        tracer.count("xbd0.sat_calls")
+        tracer.gauge("xbd0.expr_nodes", len(self._exprs.kind))
+        tracer.event(
+            "sat-call",
+            seconds=time.perf_counter() - t0,
+            variables=cnf.num_vars,
+            clauses=len(cnf.clauses),
+            unsat=unsat,
+        )
+        return unsat
 
     def _bdd_node(self, node: int) -> int:
         if self._bdd is None:
@@ -423,6 +445,8 @@ class StabilityAnalyzer:
     def stable_at(self, output: str, t: float) -> bool:
         """True iff ``output`` is stable by ``t`` for every input vector."""
         self.stats["stability_checks"] += 1
+        if self.tracer.enabled:
+            self.tracer.count("xbd0.stability_checks")
         s0, s1 = self.stability_pair(output, t)
         return self._is_tautology(self._exprs.disj([s0, s1]))
 
@@ -565,9 +589,10 @@ def functional_delays(
     arrival: Mapping[str, float] | None = None,
     outputs: tuple[str, ...] | None = None,
     engine: Engine = "sat",
+    tracer: Tracer | None = None,
 ) -> dict[str, float]:
     """Exact XBD0 stable time of each requested output (default: all POs)."""
-    analyzer = StabilityAnalyzer(network, arrival, engine)
+    analyzer = StabilityAnalyzer(network, arrival, engine, tracer=tracer)
     targets = outputs if outputs is not None else network.outputs
     return {o: analyzer.functional_delay(o) for o in targets}
 

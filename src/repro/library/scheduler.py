@@ -34,39 +34,50 @@ from repro.library.signature import module_signature
 from repro.library.store import ModelLibrary
 from repro.netlist.hierarchy import HierDesign, Module
 from repro.netlist.network import Network
+from repro.obs.trace import Tracer, ensure_tracer
 
 
-def _characterize_module_task(payload):
-    """Worker: characterize one module (top-level for pickling)."""
+def _characterize_module_task(payload, tracer=None):
+    """Worker: characterize one module (top-level for pickling).
+
+    ``tracer`` is only supplied on the in-process serial path — it
+    cannot cross a process boundary.
+    """
     name, network, engine, max_orders, max_tuples = payload
     t0 = perf_counter()
-    models = characterize_network(network, engine, max_orders, max_tuples)
+    models = characterize_network(
+        network, engine, max_orders, max_tuples, tracer=tracer
+    )
     return name, perf_counter() - t0, models
 
 
-def _characterize_output_task(payload):
+def _characterize_output_task(payload, tracer=None):
     """Worker: characterize one output cone of a flat network."""
     network, output, engine, max_orders, max_tuples = payload
     t0 = perf_counter()
-    local = characterize_output(network, output, engine, max_orders, max_tuples)
+    local = characterize_output(
+        network, output, engine, max_orders, max_tuples, tracer=tracer
+    )
     return output, perf_counter() - t0, local
 
 
-def _run_tasks(task, payloads, jobs):
+def _run_tasks(task, payloads, jobs, tracer=None):
     """Map ``task`` over ``payloads`` in order, across ``jobs`` processes.
 
     Falls back to in-process execution when multiprocessing is
-    unavailable or the pool dies before producing results.
+    unavailable or the pool dies before producing results.  In-process
+    execution (serial, or the fallback) threads ``tracer`` into the
+    tasks; worker processes run untraced and report wall time back.
     """
     if jobs <= 1 or len(payloads) <= 1:
-        return [task(p) for p in payloads]
+        return [task(p, tracer=tracer) for p in payloads]
     try:
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(payloads))
         ) as pool:
             return list(pool.map(task, payloads))
     except (OSError, ValueError, ImportError, NotImplementedError, RuntimeError):
-        return [task(p) for p in payloads]
+        return [task(p, tracer=tracer) for p in payloads]
 
 
 def _rekey_models(
@@ -86,6 +97,7 @@ def characterize_modules(
     max_orders: int = 4,
     max_tuples: int = 8,
     library: ModelLibrary | None = None,
+    tracer: Tracer | None = None,
 ) -> dict[str, dict[str, TimingModel]]:
     """Characterize every module, consulting/filling ``library``.
 
@@ -93,7 +105,12 @@ def characterize_modules(
     to each module's own input order.  Results are independent of
     ``jobs``; modules already present in ``library`` are never
     re-characterized.
+
+    Worker processes cannot share ``tracer``; per-module wall time is
+    returned by each worker and recorded as a ``characterize-module``
+    event (phase ``"characterization"``) in the parent.
     """
+    tracer = ensure_tracer(tracer)
     signatures = {
         name: module_signature(module, engine, max_orders, max_tuples)
         for name, module in modules.items()
@@ -117,9 +134,18 @@ def characterize_modules(
         for name in pending
     ]
     for name, seconds, models in _run_tasks(
-        _characterize_module_task, payloads, jobs
+        _characterize_module_task, payloads, jobs, tracer=tracer
     ):
         results[name] = models
+        if tracer.enabled:
+            tracer.count("scheduler.characterizations")
+            tracer.event(
+                "characterize-module",
+                phase="characterization",
+                seconds=seconds,
+                module=name,
+                jobs=jobs,
+            )
         if library is not None:
             module = modules[name]
             library.store(
@@ -143,10 +169,12 @@ def characterize_design(
     max_orders: int = 4,
     max_tuples: int = 8,
     library: ModelLibrary | None = None,
+    tracer: Tracer | None = None,
 ) -> dict[str, dict[str, TimingModel]]:
     """Step 1 for a whole design: all distinct leaf modules, in parallel."""
     return characterize_modules(
-        design.modules, jobs, engine, max_orders, max_tuples, library
+        design.modules, jobs, engine, max_orders, max_tuples, library,
+        tracer=tracer,
     )
 
 
@@ -157,12 +185,14 @@ def characterize_network_parallel(
     max_orders: int = 4,
     max_tuples: int = 8,
     library: ModelLibrary | None = None,
+    tracer: Tracer | None = None,
 ) -> dict[str, TimingModel]:
     """Like ``characterize_network`` but fanned out per output cone.
 
     With a ``library``, the whole network is treated as one module:
     a hit short-circuits every cone, a miss characterizes then stores.
     """
+    tracer = ensure_tracer(tracer)
     sig = None
     if library is not None:
         sig = module_signature(network, engine, max_orders, max_tuples)
@@ -174,12 +204,19 @@ def characterize_network_parallel(
         for output in network.outputs
     ]
     t0 = perf_counter()
-    models = {
-        output: expand_model_to_inputs(local, network.inputs)
-        for output, _seconds, local in _run_tasks(
-            _characterize_output_task, payloads, jobs
-        )
-    }
+    models = {}
+    for output, seconds, local in _run_tasks(
+        _characterize_output_task, payloads, jobs, tracer=tracer
+    ):
+        models[output] = expand_model_to_inputs(local, network.inputs)
+        if tracer.enabled:
+            tracer.event(
+                "characterize-output",
+                phase="characterization",
+                seconds=seconds,
+                output=output,
+                jobs=jobs,
+            )
     if library is not None and sig is not None:
         library.store(sig, network.inputs, network.outputs, models)
         library.stats.record_characterization(

@@ -4,44 +4,95 @@ One :class:`LibraryStats` instance lives on each
 :class:`~repro.library.store.ModelLibrary` and is updated by the store,
 the scheduler, and the analyzer hook.  ``hier-report --cache-dir``
 surfaces the rendered block so cache effectiveness is visible per run.
+
+The counters are backed by a :class:`~repro.obs.metrics.Metrics`
+registry (one ``library.*`` instrument per counter), so a tracer that
+shares the registry sees the same numbers; the attribute surface
+(``stats.hits += 1`` and friends) is unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.obs.metrics import Metrics
+
+#: Integer counters exposed as read/write attributes, in render order.
+_COUNTER_FIELDS = (
+    "hits",
+    "memory_hits",
+    "disk_hits",
+    "misses",
+    "stores",
+    "evictions",
+    "corrupt_entries",
+    "schema_mismatches",
+    "characterizations",
+)
 
 
-@dataclass
+def _counter_property(name: str) -> property:
+    key = f"library.{name}"
+
+    def fget(self: "LibraryStats") -> int:
+        return int(self.metrics.counter(key).value)
+
+    def fset(self: "LibraryStats", value: int) -> None:
+        self.metrics.counter(key).value = int(value)
+
+    fget.__doc__ = f"``{key}`` counter (Metrics-backed)."
+    return property(fget, fset)
+
+
 class LibraryStats:
-    """Hit/miss/evict and characterization-time counters."""
+    """Hit/miss/evict and characterization-time counters.
+
+    Parameters
+    ----------
+    metrics:
+        Registry to record into.  Pass a tracer's ``metrics`` to merge
+        library counters into a run's observability stream; by default
+        each stats object owns a private registry.
+    """
+
+    def __init__(self, metrics: Metrics | None = None):
+        self.metrics = metrics if metrics is not None else Metrics()
+        #: Module names characterized, in completion order.
+        self.characterized_modules: list[str] = []
+        for name in _COUNTER_FIELDS:
+            self.metrics.counter(f"library.{name}")
+        self.metrics.histogram("library.characterization_seconds")
 
     #: Total lookups satisfied from the library (memory or disk).
-    hits: int = 0
+    hits = _counter_property("hits")
     #: Hits served by the in-memory LRU layer.
-    memory_hits: int = 0
+    memory_hits = _counter_property("memory_hits")
     #: Hits that had to read (and re-validate) an on-disk entry.
-    disk_hits: int = 0
+    disk_hits = _counter_property("disk_hits")
     #: Lookups that found nothing usable.
-    misses: int = 0
+    misses = _counter_property("misses")
     #: Models written to the library.
-    stores: int = 0
+    stores = _counter_property("stores")
     #: In-memory LRU entries dropped to respect the capacity bound.
-    evictions: int = 0
+    evictions = _counter_property("evictions")
     #: On-disk entries rejected as unreadable/malformed (treated as misses).
-    corrupt_entries: int = 0
+    corrupt_entries = _counter_property("corrupt_entries")
     #: On-disk entries rejected for a format/version mismatch.
-    schema_mismatches: int = 0
+    schema_mismatches = _counter_property("schema_mismatches")
     #: Modules actually characterized from their netlists.
-    characterizations: int = 0
-    #: Wall-clock seconds spent in those characterizations.
-    characterization_seconds: float = 0.0
-    #: Module names characterized, in completion order.
-    characterized_modules: list[str] = field(default_factory=list)
+    characterizations = _counter_property("characterizations")
+
+    @property
+    def characterization_seconds(self) -> float:
+        """Wall-clock seconds spent in from-netlist characterizations."""
+        return self.metrics.histogram(
+            "library.characterization_seconds"
+        ).total
 
     def record_characterization(self, name: str, seconds: float) -> None:
         """Count one from-netlist characterization of ``name``."""
         self.characterizations += 1
-        self.characterization_seconds += seconds
+        self.metrics.histogram(
+            "library.characterization_seconds"
+        ).observe(seconds)
         self.characterized_modules.append(name)
 
     def as_dict(self) -> dict:
@@ -75,3 +126,9 @@ class LibraryStats:
             f"{self.characterization_seconds:.3f}s",
         ]
         return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LibraryStats(hits={self.hits}, misses={self.misses}, "
+            f"characterizations={self.characterizations})"
+        )

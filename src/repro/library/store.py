@@ -19,12 +19,14 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Mapping, Sequence
 
 from repro.core.timing_model import TimingModel
 from repro.library.stats import LibraryStats
+from repro.obs.trace import Tracer, ensure_tracer
 
 #: Format marker stored in every on-disk entry.
 FORMAT_NAME = "repro-model-library"
@@ -45,18 +47,24 @@ class ModelLibrary:
         keeps the library memory-only.
     max_memory_entries:
         LRU capacity of the in-memory layer (≥ 1).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; when enabled the
+        library emits timed ``cache-hit`` / ``cache-miss`` /
+        ``cache-store`` events (phase ``"cache"``) per lookup and store.
     """
 
     def __init__(
         self,
         cache_dir: str | os.PathLike | None = None,
         max_memory_entries: int = 256,
+        tracer: Tracer | None = None,
     ):
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.max_memory_entries = max(1, int(max_memory_entries))
         self._memory: OrderedDict[str, _Entry] = OrderedDict()
+        self.tracer = ensure_tracer(tracer)
         self.stats = LibraryStats()
 
     # ----------------------------------------------------------------- lookup
@@ -78,6 +86,7 @@ class ModelLibrary:
         arity mismatch means the signature collided with a different
         interface and is treated as corrupt.
         """
+        t0 = time.perf_counter() if self.tracer.enabled else 0.0
         entry = self._memory.get(signature)
         if entry is not None:
             self._memory.move_to_end(signature)
@@ -86,6 +95,7 @@ class ModelLibrary:
             ):
                 self.stats.hits += 1
                 self.stats.memory_hits += 1
+                self._trace_lookup("cache-hit", signature, t0, "memory")
                 return self._rekey(entry, inputs, outputs)
             self._memory.pop(signature, None)
             self.stats.corrupt_entries += 1
@@ -94,9 +104,27 @@ class ModelLibrary:
             self._remember(signature, entry)
             self.stats.hits += 1
             self.stats.disk_hits += 1
+            self._trace_lookup("cache-hit", signature, t0, "disk")
             return self._rekey(entry, inputs, outputs)
         self.stats.misses += 1
+        self._trace_lookup("cache-miss", signature, t0, None)
         return None
+
+    def _trace_lookup(
+        self, kind: str, signature: str, t0: float, layer: str | None
+    ) -> None:
+        if not self.tracer.enabled:
+            return
+        self.tracer.count(f"library.{'hits' if layer else 'misses'}")
+        attrs = {"signature": signature[:16]}
+        if layer is not None:
+            attrs["layer"] = layer
+        self.tracer.event(
+            kind,
+            phase="cache",
+            seconds=time.perf_counter() - t0,
+            **attrs,
+        )
 
     def _read_disk(
         self, signature: str, num_inputs: int, num_outputs: int
@@ -172,11 +200,13 @@ class ModelLibrary:
         ``models`` must hold one model per output, aligned with
         ``inputs`` (the shape produced by ``characterize_network``).
         """
+        t0 = time.perf_counter() if self.tracer.enabled else 0.0
         entry: _Entry = tuple(models[out].tuples for out in outputs)
         self._remember(signature, entry)
         self.stats.stores += 1
         path = self.path_for(signature)
         if path is None:
+            self._trace_store(signature, t0, persisted=False)
             return
         document = {
             "format": FORMAT_NAME,
@@ -200,6 +230,21 @@ class ModelLibrary:
             except OSError:
                 pass
             raise
+        self._trace_store(signature, t0, persisted=True)
+
+    def _trace_store(
+        self, signature: str, t0: float, persisted: bool
+    ) -> None:
+        if not self.tracer.enabled:
+            return
+        self.tracer.count("library.stores")
+        self.tracer.event(
+            "cache-store",
+            phase="cache",
+            seconds=time.perf_counter() - t0,
+            signature=signature[:16],
+            persisted=persisted,
+        )
 
     def _remember(self, signature: str, entry: _Entry) -> None:
         self._memory[signature] = entry

@@ -1,0 +1,56 @@
+"""Observability: structured tracing and metrics for the analysis pipeline.
+
+The paper's demand-driven refinement is motivated entirely by *where
+time goes*; this package makes that measurable.  A
+:class:`~repro.obs.trace.Tracer` threads through every analysis layer
+(:mod:`repro.core.xbd0`, :mod:`repro.core.required`,
+:mod:`repro.core.hier`, :mod:`repro.core.demand`,
+:mod:`repro.library`) and emits typed span/event records —
+characterize-module, tuple-prune, sat-call, refinement-step, cache
+hit/miss — with wall-time and counter payloads, fanned out to pluggable
+sinks (in-memory ring buffer, JSONL file, aggregate summary).
+
+Tracing is strictly opt-in: the default :data:`NULL_TRACER` makes every
+instrumentation site a no-op and analyzer outputs are identical with
+tracing on or off.
+
+Typical use::
+
+    from repro.obs import Tracer, RingBufferSink
+
+    sink = RingBufferSink()
+    tracer = Tracer(sinks=[sink])
+    HierarchicalAnalyzer(design, tracer=tracer).analyze()
+    print(tracer.summary())          # per-phase time/counter breakdown
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, Metrics
+from repro.obs.sinks import (
+    JsonlSink,
+    RingBufferSink,
+    SummarySink,
+    read_jsonl,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    PHASES,
+    TraceRecord,
+    Tracer,
+    ensure_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "Metrics",
+    "NULL_TRACER",
+    "PHASES",
+    "RingBufferSink",
+    "SummarySink",
+    "TraceRecord",
+    "Tracer",
+    "ensure_tracer",
+    "read_jsonl",
+]

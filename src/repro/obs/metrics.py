@@ -1,0 +1,146 @@
+"""Typed metrics registry: counters, gauges, histograms.
+
+Zero-dependency substrate for the observability layer.  A
+:class:`Metrics` registry hands out named instruments on first use
+(``metrics.counter("xbd0.sat_calls").inc()``); the same name always
+returns the same instrument, so independent call sites aggregate into
+one value.  Registries are cheap enough to keep one per
+:class:`~repro.obs.trace.Tracer` and one per
+:class:`~repro.library.stats.LibraryStats`.
+
+No locking: analysis runs are single-threaded per process, and worker
+processes report back through return values, not shared registries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+
+@dataclass
+class Counter:
+    """Monotonically growing count (fractional increments allowed)."""
+
+    name: str
+    value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        """Add ``n`` (default 1) to the counter."""
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins instantaneous value (e.g. live expression nodes)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of observed samples (count/total/min/max).
+
+    Deliberately bucket-free: the analysis workloads need "how many,
+    how long in total, and the extremes", not quantile sketches.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    minimum: float = POS_INF
+    maximum: float = NEG_INF
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Average of the observed samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class Metrics:
+    """Name-addressed registry of counters, gauges, and histograms."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name)
+        return instrument
+
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: {
+                    "count": h.count,
+                    "total": h.total,
+                    "min": None if h.count == 0 else h.minimum,
+                    "max": None if h.count == 0 else h.maximum,
+                }
+                for n, h in sorted(self.histograms.items())
+            },
+        }
+
+    def render(self, indent: str = "  ") -> str:
+        """Human-readable block listing every non-empty instrument."""
+        lines: list[str] = []
+        if self.counters:
+            width = max(len(n) for n in self.counters)
+            for name in sorted(self.counters):
+                lines.append(
+                    f"{indent}{name:<{width}} : "
+                    f"{self.counters[name].value:g}"
+                )
+        if self.gauges:
+            width = max(len(n) for n in self.gauges)
+            for name in sorted(self.gauges):
+                lines.append(
+                    f"{indent}{name:<{width}} : {self.gauges[name].value:g}"
+                )
+        for name in sorted(self.histograms):
+            h = self.histograms[name]
+            if h.count == 0:
+                continue
+            lines.append(
+                f"{indent}{name} : n={h.count} total={h.total:.3f} "
+                f"min={h.minimum:.3f} max={h.maximum:.3f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Pluggable trace sinks: ring buffer, JSONL file, summary table.
+
+Sinks receive every :class:`~repro.obs.trace.TraceRecord` a tracer
+produces, via ``sink.emit(record)``.  They are deliberately tiny so an
+``emit`` never dominates the work being traced:
+
+* :class:`RingBufferSink` — bounded in-memory history for tests and
+  interactive inspection;
+* :class:`JsonlSink` — one JSON object per line, the machine-readable
+  export (round-trips through :func:`read_jsonl`);
+* :class:`SummarySink` — keeps nothing but the record stream's
+  aggregate shape; its ``render`` mirrors ``Tracer.summary`` for
+  callers that only hold the sink.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from collections import deque
+from pathlib import Path
+from typing import TextIO
+
+from repro.obs.trace import TraceRecord
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` records in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = max(1, int(capacity))
+        self._records: deque[TraceRecord] = deque(maxlen=self.capacity)
+        #: Total records seen (including any dropped by the bound).
+        self.emitted = 0
+
+    def emit(self, record: TraceRecord) -> None:
+        """Append one record, evicting the oldest beyond capacity."""
+        self.emitted += 1
+        self._records.append(record)
+
+    def records(self) -> tuple[TraceRecord, ...]:
+        """The retained records, oldest first."""
+        return tuple(self._records)
+
+    def by_name(self, name: str) -> tuple[TraceRecord, ...]:
+        """Retained records with the given name."""
+        return tuple(r for r in self._records if r.name == name)
+
+    def names(self) -> set[str]:
+        """Distinct record names currently retained."""
+        return {r.name for r in self._records}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class JsonlSink:
+    """Write records as JSON Lines to a path or open text stream.
+
+    Owns (and closes) the file when constructed from a path; borrows
+    the stream otherwise.
+    """
+
+    def __init__(self, target: str | os.PathLike | TextIO):
+        if isinstance(target, (str, os.PathLike)):
+            self._stream: TextIO = Path(target).open("w")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self.emitted = 0
+
+    def emit(self, record: TraceRecord) -> None:
+        """Write one record as a JSON line."""
+        self._stream.write(json.dumps(record.as_dict()) + "\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        """Flush, and close the stream if this sink opened it."""
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_jsonl(source: str | os.PathLike | TextIO) -> list[TraceRecord]:
+    """Parse a JSONL trace back into :class:`TraceRecord` objects."""
+    if isinstance(source, (str, os.PathLike)):
+        text = Path(source).read_text()
+    else:
+        text = source.read()
+    records = []
+    for line in io.StringIO(text):
+        line = line.strip()
+        if not line:
+            continue
+        raw = json.loads(line)
+        records.append(
+            TraceRecord(
+                kind=raw["kind"],
+                name=raw["name"],
+                t=raw["t"],
+                seconds=raw["seconds"],
+                phase=raw["phase"],
+                depth=raw["depth"],
+                attrs=raw.get("attrs", {}),
+            )
+        )
+    return records
+
+
+class SummarySink:
+    """Aggregate-only sink: per-name counts and seconds, no history."""
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+        self.seconds: dict[str, float] = {}
+
+    def emit(self, record: TraceRecord) -> None:
+        """Fold one record into the per-name aggregates."""
+        self.counts[record.name] = self.counts.get(record.name, 0) + 1
+        self.seconds[record.name] = (
+            self.seconds.get(record.name, 0.0) + record.seconds
+        )
+
+    def render(self, indent: str = "  ") -> str:
+        """Table of record name → count and accumulated seconds."""
+        if not self.counts:
+            return f"{indent}(no records)"
+        width = max(len(n) for n in self.counts)
+        lines = [
+            f"{indent}{'record':<{width}} {'count':>7} {'seconds':>9}",
+            f"{indent}" + "-" * (width + 18),
+        ]
+        for name in sorted(self.counts):
+            lines.append(
+                f"{indent}{name:<{width}} {self.counts[name]:>7} "
+                f"{self.seconds[name]:>9.3f}"
+            )
+        return "\n".join(lines)

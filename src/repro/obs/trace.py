@@ -1,0 +1,294 @@
+"""Structured tracer: typed span/event records with phase aggregation.
+
+A :class:`Tracer` is the single object threaded through the analysis
+layers.  Instrumentation sites emit
+
+* **spans** — wall-clock intervals with nesting (``with
+  tracer.span("characterize-module", module="blk2"): ...``),
+* **events** — point records, optionally carrying a measured duration
+  (``tracer.event("cache-hit", phase="cache", seconds=dt)``), and
+* **metrics** — counters/gauges through the attached
+  :class:`~repro.obs.metrics.Metrics` registry.
+
+Every record is forwarded to the attached sinks (ring buffer, JSONL
+file, ...; see :mod:`repro.obs.sinks`) and aggregated into per-phase
+totals, so a run can always answer "where did the time go" without
+post-processing.
+
+**Phases.**  A record may name the analysis phase whose wall time it
+owns: ``characterization`` (Step 1), ``propagation`` (Step 2 / graph
+STA), ``refinement`` (Section-5 demand-driven steps), ``cache`` (model
+library).  Instrumentation follows one rule: a record carries a phase
+*and* a nonzero duration only if it owns that interval exclusively, so
+serial phase totals never double-count and always sum to at most the
+tracer's elapsed time.
+
+**Disabled tracing is free.**  The module-level :data:`NULL_TRACER`
+(the default everywhere) short-circuits every call before any payload
+is built; analyzer results are identical with and without it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.obs.metrics import Metrics
+
+#: The canonical analysis phases, in reporting order.  Tracers track any
+#: phase name they see; these four always appear in the summary.
+PHASES = ("characterization", "propagation", "refinement", "cache")
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One span or event, as delivered to sinks.
+
+    ``t`` is seconds since the tracer started; ``seconds`` is the
+    record's own duration (span length, or a measured event cost).
+    """
+
+    kind: str  # "span" | "event"
+    name: str
+    t: float
+    seconds: float = 0.0
+    phase: str | None = None
+    depth: int = 0
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (the JSONL sink's line payload)."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "t": self.t,
+            "seconds": self.seconds,
+            "phase": self.phase,
+            "depth": self.depth,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _Span:
+    """Context manager recording one span on exit."""
+
+    __slots__ = ("_tracer", "name", "phase", "attrs", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, phase: str | None,
+                 attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.phase = phase
+        self.attrs = attrs
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        tracer._depth += 1
+        self._start = tracer._clock()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        tracer = self._tracer
+        end = tracer._clock()
+        tracer._depth -= 1
+        tracer._record(
+            TraceRecord(
+                kind="span",
+                name=self.name,
+                t=self._start - tracer._t0,
+                seconds=end - self._start,
+                phase=self.phase,
+                depth=tracer._depth,
+                attrs=self.attrs,
+            )
+        )
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by the null tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans, events, and metrics for one analysis run.
+
+    Parameters
+    ----------
+    sinks:
+        Initial sink list; more can be attached with :meth:`add_sink`.
+        Each sink is called as ``sink.emit(record)``.
+    clock:
+        Monotonic time source (overridable for deterministic tests).
+    """
+
+    enabled = True
+
+    def __init__(self, sinks=(), clock=time.perf_counter):
+        self._clock = clock
+        self._t0 = clock()
+        self._sinks = list(sinks)
+        self._depth = 0
+        self.metrics = Metrics()
+        #: Aggregated seconds per phase (only exclusive-owner records).
+        self.phase_seconds: dict[str, float] = {}
+        #: Record count per phase.
+        self.phase_events: dict[str, int] = {}
+        #: Record count per record name (the "event type" census).
+        self.name_counts: dict[str, int] = {}
+
+    # ----------------------------------------------------------- recording
+    def add_sink(self, sink) -> None:
+        """Attach a sink; it receives every subsequent record."""
+        self._sinks.append(sink)
+
+    def span(self, name: str, phase: str | None = None, **attrs):
+        """Context manager timing one nested interval."""
+        return _Span(self, name, phase, attrs)
+
+    def event(
+        self,
+        name: str,
+        phase: str | None = None,
+        seconds: float = 0.0,
+        **attrs,
+    ) -> None:
+        """Record one point event (``seconds`` for measured costs)."""
+        self._record(
+            TraceRecord(
+                kind="event",
+                name=name,
+                t=self._clock() - self._t0,
+                seconds=seconds,
+                phase=phase,
+                depth=self._depth,
+                attrs=attrs,
+            )
+        )
+
+    def count(self, name: str, n: float = 1) -> None:
+        """Bump the named counter (no sink traffic — metrics only)."""
+        self.metrics.counter(name).inc(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge (no sink traffic — metrics only)."""
+        self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Feed one sample to the named histogram (metrics only)."""
+        self.metrics.histogram(name).observe(value)
+
+    def _record(self, record: TraceRecord) -> None:
+        self.name_counts[record.name] = (
+            self.name_counts.get(record.name, 0) + 1
+        )
+        if record.phase is not None:
+            self.phase_seconds[record.phase] = (
+                self.phase_seconds.get(record.phase, 0.0) + record.seconds
+            )
+            self.phase_events[record.phase] = (
+                self.phase_events.get(record.phase, 0) + 1
+            )
+        for sink in self._sinks:
+            sink.emit(record)
+
+    # ----------------------------------------------------------- reporting
+    def elapsed_seconds(self) -> float:
+        """Wall-clock seconds since the tracer was created."""
+        return self._clock() - self._t0
+
+    def phase_totals(self) -> dict[str, float]:
+        """Seconds per phase; the canonical four are always present."""
+        totals = {phase: 0.0 for phase in PHASES}
+        totals.update(self.phase_seconds)
+        return totals
+
+    def close(self) -> None:
+        """Close every sink that supports closing."""
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+    def summary(self, indent: str = "  ") -> str:
+        """Human-readable per-phase breakdown plus counters.
+
+        The table the ``--trace``/``--profile`` CLI flags print: phase
+        totals (the canonical four always listed), the busiest record
+        types, and every metrics counter.
+        """
+        totals = self.phase_totals()
+        lines = [
+            "trace summary",
+            f"{indent}elapsed: {self.elapsed_seconds():.3f}s",
+            "",
+            f"{indent}{'phase':<18} {'seconds':>9} {'records':>8}",
+            f"{indent}" + "-" * 37,
+        ]
+        ordered = list(PHASES) + sorted(
+            p for p in totals if p not in PHASES
+        )
+        for phase in ordered:
+            lines.append(
+                f"{indent}{phase:<18} {totals[phase]:>9.3f} "
+                f"{self.phase_events.get(phase, 0):>8}"
+            )
+        if self.name_counts:
+            lines.append("")
+            lines.append(f"{indent}records by type:")
+            for name in sorted(self.name_counts):
+                lines.append(
+                    f"{indent}  {name:<24} {self.name_counts[name]:>7}"
+                )
+        metrics_block = self.metrics.render(indent + "  ")
+        if metrics_block:
+            lines.append("")
+            lines.append(f"{indent}counters:")
+            lines.append(metrics_block)
+        return "\n".join(lines)
+
+
+class _NullTracer(Tracer):
+    """Disabled tracer: every call is a no-op, every check is cheap."""
+
+    enabled = False
+
+    def add_sink(self, sink) -> None:  # pragma: no cover - defensive
+        raise ValueError(
+            "cannot attach sinks to the null tracer; create a Tracer()"
+        )
+
+    def span(self, name: str, phase: str | None = None, **attrs):
+        return _NULL_SPAN
+
+    def event(self, name, phase=None, seconds=0.0, **attrs) -> None:
+        return None
+
+    def count(self, name: str, n: float = 1) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+
+#: Shared disabled tracer — the default for every instrumented API.
+NULL_TRACER = _NullTracer()
+
+
+def ensure_tracer(tracer: Tracer | None) -> Tracer:
+    """Coerce ``None`` (tracing off) to the shared :data:`NULL_TRACER`."""
+    return NULL_TRACER if tracer is None else tracer

@@ -86,13 +86,18 @@ def functional_timing_report(
     arrival: Mapping[str, float] | None = None,
     engine: "Engine" = "sat",
     max_paths: int = 5,
+    tracer=None,
 ) -> str:
     """Topological vs XBD0 comparison with false-path flags."""
     # imported here to keep repro.sta free of a static cycle with repro.core
-    from repro.core.xbd0 import StabilityAnalyzer
+    import time
 
+    from repro.core.xbd0 import StabilityAnalyzer
+    from repro.obs.trace import ensure_tracer
+
+    tracer = ensure_tracer(tracer)
     at = arrival_times(network, arrival)
-    analyzer = StabilityAnalyzer(network, arrival, engine)
+    analyzer = StabilityAnalyzer(network, arrival, engine, tracer=tracer)
     lines = [
         f"Functional (XBD0) timing report for {network.name}",
         "",
@@ -102,7 +107,15 @@ def functional_timing_report(
     ]
     functional: dict[str, float] = {}
     for out in network.outputs:
+        t0 = time.perf_counter() if tracer.enabled else 0.0
         functional[out] = analyzer.functional_delay(out)
+        if tracer.enabled:
+            tracer.event(
+                "functional-delay",
+                phase="propagation",
+                seconds=time.perf_counter() - t0,
+                output=out,
+            )
         gap = at[out] - functional[out]
         lines.append(
             f"  {out:<16} {_fmt(at[out]):>12} {_fmt(functional[out]):>11} "
