@@ -1,0 +1,74 @@
+"""Clean-path overhead guard for the fail-safe engine.
+
+The resilient executor, degradation log, and deadline checks are always
+on — there is no legacy code path to compare against — so the guard
+measures the two hardening features that *do* have an off switch: fcntl
+file locking and fsync'd durable writes in the model library.  A fully
+hardened two-step analysis (cold store + warm re-read) must stay within
+5% of the relaxed configuration.
+
+Paired min-of-N, alternating relaxed and hardened rounds so clock drift
+hits both sides equally (the same discipline as the tracing guard in
+``bench_incremental.py``).  Emits
+``benchmarks/results/resilience_overhead.json`` for trajectory
+tracking.  Plain timing (no ``benchmark`` fixture) so the guard also
+runs in a non-benchmark pytest invocation.
+
+Run: pytest benchmarks/bench_resilience.py
+"""
+
+import json
+import time
+from itertools import count
+from pathlib import Path
+
+from repro.circuits.adders import cascade_adder
+from repro.core.hier import HierarchicalAnalyzer
+from repro.library import ModelLibrary
+
+_fresh = count()
+
+
+def test_hardening_overhead_guard(tmp_path):
+    """Locking + durable writes cost < 5% on the clean cached path."""
+    design = cascade_adder(32, 2)
+    budget = 0.05
+    rounds = 5
+
+    def run(hardened: bool) -> float:
+        cache = tmp_path / f"cache{next(_fresh)}"
+        t0 = time.perf_counter()
+        cold = ModelLibrary(cache, locking=hardened, durable=hardened)
+        HierarchicalAnalyzer(design, library=cold).analyze()
+        warm = ModelLibrary(cache, locking=hardened, durable=hardened)
+        HierarchicalAnalyzer(design, library=warm).analyze()
+        seconds = time.perf_counter() - t0
+        assert warm.stats.disk_hits >= 1  # both sides did the same work
+        return seconds
+
+    run(True)  # warmup (imports, allocator)
+    relaxed: list[float] = []
+    hardened: list[float] = []
+    for _ in range(rounds):
+        relaxed.append(run(False))
+        hardened.append(run(True))
+    relaxed_seconds = min(relaxed)
+    hardened_seconds = min(hardened)
+    overhead = hardened_seconds / relaxed_seconds - 1.0
+
+    payload = {
+        "design": "csa32.2",
+        "rounds": rounds,
+        "relaxed_seconds": relaxed_seconds,
+        "hardened_seconds": hardened_seconds,
+        "overhead_fraction": overhead,
+        "budget_fraction": budget,
+    }
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    out = results_dir / "resilience_overhead.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    assert overhead < budget, (
+        f"hardening overhead {overhead:.1%} exceeds {budget:.0%} "
+        f"(relaxed {relaxed_seconds:.4f}s, hardened {hardened_seconds:.4f}s)"
+    )

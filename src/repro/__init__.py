@@ -26,6 +26,8 @@ The public API re-exports the main types; subpackages hold the substrates:
 * :mod:`repro.circuits` — benchmark generators and partitioning
 * :mod:`repro.bench`    — table/figure regenerators
 * :mod:`repro.obs`      — tracer, metrics, and sinks (observability)
+* :mod:`repro.resilience` — deadlines, fault-tolerant execution, and
+  conservative degradation (fail-safe analysis)
 * :mod:`repro.api`      — :class:`AnalysisSession` facade +
   :class:`AnalysisOptions`
 """
@@ -44,6 +46,7 @@ from repro.netlist.aig import equivalent
 from repro.netlist.hierarchy import HierDesign, Instance, Module
 from repro.netlist.network import Gate, GateType, Network
 from repro.obs import Metrics, Tracer
+from repro.resilience import Degradation, FaultPlan, ResiliencePolicy
 from repro.seq.circuit import Flop, SequentialCircuit
 
 __version__ = "1.1.0"
@@ -52,7 +55,9 @@ __all__ = [
     "AnalysisOptions",
     "AnalysisSession",
     "ConditionalAnalyzer",
+    "Degradation",
     "DemandDrivenAnalyzer",
+    "FaultPlan",
     "Flop",
     "Gate",
     "GateType",
@@ -64,6 +69,7 @@ __all__ = [
     "ModelLibrary",
     "Module",
     "Network",
+    "ResiliencePolicy",
     "SequentialCircuit",
     "StabilityAnalyzer",
     "TimingModel",

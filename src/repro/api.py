@@ -35,7 +35,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping
 
-from repro.errors import AnalysisError, ReproError
+from repro.errors import AnalysisError, ParseError, ReproError
 from repro.netlist.hierarchy import HierDesign
 from repro.netlist.network import Network
 from repro.obs.trace import NULL_TRACER, Tracer, ensure_tracer
@@ -47,6 +47,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.subflat import SubFlatResult
     from repro.core.timing_model import TimingModel
     from repro.library.store import ModelLibrary
+    from repro.resilience.policy import ResiliencePolicy
 
 #: Tautology engines accepted by every analyzer.
 ENGINES = ("sat", "bdd", "brute")
@@ -74,6 +75,23 @@ class AnalysisOptions:
     tracer:
         :class:`~repro.obs.trace.Tracer` receiving the run's spans,
         events, and counters (``None`` = tracing off, zero overhead).
+    deadline:
+        Wall-clock budget (seconds) for one analysis call.  Work past
+        the deadline degrades to topological models instead of running
+        longer (``None`` = unlimited).
+    module_timeout:
+        Per-module characterization timeout (seconds) on the parallel
+        path; a hung worker task becomes a retry, then a degradation.
+    retries:
+        Worker-failure retry rounds before a module falls back to
+        serial (then topological) characterization.
+    refine_budget:
+        Maximum demand-driven refinements per analysis (``None`` =
+        unlimited); past it, edges keep their conservative topological
+        weights.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan` arming the
+        deterministic fault-injection points (tests and drills only).
     """
 
     engine: str = "sat"
@@ -83,6 +101,11 @@ class AnalysisOptions:
     jobs: int = 1
     cache_dir: str | Path | None = None
     tracer: Tracer | None = field(default=None, repr=False)
+    deadline: float | None = None
+    module_timeout: float | None = None
+    retries: int = 2
+    refine_budget: int | None = None
+    fault_plan: object | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -98,6 +121,23 @@ class AnalysisOptions:
         object.__setattr__(self, "jobs", max(1, int(self.jobs)))
         if self.cache_dir is not None:
             object.__setattr__(self, "cache_dir", Path(self.cache_dir))
+        for name in ("deadline", "module_timeout"):
+            value = getattr(self, name)
+            if value is not None:
+                value = float(value)
+                if value <= 0:
+                    raise ValueError(f"{name} must be > 0, got {value}")
+                object.__setattr__(self, name, value)
+        if int(self.retries) < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        object.__setattr__(self, "retries", int(self.retries))
+        if self.refine_budget is not None:
+            budget = int(self.refine_budget)
+            if budget < 0:
+                raise ValueError(
+                    f"refine_budget must be >= 0, got {budget}"
+                )
+            object.__setattr__(self, "refine_budget", budget)
 
     def with_changes(self, **changes) -> "AnalysisOptions":
         """A copy with the given fields replaced (re-validated)."""
@@ -107,6 +147,19 @@ class AnalysisOptions:
     def effective_tracer(self) -> Tracer:
         """The tracer, with ``None`` coerced to the shared null tracer."""
         return ensure_tracer(self.tracer)
+
+    def resilience_policy(self) -> "ResiliencePolicy":
+        """The :class:`~repro.resilience.ResiliencePolicy` these options
+        describe (consumed by every analyzer)."""
+        from repro.resilience.policy import ResiliencePolicy
+
+        return ResiliencePolicy(
+            deadline_seconds=self.deadline,
+            module_timeout=self.module_timeout,
+            max_retries=self.retries,
+            refine_budget=self.refine_budget,
+            fault_plan=self.fault_plan,
+        )
 
 
 def load_circuit_file(path: str | Path) -> Network | HierDesign:
@@ -122,13 +175,18 @@ def load_circuit_file(path: str | Path) -> Network | HierDesign:
     from repro.parsers.verilog import read_verilog
 
     file = Path(path)
-    with file.open() as fp:
-        if file.suffix == ".bench":
-            return read_bench(fp, name=file.stem)
-        if file.suffix == ".blif":
-            return read_blif(fp)
-        if file.suffix == ".v":
-            return read_verilog(fp)
+    try:
+        with file.open() as fp:
+            if file.suffix == ".bench":
+                return read_bench(fp, name=file.stem)
+            if file.suffix == ".blif":
+                return read_blif(fp)
+            if file.suffix == ".v":
+                return read_verilog(fp)
+    except UnicodeDecodeError:
+        raise ParseError(
+            f"{file.name} is not a text netlist (undecodable bytes)"
+        ) from None
     raise ReproError(f"unsupported netlist format: {file.suffix!r}")
 
 
@@ -208,7 +266,9 @@ class AnalysisSession:
             from repro.library.store import ModelLibrary
 
             self._library = ModelLibrary(
-                self.options.cache_dir, tracer=self.tracer
+                self.options.cache_dir,
+                tracer=self.tracer,
+                fault_plan=self.options.fault_plan,
             )
         return self._library
 
@@ -343,6 +403,7 @@ class AnalysisSession:
                 max_tuples=options.max_tuples,
                 library=self.library,
                 tracer=options.tracer,
+                policy=options.resilience_policy(),
             )
         from repro.core.required import characterize_network
 
@@ -386,18 +447,15 @@ class AnalysisSession:
             return library_timing_report(
                 self.design,
                 arrival,
-                engine=options.engine,
                 show_nets=show_nets,
                 library=self.library,
-                jobs=options.jobs,
-                tracer=options.tracer,
+                options=options,
             )
         return design_timing_report(
             self.design,
             arrival,
-            engine=options.engine,
             show_nets=show_nets,
-            tracer=options.tracer,
+            options=options,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -22,7 +22,7 @@ from pathlib import Path
 from repro.core.required import characterize_network
 from repro.core.ipblock import export_timing_library
 from repro.core.xbd0 import functional_delays
-from repro.errors import ReproError
+from repro.errors import ParseError, ReproError
 from repro.netlist.network import Network
 from repro.parsers.bench import read_bench
 from repro.parsers.blif import read_blif
@@ -36,19 +36,24 @@ def load_circuit(path: str) -> Network:
     commands (use the library API for hierarchical analysis).
     """
     file = Path(path)
-    with file.open() as fp:
-        if file.suffix == ".bench":
-            return read_bench(fp, name=file.stem)
-        if file.suffix == ".blif":
-            return read_blif(fp)
-        if file.suffix == ".v":
-            from repro.netlist.hierarchy import HierDesign
-            from repro.parsers.verilog import read_verilog
+    try:
+        with file.open() as fp:
+            if file.suffix == ".bench":
+                return read_bench(fp, name=file.stem)
+            if file.suffix == ".blif":
+                return read_blif(fp)
+            if file.suffix == ".v":
+                from repro.netlist.hierarchy import HierDesign
+                from repro.parsers.verilog import read_verilog
 
-            circuit = read_verilog(fp)
-            if isinstance(circuit, HierDesign):
-                return circuit.flatten(name=file.stem)
-            return circuit
+                circuit = read_verilog(fp)
+                if isinstance(circuit, HierDesign):
+                    return circuit.flatten(name=file.stem)
+                return circuit
+    except UnicodeDecodeError:
+        raise ParseError(
+            f"{file.name} is not a text netlist (undecodable bytes)"
+        ) from None
     raise ReproError(f"unsupported netlist format: {file.suffix!r}")
 
 
@@ -107,6 +112,36 @@ def finish_tracer(args: argparse.Namespace, tracer, stream=None) -> None:
         print(f"wrote trace to {trace_file}", file=sys.stderr)
 
 
+def make_options(args: argparse.Namespace, tracer=None):
+    """Build an :class:`~repro.api.AnalysisOptions` from parsed flags.
+
+    Consumes the circuit/cache/resilience option groups; ``--inject``
+    specs are parsed into a :class:`~repro.resilience.FaultPlan`.
+    """
+    from repro.api import AnalysisOptions
+
+    plan = None
+    specs = getattr(args, "inject", None)
+    if specs:
+        from repro.resilience import FaultPlan, parse_fault_spec
+
+        plan = FaultPlan([parse_fault_spec(s) for s in specs])
+    try:
+        return AnalysisOptions(
+            engine=args.engine,
+            jobs=getattr(args, "jobs", 1),
+            cache_dir=getattr(args, "cache_dir", None),
+            tracer=tracer,
+            deadline=getattr(args, "deadline", None),
+            module_timeout=getattr(args, "module_timeout", None),
+            retries=getattr(args, "retries", 2),
+            refine_budget=getattr(args, "refine_budget", None),
+            fault_plan=plan,
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from None
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     net = load_circuit(args.circuit)
     arrival = parse_arrivals(args.arrival)
@@ -152,23 +187,14 @@ def cmd_hier_report(args: argparse.Namespace) -> int:
         )
     arrival = parse_arrivals(args.arrival)
     tracer = make_tracer(args)
-    if args.cache_dir is not None or args.jobs > 1:
-        from repro.library.store import ModelLibrary
-
-        library = (
-            ModelLibrary(args.cache_dir, tracer=tracer)
-            if args.cache_dir is not None
-            else None
-        )
+    options = make_options(args, tracer)
+    if options.cache_dir is not None or options.jobs > 1:
         print(
             library_timing_report(
                 circuit,
                 arrival,
-                engine=args.engine,
                 show_nets=args.nets,
-                library=library,
-                jobs=args.jobs,
-                tracer=tracer,
+                options=options,
             )
         )
     else:
@@ -176,9 +202,8 @@ def cmd_hier_report(args: argparse.Namespace) -> int:
             design_timing_report(
                 circuit,
                 arrival,
-                engine=args.engine,
                 show_nets=args.nets,
-                tracer=tracer,
+                options=options,
             )
         )
     finish_tracer(args, tracer)
@@ -216,18 +241,23 @@ def cmd_sdc(args: argparse.Namespace) -> int:
 def cmd_characterize(args: argparse.Namespace) -> int:
     net = load_circuit(args.circuit)
     tracer = make_tracer(args)
-    if args.cache_dir is not None or args.jobs > 1:
+    options = make_options(args, tracer)
+    if options.cache_dir is not None or options.jobs > 1:
         from repro.library.scheduler import characterize_network_parallel
         from repro.library.store import ModelLibrary
 
         library = (
-            ModelLibrary(args.cache_dir, tracer=tracer)
-            if args.cache_dir is not None
+            ModelLibrary(
+                options.cache_dir,
+                tracer=tracer,
+                fault_plan=options.fault_plan,
+            )
+            if options.cache_dir is not None
             else None
         )
         models = characterize_network_parallel(
-            net, jobs=args.jobs, engine=args.engine, library=library,
-            tracer=tracer,
+            net, jobs=options.jobs, engine=options.engine, library=library,
+            tracer=tracer, policy=options.resilience_policy(),
         )
         if library is not None:
             print(
@@ -313,6 +343,49 @@ def build_parser() -> argparse.ArgumentParser:
             "ignored by commands that never characterize)",
         )
 
+    def add_resilience_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--deadline",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock budget for the analysis; past it, remaining "
+            "work degrades to conservative topological models instead of "
+            "running longer",
+        )
+        p.add_argument(
+            "--module-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-module characterization timeout on the parallel "
+            "path; a hung worker becomes a retry, then a degradation",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=2,
+            metavar="N",
+            help="worker-failure retry rounds before falling back to "
+            "serial characterization (default 2)",
+        )
+        p.add_argument(
+            "--refine-budget",
+            type=int,
+            default=None,
+            metavar="N",
+            help="max demand-driven refinement checks per run; past it, "
+            "edges keep their conservative topological weights",
+        )
+        p.add_argument(
+            "--inject",
+            action="append",
+            default=[],
+            metavar="SPEC",
+            help="arm a deterministic fault POINT:KIND[:TIMES[:K=V,...]] "
+            "(robustness drills; repeatable)",
+        )
+
     def add_obs_opts(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--trace",
@@ -354,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="demand-driven report for a hierarchical Verilog design",
     )
     add_analysis_opts(hier)
+    add_resilience_opts(hier)
     hier.add_argument(
         "--nets", action="store_true", help="include the per-net table"
     )
@@ -371,6 +445,7 @@ def build_parser() -> argparse.ArgumentParser:
         "characterize", help="write a black-box timing library (JSON)"
     )
     add_analysis_opts(character)
+    add_resilience_opts(character)
     character.add_argument(
         "-o", "--output", help="output file (default: stdout)"
     )
@@ -397,6 +472,11 @@ def main(argv: list[str] | None = None) -> int:
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Worker pools are already shut down with cancel_futures=True by
+        # the resilient executor before the interrupt reaches here.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -36,6 +36,7 @@ from repro.errors import AnalysisError
 from repro.netlist.hierarchy import HierDesign
 from repro.netlist.network import Network
 from repro.obs.trace import Tracer, ensure_tracer
+from repro.resilience.degradation import Degradation, DegradationLog
 from repro.sta.paths import distinct_path_lengths
 from repro.sta.topological import pin_to_pin_delay
 
@@ -138,9 +139,17 @@ class DemandDrivenResult(AnalysisResultMixin):
     #: Final weight per (module, input, output) pin pair that was refined
     #: below its topological value.
     refined_weights: dict[PinPair, float] = field(default_factory=dict)
+    #: Conservative fallbacks taken during this run (empty on a clean
+    #: run); each entry is a :class:`~repro.resilience.Degradation`.
+    degradations: tuple[Degradation, ...] = ()
 
     #: Deprecated spelling of :attr:`elapsed_seconds`.
     seconds = deprecated_alias("seconds", "elapsed_seconds")
+
+    @property
+    def degraded(self) -> bool:
+        """True when any conservative fallback was taken."""
+        return bool(self.degradations)
 
     def _to_dict_extra(self) -> dict:
         return {
@@ -152,6 +161,7 @@ class DemandDrivenResult(AnalysisResultMixin):
                 {"module": m, "input": i, "output": o, "weight": w}
                 for (m, i, o), w in sorted(self.refined_weights.items())
             ],
+            "degradations": [d.as_dict() for d in self.degradations],
         }
 
 
@@ -179,6 +189,8 @@ class DemandDrivenAnalyzer:
         self.options = options
         self.engine: Engine = options.engine
         self.tracer = ensure_tracer(options.tracer)
+        self.policy = options.resilience_policy()
+        self.dlog = DegradationLog(self.tracer)
         self._states: dict[PinPair, _PinPairState] = {}
         self._cones: dict[tuple[str, str], Network] = {}
         self._build_graph()
@@ -379,6 +391,34 @@ class DemandDrivenAnalyzer:
             )
         return improved
 
+    def _try_refine_guarded(self, key: PinPair) -> bool:
+        """One refinement step that degrades instead of raising.
+
+        ``_try_refine`` mutates pin-pair state only after the stability
+        check returns, so an exception mid-check leaves the current
+        (conservative) weight untouched; marking the pair exact then
+        just stops re-attempting it — Theorem 1 keeps the result sound.
+        """
+        module_name, inp, out = key
+        try:
+            plan = self.policy.fault_plan
+            if plan is not None:
+                plan.fire(
+                    "demand.refine", module=module_name, input=inp, output=out
+                )
+            return self._try_refine(key)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            self._states[key].exact = True
+            self.dlog.record(
+                "refinement-error",
+                f"{module_name}:{inp}->{out}",
+                str(exc) or type(exc).__name__,
+                "keep-current-weight",
+            )
+            return False
+
     # ------------------------------------------------------------- explain
     def explain_pin(
         self, module_name: str, inp: str, out: str
@@ -447,6 +487,9 @@ class DemandDrivenAnalyzer:
         """Run the full Section-5 loop under the given arrival times."""
         arrival = arrival or {}
         start = time.perf_counter()
+        mark = len(self.dlog)
+        deadline = self.policy.start()
+        budget = self.policy.refine_budget
         self._checks = 0
         self._refinements = 0
         sta_passes = 0
@@ -455,7 +498,8 @@ class DemandDrivenAnalyzer:
         topo_delay = max(
             (at[o] for o in self.design.outputs), default=NEG_INF
         )
-        while True:
+        exhausted = None
+        while exhausted is None:
             critical = self._critical_edges(at, rt)
             if not critical:
                 break
@@ -463,9 +507,36 @@ class DemandDrivenAnalyzer:
             for _src, _dst, key in critical:
                 if self._states[key].exact:
                     continue
-                if self._try_refine(key):
+                if deadline.limited and deadline.expired():
+                    exhausted = (
+                        "deadline",
+                        f"run deadline expired after "
+                        f"{deadline.elapsed():.3f}s",
+                    )
+                    break
+                if budget is not None and self._checks >= budget:
+                    exhausted = (
+                        "refinement-budget",
+                        f"refinement budget {budget} exhausted",
+                    )
+                    break
+                if self._try_refine_guarded(key):
                     improved_any = True
                     break  # re-run STA immediately, as the paper iterates
+            if exhausted is not None:
+                kind, detail = exhausted
+                # Unrefined edges keep their current (topological or
+                # partially refined) weights — conservative by Theorem 1.
+                unrefined = sum(
+                    1 for _s, _d, k in critical if not self._states[k].exact
+                )
+                self.dlog.record(
+                    kind,
+                    self.design.name,
+                    f"{detail}; {unrefined} critical edges left unrefined",
+                    "keep-current-weights",
+                )
+                break
             if not improved_any:
                 break
             at, rt = self._graph_sta(arrival)
@@ -488,6 +559,7 @@ class DemandDrivenAnalyzer:
             sta_passes=sta_passes,
             elapsed_seconds=time.perf_counter() - start,
             refined_weights=refined,
+            degradations=self.dlog.snapshot()[mark:],
         )
 
 

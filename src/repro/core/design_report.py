@@ -44,6 +44,23 @@ def _output_table(result: AnalysisResult) -> list[str]:
     return lines
 
 
+def _degradation_lines(degradations) -> list[str]:
+    """Render the run's conservative fallbacks (empty on a clean run)."""
+    if not degradations:
+        return []
+    lines = [
+        "",
+        f"  conservative degradations ({len(degradations)}):",
+        "  (arrival times remain upper bounds — Theorem 1)",
+    ]
+    for d in degradations:
+        lines.append(
+            f"    [{d.kind}] {d.subject}: {d.detail} "
+            f"(fallback: {d.fallback})"
+        )
+    return lines
+
+
 def _net_table(net_times: Mapping[str, float]) -> list[str]:
     lines = [
         f"  {'net':<20} {'arrival':>8}",
@@ -86,6 +103,7 @@ def render_design_report(
                 f"    {module}: {inp} -> {out}  effective delay "
                 f"{_fmt(weight)}"
             )
+    lines.extend(_degradation_lines(result.degradations))
     if show_nets:
         lines.append("")
         lines.extend(_net_table(result.net_times))
@@ -98,11 +116,19 @@ def design_timing_report(
     engine: Engine = "sat",
     show_nets: bool = False,
     tracer: Tracer | None = None,
+    options=None,
 ) -> str:
-    """Analyze ``design`` demand-driven and render the report."""
-    result = DemandDrivenAnalyzer(
-        design, engine=engine, tracer=tracer
-    ).analyze(arrival)
+    """Analyze ``design`` demand-driven and render the report.
+
+    ``options`` (an :class:`~repro.api.AnalysisOptions`) supersedes the
+    individual ``engine``/``tracer`` keywords and carries the resilience
+    knobs (deadline, refinement budget, fault plan).
+    """
+    if options is not None:
+        analyzer = DemandDrivenAnalyzer(design, options=options)
+    else:
+        analyzer = DemandDrivenAnalyzer(design, engine=engine, tracer=tracer)
+    result = analyzer.analyze(arrival)
     return render_design_report(design, result, show_nets)
 
 
@@ -115,6 +141,7 @@ def library_timing_report(
     jobs: int = 1,
     cache_dir=None,
     tracer: Tracer | None = None,
+    options=None,
 ) -> str:
     """Two-step hierarchical report backed by a persistent model library.
 
@@ -129,8 +156,9 @@ def library_timing_report(
 
     analyzer = HierarchicalAnalyzer(
         design, engine=engine, library=library, jobs=jobs,
-        cache_dir=cache_dir, tracer=tracer,
+        cache_dir=cache_dir, tracer=tracer, options=options,
     )
+    jobs = analyzer.jobs
     result = analyzer.analyze(arrival)
     if library is None:
         library = analyzer.library
@@ -148,6 +176,7 @@ def library_timing_report(
     if library is not None:
         lines.append("")
         lines.append(library.stats.render())
+    lines.extend(_degradation_lines(result.degradations))
     lines.append("")
     lines.extend(_output_table(result))
     if show_nets:

@@ -32,6 +32,8 @@ from repro.errors import AnalysisError, NetlistError
 from repro.netlist.hierarchy import HierDesign, Module
 from repro.netlist.network import Network
 from repro.obs.trace import Tracer, ensure_tracer
+from repro.resilience.degradation import Degradation, DegradationLog
+from repro.resilience.policy import Deadline
 from repro.sta.paths import all_pin_path_lengths
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -88,9 +90,17 @@ class HierResult(AnalysisResultMixin):
     characterization_seconds: float = 0.0
     #: Wall-clock seconds spent propagating arrivals (step 2).
     propagation_seconds: float = 0.0
+    #: Conservative fallbacks taken during this run (empty on a clean
+    #: run); each entry is a :class:`~repro.resilience.Degradation`.
+    degradations: tuple[Degradation, ...] = ()
 
     #: Deprecated spelling of :attr:`characterized_modules`.
     characterized = deprecated_alias("characterized", "characterized_modules")
+
+    @property
+    def degraded(self) -> bool:
+        """True when any conservative fallback was taken."""
+        return bool(self.degradations)
 
     @property
     def elapsed_seconds(self) -> float:
@@ -102,6 +112,7 @@ class HierResult(AnalysisResultMixin):
             "characterized_modules": list(self.characterized_modules),
             "characterization_seconds": self.characterization_seconds,
             "propagation_seconds": self.propagation_seconds,
+            "degradations": [d.as_dict() for d in self.degradations],
         }
 
 
@@ -171,10 +182,16 @@ class HierarchicalAnalyzer:
         self.max_tuples = options.max_tuples
         self.jobs = max(1, int(options.jobs))
         self.tracer = ensure_tracer(options.tracer)
+        self.policy = options.resilience_policy()
+        self.dlog = DegradationLog(self.tracer)
         if library is None and options.cache_dir is not None:
             from repro.library.store import ModelLibrary
 
-            library = ModelLibrary(options.cache_dir, tracer=self.tracer)
+            library = ModelLibrary(
+                options.cache_dir,
+                tracer=self.tracer,
+                fault_plan=options.fault_plan,
+            )
         self.library = library
         if (
             self.library is not None
@@ -351,6 +368,8 @@ class HierarchicalAnalyzer:
         arrival = arrival or {}
         useful = self._useful_ports()
         t0 = time.perf_counter()
+        mark = len(self.dlog)
+        deadline = self.policy.start()
         before = {
             name: set(models)
             for name, models in self._models.items()
@@ -358,7 +377,7 @@ class HierarchicalAnalyzer:
         for inst_name in design.instance_order():
             inst = design.instances[inst_name]
             for port in useful[inst_name]:
-                self.model_for(inst.module_name, port)
+                self._model_for_guarded(inst.module_name, port, deadline)
         fresh = tuple(
             name
             for name, models in self._models.items()
@@ -396,16 +415,61 @@ class HierarchicalAnalyzer:
             characterized_modules=fresh,
             characterization_seconds=t1 - t0,
             propagation_seconds=t2 - t1,
+            degradations=self.dlog.snapshot()[mark:],
         )
 
-    def characterize_all(self, jobs: int | None = None) -> tuple[str, ...]:
+    def _model_for_guarded(
+        self, module_name: str, port: str, deadline: Deadline
+    ) -> TimingModel:
+        """Lazy per-output Step 1, degrading instead of raising."""
+        models = self._models.get(module_name, {})
+        if port in models:
+            return models[port]
+        module = self.design.modules[module_name]
+        if self.functional and deadline.limited and deadline.expired():
+            model = topological_models(module.network)[port]
+            self._models.setdefault(module_name, {})[port] = model
+            self.dlog.record(
+                "deadline",
+                f"{module_name}.{port}",
+                f"run deadline expired after {deadline.elapsed():.3f}s",
+                "topological-model",
+            )
+            return model
+        try:
+            plan = self.policy.fault_plan
+            if plan is not None and self.functional:
+                plan.fire("hier.characterize", module=module_name, port=port)
+            return self.model_for(module_name, port)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            model = topological_models(module.network)[port]
+            self._models.setdefault(module_name, {})[port] = model
+            self.dlog.record(
+                "characterization-error",
+                f"{module_name}.{port}",
+                str(exc) or type(exc).__name__,
+                "topological-model",
+            )
+            return model
+
+    def characterize_all(
+        self, jobs: int | None = None, deadline: Deadline | None = None
+    ) -> tuple[str, ...]:
         """Characterize every module not yet cached; returns their names.
 
         ``jobs`` (default: the analyzer's ``jobs``) fans functional
         characterization out over worker processes via the library
         scheduler; results are identical for any job count.
+
+        Failures never abort the run: a module whose characterization
+        crashes, times out, or falls past the run ``deadline`` gets its
+        topological model instead (conservative by Theorem 1) and the
+        substitution is recorded on :attr:`dlog`.
         """
         jobs = self.jobs if jobs is None else max(1, int(jobs))
+        deadline = deadline if deadline is not None else self.policy.start()
         fresh = tuple(
             name for name in self.design.modules if name not in self._models
         )
@@ -422,14 +486,47 @@ class HierarchicalAnalyzer:
                 self.max_tuples,
                 self.library,
                 tracer=self.tracer,
+                policy=self.policy,
+                dlog=self.dlog,
+                deadline=deadline,
             )
             for name in fresh:
                 self._models[name] = results[name]
                 self._note_fresh(name)
         else:
             for name in fresh:
-                self.models_for(name)
+                self._characterize_guarded(name, deadline)
         return fresh
+
+    def _characterize_guarded(self, name: str, deadline: Deadline) -> None:
+        """Serial Step 1 for one module, degrading instead of raising."""
+        module = self.design.modules[name]
+        if self.functional and deadline.limited and deadline.expired():
+            self._models[name] = topological_models(module.network)
+            self._note_fresh(name)
+            self.dlog.record(
+                "deadline",
+                name,
+                f"run deadline expired after {deadline.elapsed():.3f}s",
+                "topological-model",
+            )
+            return
+        try:
+            plan = self.policy.fault_plan
+            if plan is not None and self.functional:
+                plan.fire("hier.characterize", module=name)
+            self.models_for(name)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            self._models[name] = topological_models(module.network)
+            self._note_fresh(name)
+            self.dlog.record(
+                "characterization-error",
+                name,
+                str(exc) or type(exc).__name__,
+                "topological-model",
+            )
 
     # ------------------------------------------------------------------ step 2
     def analyze(self, arrival: Mapping[str, float] | None = None) -> HierResult:
@@ -437,7 +534,8 @@ class HierarchicalAnalyzer:
         design = self.design
         arrival = arrival or {}
         t0 = time.perf_counter()
-        fresh = self.characterize_all()
+        mark = len(self.dlog)
+        fresh = self.characterize_all(deadline=self.policy.start())
         t1 = time.perf_counter()
         with self.tracer.span(
             "propagate", phase="propagation", design=design.name
@@ -468,6 +566,7 @@ class HierarchicalAnalyzer:
             characterized_modules=fresh,
             characterization_seconds=t1 - t0,
             propagation_seconds=t2 - t1,
+            degradations=self.dlog.snapshot()[mark:],
         )
 
     # ------------------------------------------------------------------ slack

@@ -3,16 +3,22 @@
 Step 1 of the hierarchical flow is embarrassingly parallel: each leaf
 module (indeed each output cone) is characterized independently.  This
 module fans the uncached work of a :class:`HierDesign` out over a
-``ProcessPoolExecutor``:
+``ProcessPoolExecutor`` through the fault-tolerant
+:func:`~repro.resilience.executor.run_resilient` runner:
 
 * distinct modules sharing one structural signature are characterized
   once and re-keyed to every twin (content-addressing inside a run, not
   just across runs);
-* work items are submitted in a fixed order and merged with
-  ``Executor.map``, so results are bit-identical for any ``--jobs N``;
-* if the platform cannot spawn worker processes (restricted sandboxes),
-  the scheduler silently degrades to the serial path — same results,
-  one process.
+* work items are submitted in a fixed order and merged by payload index,
+  so results are bit-identical for any ``--jobs N`` — and for any crash
+  or retry pattern;
+* worker crashes, hung tasks, and restricted sandboxes degrade through
+  the resilience ladder: retry with backoff → quarantine → in-process
+  serial characterization → the topological (pin-to-pin longest-path)
+  model, which stays sound by Theorem 1.  Every rung taken is recorded
+  in the run's :class:`~repro.resilience.degradation.DegradationLog`;
+* Ctrl-C cancels pending futures and shuts the pool down cleanly
+  instead of hanging on queued work.
 
 ``characterize_network_parallel`` applies the same treatment to the
 output cones of a single flat network (the ``repro characterize`` CLI).
@@ -20,7 +26,6 @@ output cones of a single flat network (the ``repro characterize`` CLI).
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from time import perf_counter
 from typing import Mapping
 
@@ -35,14 +40,20 @@ from repro.library.store import ModelLibrary
 from repro.netlist.hierarchy import HierDesign, Module
 from repro.netlist.network import Network
 from repro.obs.trace import Tracer, ensure_tracer
+from repro.resilience.degradation import DegradationLog
+from repro.resilience.executor import run_resilient
+from repro.resilience.faultinject import execute_directive
+from repro.resilience.policy import DEFAULT_POLICY, Deadline, ResiliencePolicy
 
 
-def _characterize_module_task(payload, tracer=None):
+def _characterize_module_task(payload, directive=None, tracer=None):
     """Worker: characterize one module (top-level for pickling).
 
+    ``directive`` carries a serialized fault injection (tests only);
     ``tracer`` is only supplied on the in-process serial path — it
     cannot cross a process boundary.
     """
+    execute_directive(directive)
     name, network, engine, max_orders, max_tuples = payload
     t0 = perf_counter()
     models = characterize_network(
@@ -51,33 +62,15 @@ def _characterize_module_task(payload, tracer=None):
     return name, perf_counter() - t0, models
 
 
-def _characterize_output_task(payload, tracer=None):
+def _characterize_output_task(payload, directive=None, tracer=None):
     """Worker: characterize one output cone of a flat network."""
+    execute_directive(directive)
     network, output, engine, max_orders, max_tuples = payload
     t0 = perf_counter()
     local = characterize_output(
         network, output, engine, max_orders, max_tuples, tracer=tracer
     )
     return output, perf_counter() - t0, local
-
-
-def _run_tasks(task, payloads, jobs, tracer=None):
-    """Map ``task`` over ``payloads`` in order, across ``jobs`` processes.
-
-    Falls back to in-process execution when multiprocessing is
-    unavailable or the pool dies before producing results.  In-process
-    execution (serial, or the fallback) threads ``tracer`` into the
-    tasks; worker processes run untraced and report wall time back.
-    """
-    if jobs <= 1 or len(payloads) <= 1:
-        return [task(p, tracer=tracer) for p in payloads]
-    try:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(payloads))
-        ) as pool:
-            return list(pool.map(task, payloads))
-    except (OSError, ValueError, ImportError, NotImplementedError, RuntimeError):
-        return [task(p, tracer=tracer) for p in payloads]
 
 
 def _rekey_models(
@@ -90,6 +83,13 @@ def _rekey_models(
     }
 
 
+def _topological_fallback(module: Module) -> dict[str, TimingModel]:
+    """The always-sound Step-1 substitute (Theorem 1): topological models."""
+    from repro.core.hier import topological_models
+
+    return topological_models(module.network)
+
+
 def characterize_modules(
     modules: Mapping[str, Module],
     jobs: int = 1,
@@ -98,6 +98,9 @@ def characterize_modules(
     max_tuples: int = 8,
     library: ModelLibrary | None = None,
     tracer: Tracer | None = None,
+    policy: ResiliencePolicy | None = None,
+    dlog: DegradationLog | None = None,
+    deadline: Deadline | None = None,
 ) -> dict[str, dict[str, TimingModel]]:
     """Characterize every module, consulting/filling ``library``.
 
@@ -106,11 +109,19 @@ def characterize_modules(
     ``jobs``; modules already present in ``library`` are never
     re-characterized.
 
+    A module whose characterization cannot be completed (worker crash,
+    timeout, deadline, poison netlist) falls back to its topological
+    model — conservative by Theorem 1 — and the substitution is
+    recorded in ``dlog``.  Fallback models are *not* stored in the
+    library.
+
     Worker processes cannot share ``tracer``; per-module wall time is
     returned by each worker and recorded as a ``characterize-module``
     event (phase ``"characterization"``) in the parent.
     """
     tracer = ensure_tracer(tracer)
+    policy = policy if policy is not None else DEFAULT_POLICY
+    dlog = dlog if dlog is not None else DegradationLog(tracer)
     signatures = {
         name: module_signature(module, engine, max_orders, max_tuples)
         for name, module in modules.items()
@@ -133,9 +144,29 @@ def characterize_modules(
         (name, modules[name].network, engine, max_orders, max_tuples)
         for name in pending
     ]
-    for name, seconds, models in _run_tasks(
-        _characterize_module_task, payloads, jobs, tracer=tracer
-    ):
+    outcomes = run_resilient(
+        _characterize_module_task,
+        payloads,
+        jobs=jobs,
+        policy=policy,
+        deadline=deadline,
+        dlog=dlog,
+        subject_of=lambda payload: {"module": payload[0]},
+        tracer=tracer,
+    )
+    for outcome in outcomes:
+        name = pending[outcome.index]
+        if not outcome.ok:
+            module = modules[name]
+            results[name] = _topological_fallback(module)
+            dlog.record(
+                "characterization-error",
+                name,
+                f"characterization failed {outcome.failures} time(s)",
+                "topological-model",
+            )
+            continue
+        _task_name, seconds, models = outcome.result
         results[name] = models
         if tracer.enabled:
             tracer.count("scheduler.characterizations")
@@ -170,11 +201,14 @@ def characterize_design(
     max_tuples: int = 8,
     library: ModelLibrary | None = None,
     tracer: Tracer | None = None,
+    policy: ResiliencePolicy | None = None,
+    dlog: DegradationLog | None = None,
+    deadline: Deadline | None = None,
 ) -> dict[str, dict[str, TimingModel]]:
     """Step 1 for a whole design: all distinct leaf modules, in parallel."""
     return characterize_modules(
         design.modules, jobs, engine, max_orders, max_tuples, library,
-        tracer=tracer,
+        tracer=tracer, policy=policy, dlog=dlog, deadline=deadline,
     )
 
 
@@ -186,13 +220,21 @@ def characterize_network_parallel(
     max_tuples: int = 8,
     library: ModelLibrary | None = None,
     tracer: Tracer | None = None,
+    policy: ResiliencePolicy | None = None,
+    dlog: DegradationLog | None = None,
+    deadline: Deadline | None = None,
 ) -> dict[str, TimingModel]:
     """Like ``characterize_network`` but fanned out per output cone.
 
     With a ``library``, the whole network is treated as one module:
     a hit short-circuits every cone, a miss characterizes then stores.
+    A cone whose characterization fails degrades to that output's
+    topological model (recorded in ``dlog``); a partially degraded
+    network is *not* stored in the library.
     """
     tracer = ensure_tracer(tracer)
+    policy = policy if policy is not None else DEFAULT_POLICY
+    dlog = dlog if dlog is not None else DegradationLog(tracer)
     sig = None
     if library is not None:
         sig = module_signature(network, engine, max_orders, max_tuples)
@@ -205,9 +247,35 @@ def characterize_network_parallel(
     ]
     t0 = perf_counter()
     models = {}
-    for output, seconds, local in _run_tasks(
-        _characterize_output_task, payloads, jobs, tracer=tracer
-    ):
+    degraded = False
+    outcomes = run_resilient(
+        _characterize_output_task,
+        payloads,
+        jobs=jobs,
+        policy=policy,
+        deadline=deadline,
+        dlog=dlog,
+        subject_of=lambda payload: {"output": payload[1]},
+        tracer=tracer,
+    )
+    topo_models = None
+    for outcome in outcomes:
+        output = network.outputs[outcome.index]
+        if not outcome.ok:
+            if topo_models is None:
+                from repro.core.hier import topological_models
+
+                topo_models = topological_models(network)
+            models[output] = topo_models[output]
+            degraded = True
+            dlog.record(
+                "characterization-error",
+                output,
+                f"characterization failed {outcome.failures} time(s)",
+                "topological-model",
+            )
+            continue
+        _out, seconds, local = outcome.result
         models[output] = expand_model_to_inputs(local, network.inputs)
         if tracer.enabled:
             tracer.event(
@@ -217,7 +285,7 @@ def characterize_network_parallel(
                 output=output,
                 jobs=jobs,
             )
-    if library is not None and sig is not None:
+    if library is not None and sig is not None and not degraded:
         library.store(sig, network.inputs, network.outputs, models)
         library.stats.record_characterization(
             network.name, perf_counter() - t0

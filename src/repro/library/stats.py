@@ -25,6 +25,7 @@ _COUNTER_FIELDS = (
     "evictions",
     "corrupt_entries",
     "schema_mismatches",
+    "quarantined",
     "characterizations",
 )
 
@@ -77,6 +78,8 @@ class LibraryStats:
     corrupt_entries = _counter_property("corrupt_entries")
     #: On-disk entries rejected for a format/version mismatch.
     schema_mismatches = _counter_property("schema_mismatches")
+    #: Rejected entries moved into the cache's quarantine directory.
+    quarantined = _counter_property("quarantined")
     #: Modules actually characterized from their netlists.
     characterizations = _counter_property("characterizations")
 
@@ -106,6 +109,7 @@ class LibraryStats:
             "evictions": self.evictions,
             "corrupt_entries": self.corrupt_entries,
             "schema_mismatches": self.schema_mismatches,
+            "quarantined": self.quarantined,
             "characterizations": self.characterizations,
             "characterization_seconds": self.characterization_seconds,
         }
@@ -121,6 +125,7 @@ class LibraryStats:
             f"{indent}  evictions            : {self.evictions}",
             f"{indent}  corrupt entries      : {self.corrupt_entries}",
             f"{indent}  schema mismatches    : {self.schema_mismatches}",
+            f"{indent}  quarantined          : {self.quarantined}",
             f"{indent}  characterizations    : {self.characterizations}",
             f"{indent}  characterization time: "
             f"{self.characterization_seconds:.3f}s",

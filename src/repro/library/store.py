@@ -10,8 +10,13 @@ regardless of port names.  Two layers:
   atomically via ``os.replace`` so readers never observe a torn entry.
 
 Robustness: any unreadable, malformed, or schema-mismatched disk entry
-is counted and treated as a cache miss — the caller falls back to
-re-characterization and the next store overwrites the bad file.
+is counted, moved aside into ``<cache-dir>/quarantine/`` for post-mortem
+inspection, and treated as a cache miss — the caller falls back to
+re-characterization and the next store writes a fresh entry.  Writes
+take an exclusive :class:`~repro.resilience.locking.FileLock` (readers a
+shared one) so concurrent analysis processes can share one cache
+directory, and are fsync'd before the atomic ``os.replace`` so a crash
+mid-store can never publish a torn entry.
 """
 
 from __future__ import annotations
@@ -27,6 +32,10 @@ from typing import Mapping, Sequence
 from repro.core.timing_model import TimingModel
 from repro.library.stats import LibraryStats
 from repro.obs.trace import Tracer, ensure_tracer
+from repro.resilience.locking import FileLock
+
+#: Subdirectory of ``cache_dir`` holding rejected entries.
+QUARANTINE_DIR = "quarantine"
 
 #: Format marker stored in every on-disk entry.
 FORMAT_NAME = "repro-model-library"
@@ -51,6 +60,19 @@ class ModelLibrary:
         Optional :class:`~repro.obs.trace.Tracer`; when enabled the
         library emits timed ``cache-hit`` / ``cache-miss`` /
         ``cache-store`` events (phase ``"cache"``) per lookup and store.
+    locking:
+        Take an inter-process :class:`FileLock` around disk reads and
+        writes (shared/exclusive).  Default on; a no-op on platforms
+        without ``fcntl``.
+    durable:
+        ``fsync`` entry files before the atomic rename.  Disable only
+        for throwaway caches where write latency matters more than
+        crash safety.
+    fault_plan:
+        Optional :class:`~repro.resilience.faultinject.FaultPlan`; arms
+        the ``store.read`` (garble an entry as it is decoded) and
+        ``store.corrupt`` (garble an entry after it is persisted)
+        injection points for robustness tests.
     """
 
     def __init__(
@@ -58,6 +80,9 @@ class ModelLibrary:
         cache_dir: str | os.PathLike | None = None,
         max_memory_entries: int = 256,
         tracer: Tracer | None = None,
+        locking: bool = True,
+        durable: bool = True,
+        fault_plan=None,
     ):
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
@@ -66,6 +91,16 @@ class ModelLibrary:
         self._memory: OrderedDict[str, _Entry] = OrderedDict()
         self.tracer = ensure_tracer(tracer)
         self.stats = LibraryStats()
+        self.durable = bool(durable)
+        self.fault_plan = fault_plan
+        lock_path = (
+            self.cache_dir / ".lock"
+            if self.cache_dir is not None
+            else Path(".unused-lock")
+        )
+        self._lock = FileLock(
+            lock_path, enabled=locking and self.cache_dir is not None
+        )
 
     # ----------------------------------------------------------------- lookup
     def path_for(self, signature: str) -> Path | None:
@@ -133,34 +168,34 @@ class ModelLibrary:
         if path is None:
             return None
         try:
-            raw = path.read_text()
+            with self._lock.shared():
+                raw = path.read_text()
         except OSError:
             return None
+        if self.fault_plan is not None:
+            rule = self.fault_plan.take("store.read", signature=signature)
+            if rule is not None:
+                raw = rule.message  # undecodable → real corrupt-entry path
         try:
             document = json.loads(raw)
         except (ValueError, RecursionError):
-            self.stats.corrupt_entries += 1
-            return None
+            return self._reject(path, "corrupt")
         if not isinstance(document, dict):
-            self.stats.corrupt_entries += 1
-            return None
+            return self._reject(path, "corrupt")
         if (
             document.get("format") != FORMAT_NAME
             or document.get("version") != FORMAT_VERSION
         ):
-            self.stats.schema_mismatches += 1
-            return None
+            return self._reject(path, "schema")
         try:
             if (
                 document["signature"] != signature
                 or int(document["num_inputs"]) != num_inputs
             ):
-                self.stats.corrupt_entries += 1
-                return None
+                return self._reject(path, "corrupt")
             models = document["models"]
             if len(models) != num_outputs:
-                self.stats.corrupt_entries += 1
-                return None
+                return self._reject(path, "corrupt")
             entry = tuple(
                 tuple(
                     tuple(float(v) for v in tup) for tup in model["tuples"]
@@ -168,15 +203,40 @@ class ModelLibrary:
                 for model in models
             )
         except (KeyError, TypeError, ValueError):
-            self.stats.corrupt_entries += 1
-            return None
+            return self._reject(path, "corrupt")
         if any(
             not tuples or any(len(t) != num_inputs for t in tuples)
             for tuples in entry
         ):
-            self.stats.corrupt_entries += 1
-            return None
+            return self._reject(path, "corrupt")
         return entry
+
+    def _reject(self, path: Path, reason: str) -> None:
+        """Count a bad on-disk entry and move it into quarantine."""
+        if reason == "schema":
+            self.stats.schema_mismatches += 1
+        else:
+            self.stats.corrupt_entries += 1
+        self.stats.quarantined += 1
+        qdir = self.cache_dir / QUARANTINE_DIR
+        try:
+            with self._lock.exclusive():
+                qdir.mkdir(exist_ok=True)
+                os.replace(path, qdir / path.name)
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        if self.tracer.enabled:
+            self.tracer.count("library.quarantined")
+            self.tracer.event(
+                "cache-quarantine",
+                phase="cache",
+                entry=path.name,
+                reason=reason,
+            )
+        return None
 
     @staticmethod
     def _rekey(
@@ -223,13 +283,24 @@ class ModelLibrary:
         try:
             with os.fdopen(fd, "w") as fp:
                 json.dump(document, fp)
-            os.replace(tmp_name, path)
+                if self.durable:
+                    fp.flush()
+                    os.fsync(fp.fileno())
+            with self._lock.exclusive():
+                os.replace(tmp_name, path)
         except BaseException:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
             raise
+        if self.fault_plan is not None:
+            rule = self.fault_plan.take("store.corrupt", signature=signature)
+            if rule is not None:
+                # Data fault: garble the persisted entry and forget the
+                # in-memory copy so the next lookup must decode the file.
+                path.write_text(rule.message)
+                self._memory.pop(signature, None)
         self._trace_store(signature, t0, persisted=True)
 
     def _trace_store(

@@ -1,0 +1,104 @@
+"""Inter-process file locking for the model-library cache directory.
+
+Multiple analysis processes may share one ``--cache-dir`` (CI fan-out,
+several engineers against one NFS-ish directory).  Entry writes are
+already atomic (``os.replace``), but without a lock two writers can race
+on the same signature's temp files and readers can observe a store's
+side effects (quarantine moves) mid-flight.  :class:`FileLock` wraps
+``fcntl.flock`` on a dedicated ``.lock`` file:
+
+* exclusive mode for writers, shared mode for readers;
+* reentrant within a process (a depth counter, so nested store/lookup
+  paths don't self-deadlock);
+* a no-op on platforms without ``fcntl`` — behavior then degrades to
+  the pre-locking guarantees (atomic replace only), never to an error.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+try:  # pragma: no cover - import success is platform-dependent
+    import fcntl
+
+    HAVE_FCNTL = True
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+    HAVE_FCNTL = False
+
+
+class FileLock:
+    """Advisory inter-process lock on one path.
+
+    Use as a context-manager factory::
+
+        lock = FileLock(cache_dir / ".lock")
+        with lock.exclusive():
+            ...  # writer critical section
+        with lock.shared():
+            ...  # reader critical section
+    """
+
+    def __init__(self, path: str | os.PathLike, enabled: bool = True):
+        self.path = Path(path)
+        self.enabled = bool(enabled) and HAVE_FCNTL
+        self._fd: int | None = None
+        self._depth = 0
+
+    def _acquire(self, flags: int) -> None:
+        if self._depth == 0:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            try:
+                fcntl.flock(self._fd, flags)
+            except OSError:
+                os.close(self._fd)
+                self._fd = None
+                raise
+        self._depth += 1
+
+    def _release(self) -> None:
+        self._depth -= 1
+        if self._depth == 0 and self._fd is not None:
+            try:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            finally:
+                os.close(self._fd)
+                self._fd = None
+
+    def exclusive(self) -> "_Guard":
+        """Writer lock (``LOCK_EX``)."""
+        return _Guard(self, fcntl.LOCK_EX if self.enabled else 0)
+
+    def shared(self) -> "_Guard":
+        """Reader lock (``LOCK_SH``)."""
+        return _Guard(self, fcntl.LOCK_SH if self.enabled else 0)
+
+    @property
+    def held(self) -> bool:
+        """True while this process holds the lock (any mode)."""
+        return self._depth > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "held" if self.held else "free"
+        return f"FileLock({str(self.path)!r}, {state})"
+
+
+class _Guard:
+    """Context manager acquiring/releasing one lock mode."""
+
+    __slots__ = ("_lock", "_flags")
+
+    def __init__(self, lock: FileLock, flags: int):
+        self._lock = lock
+        self._flags = flags
+
+    def __enter__(self) -> FileLock:
+        if self._lock.enabled:
+            self._lock._acquire(self._flags)
+        return self._lock
+
+    def __exit__(self, *exc) -> None:
+        if self._lock.enabled:
+            self._lock._release()
