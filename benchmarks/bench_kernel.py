@@ -1,0 +1,113 @@
+"""Kernel benchmark: compiled batched propagation vs the interpreted walk.
+
+Step-2 propagation on the csa32.2 scalability circuit, batch sizes 1,
+16, and 256, with timing models characterized once up front (both
+engines share them, so only the propagation strategy differs).  Two
+comparisons per batch size:
+
+* ``propagate`` — the kernel contract: net stable times for every
+  scenario, via :meth:`CompiledDesign.propagate` versus a loop of
+  interpreted ``analyze()`` calls;
+* ``analyze_batch`` — the end-to-end batch API, which adds identical
+  per-scenario result assembly (slacks, output tables) to both engines.
+
+Results go to ``benchmarks/results/kernel_speedup.json`` so the speedup
+is trackable across revisions, and two guards are asserted on the
+propagation comparison:
+
+* batch 256 on the numpy path is at least 5x the interpreted walk;
+* batch 1 (which auto-selects the pure-python executor) is never more
+  than 10% slower than the interpreted walk.
+
+Run: pytest benchmarks/bench_kernel.py -q
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.api import AnalysisOptions
+from repro.circuits.adders import cascade_adder
+from repro.core.hier import HierarchicalAnalyzer
+from repro.kernel import HAVE_NUMPY
+
+BATCHES = (1, 16, 256)
+RESULTS = Path(__file__).parent / "results" / "kernel_speedup.json"
+#: Absolute timer-noise floor for the batch-1 guard (seconds).
+NOISE_FLOOR = 5e-4
+
+
+def _min_time(fn, repeats=7):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_kernel_speedup():
+    design = cascade_adder(32, 2)
+    interp = HierarchicalAnalyzer(
+        design, options=AnalysisOptions(exec_engine="interpreted")
+    )
+    comp = HierarchicalAnalyzer(
+        design, options=AnalysisOptions(exec_engine="compiled")
+    )
+    interp.analyze()  # characterize models once
+    comp.analyze()  # ... and build the compiled handle
+    handle = comp.compile()
+    rng = random.Random(0)
+    records = []
+    for batch in BATCHES:
+        scenarios = [
+            {x: rng.uniform(0.0, 8.0) for x in design.inputs}
+            for _ in range(batch)
+        ]
+        got = handle.propagate(scenarios)
+        want = [interp.analyze(s).net_times for s in scenarios]
+        assert got == want  # bit-identical before we time anything
+        t_interp = _min_time(
+            lambda: [interp.analyze(s) for s in scenarios]
+        )
+        t_comp = _min_time(lambda: handle.propagate(scenarios))
+        t_interp_api = _min_time(lambda: interp.analyze_batch(scenarios))
+        t_comp_api = _min_time(lambda: comp.analyze_batch(scenarios))
+        records.append(
+            {
+                "batch": batch,
+                "propagate": {
+                    "interpreted_s": t_interp,
+                    "compiled_s": t_comp,
+                    "speedup": t_interp / t_comp,
+                },
+                "analyze_batch": {
+                    "interpreted_s": t_interp_api,
+                    "compiled_s": t_comp_api,
+                    "speedup": t_interp_api / t_comp_api,
+                },
+            }
+        )
+    payload = {
+        "design": design.name,
+        "instances": len(design.instances),
+        "numpy": HAVE_NUMPY,
+        "results": records,
+    }
+    RESULTS.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS.write_text(json.dumps(payload, indent=2) + "\n")
+
+    by_batch = {r["batch"]: r["propagate"] for r in records}
+    if HAVE_NUMPY:
+        assert by_batch[256]["speedup"] >= 5.0, (
+            f"batch-256 speedup {by_batch[256]['speedup']:.2f}x < 5x"
+        )
+    single = by_batch[1]
+    assert single["compiled_s"] <= (
+        1.10 * single["interpreted_s"] + NOISE_FLOOR
+    ), (
+        f"compiled single-scenario {single['compiled_s']:.6f}s is more "
+        f"than 10% slower than interpreted "
+        f"{single['interpreted_s']:.6f}s"
+    )

@@ -21,6 +21,8 @@ The public API re-exports the main types; subpackages hold the substrates:
 * :mod:`repro.sta`      — topological STA + path-length machinery
 * :mod:`repro.core`     — XBD0 engine, required times, hierarchical and
   demand-driven analysis
+* :mod:`repro.kernel`   — compiled timing-graph kernel: plan/execute
+  split with batched (numpy-vectorized) multi-scenario propagation
 * :mod:`repro.library`  — persistent content-addressed model library with
   parallel leaf characterization
 * :mod:`repro.circuits` — benchmark generators and partitioning
@@ -34,6 +36,7 @@ The public API re-exports the main types; subpackages hold the substrates:
 
 from repro.api import AnalysisOptions, AnalysisSession
 from repro.circuits.adders import carry_skip_block, cascade_adder
+from repro.core.batch import BatchResult, ScenarioResult
 from repro.core.budget import input_budgets
 from repro.core.conditional import ConditionalAnalyzer
 from repro.core.demand import DemandDrivenAnalyzer, flat_functional_delay
@@ -41,6 +44,7 @@ from repro.core.hier import HierarchicalAnalyzer, IncrementalAnalyzer
 from repro.core.required import characterize_network, characterize_output
 from repro.core.timing_model import TimingModel
 from repro.core.xbd0 import StabilityAnalyzer, circuit_delay, functional_delays
+from repro.kernel.design import CompiledDesign
 from repro.library.store import ModelLibrary
 from repro.netlist.aig import equivalent
 from repro.netlist.hierarchy import HierDesign, Instance, Module
@@ -54,6 +58,8 @@ __version__ = "1.1.0"
 __all__ = [
     "AnalysisOptions",
     "AnalysisSession",
+    "BatchResult",
+    "CompiledDesign",
     "ConditionalAnalyzer",
     "Degradation",
     "DemandDrivenAnalyzer",
@@ -70,6 +76,7 @@ __all__ = [
     "Module",
     "Network",
     "ResiliencePolicy",
+    "ScenarioResult",
     "SequentialCircuit",
     "StabilityAnalyzer",
     "TimingModel",

@@ -41,16 +41,22 @@ from repro.netlist.network import Network
 from repro.obs.trace import NULL_TRACER, Tracer, ensure_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.batch import BatchResult
     from repro.core.conditional import ConditionalResult
     from repro.core.demand import DemandDrivenResult, PinPairExplanation
     from repro.core.hier import HierResult
     from repro.core.subflat import SubFlatResult
     from repro.core.timing_model import TimingModel
+    from repro.kernel.design import CompiledDesign
     from repro.library.store import ModelLibrary
     from repro.resilience.policy import ResiliencePolicy
 
 #: Tautology engines accepted by every analyzer.
 ENGINES = ("sat", "bdd", "brute")
+
+#: Propagation execution engines: ``auto`` picks the interpreter for
+#: single-scenario calls and the compiled kernel for batches.
+EXEC_ENGINES = ("auto", "interpreted", "compiled")
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -92,6 +98,16 @@ class AnalysisOptions:
     fault_plan:
         Optional :class:`~repro.resilience.FaultPlan` arming the
         deterministic fault-injection points (tests and drills only).
+    exec_engine:
+        Propagation execution engine: ``interpreted`` (per-node python
+        walk), ``compiled`` (the :mod:`repro.kernel` plan/execute
+        split), or ``auto`` (interpreted for single scenarios, compiled
+        for batches).  Both engines produce bit-identical results; this
+        selector exists because ``engine`` already names the tautology
+        engine.
+    batch_size:
+        Scenario chunk size for compiled batch evaluation (bounds the
+        working-set matrix to ``batch_size × nets`` floats).
     """
 
     engine: str = "sat"
@@ -106,12 +122,24 @@ class AnalysisOptions:
     retries: int = 2
     refine_budget: int | None = None
     fault_plan: object | None = field(default=None, repr=False)
+    exec_engine: str = "auto"
+    batch_size: int = 256
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; expected one of {ENGINES}"
             )
+        if self.exec_engine not in EXEC_ENGINES:
+            raise ValueError(
+                f"unknown exec_engine {self.exec_engine!r}; "
+                f"expected one of {EXEC_ENGINES}"
+            )
+        if int(self.batch_size) < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        object.__setattr__(self, "batch_size", int(self.batch_size))
         if int(self.max_orders) < 1:
             raise ValueError(f"max_orders must be >= 1, got {self.max_orders}")
         if int(self.max_tuples) < 1:
@@ -142,6 +170,17 @@ class AnalysisOptions:
     def with_changes(self, **changes) -> "AnalysisOptions":
         """A copy with the given fields replaced (re-validated)."""
         return replace(self, **changes)
+
+    def resolve_exec_engine(self, batch: int = 1) -> str:
+        """The concrete engine for a ``batch``-scenario call.
+
+        ``auto`` resolves to ``interpreted`` for a single scenario and
+        ``compiled`` for batches (where the plan amortizes); explicit
+        settings pass through unchanged.
+        """
+        if self.exec_engine != "auto":
+            return self.exec_engine
+        return "compiled" if batch > 1 else "interpreted"
 
     @property
     def effective_tracer(self) -> Tracer:
@@ -296,6 +335,67 @@ class AnalysisSession:
             return analyzer.analyze_lazy(arrival)
         return analyzer.analyze(arrival)
 
+    def compile(self) -> "CompiledDesign":
+        """Compile the design once into a reusable
+        :class:`~repro.kernel.design.CompiledDesign` handle.
+
+        Characterizes any missing timing models, then freezes the
+        top-level timing graph into flat arrays.  The handle is cached
+        on the session's hierarchical analyzer and reused by
+        :meth:`analyze_batch`; module edits through :meth:`incremental`
+        invalidate it.
+        """
+        from repro.core.hier import HierarchicalAnalyzer
+
+        analyzer = self._analyzer(
+            "hier",
+            lambda: HierarchicalAnalyzer(
+                self.design, library=self.library, options=self.options
+            ),
+        )
+        return analyzer.compile()
+
+    def analyze_batch(
+        self,
+        scenarios,
+        method: str = "hierarchical",
+    ) -> "BatchResult":
+        """Analyze a batch of arrival scenarios in one call.
+
+        ``scenarios`` is a sequence of arrival-time mappings (missing
+        inputs default to 0.0).  ``method`` selects the analysis:
+        ``"hierarchical"`` (Section 3 two-step) or ``"demand"``
+        (Section 5 demand-driven, refinements shared across the batch).
+        The execution engine follows ``options.exec_engine`` (``auto``
+        uses the compiled kernel for batches).  Returns a
+        :class:`~repro.core.batch.BatchResult` with per-scenario
+        arrivals/slacks and the shared degradation log.
+        """
+        if method == "hierarchical":
+            from repro.core.hier import HierarchicalAnalyzer
+
+            analyzer = self._analyzer(
+                "hier",
+                lambda: HierarchicalAnalyzer(
+                    self.design, library=self.library, options=self.options
+                ),
+            )
+        elif method == "demand":
+            from repro.core.demand import DemandDrivenAnalyzer
+
+            analyzer = self._analyzer(
+                "demand",
+                lambda: DemandDrivenAnalyzer(
+                    self.design, options=self.options
+                ),
+            )
+        else:
+            raise AnalysisError(
+                f"unknown batch method {method!r}; "
+                "expected 'hierarchical' or 'demand'"
+            )
+        return analyzer.analyze_batch(scenarios)
+
     def incremental(self):
         """The session's :class:`~repro.core.hier.IncrementalAnalyzer`.
 
@@ -367,7 +467,7 @@ class AnalysisSession:
 
         analyzer = self._analyzer(
             "conditional",
-            lambda: ConditionalAnalyzer(self.design, tracer=self.tracer),
+            lambda: ConditionalAnalyzer(self.design, options=self.options),
         )
         return analyzer.analyze(vector, arrival)
 

@@ -4,13 +4,17 @@ Usage (also exposed as ``python -m repro.cli``)::
 
     repro-sta report circuit.bench --arrival c_in=5
     repro-sta delay circuit.blif --engine bdd
+    repro-sta demand design.v --scenarios arrivals.json
     repro-sta characterize circuit.bench -o circuit.timing.json
     repro-sta table1 | table2 | figures
 
 ``report`` prints a classic STA report plus the functional comparison;
-``delay`` prints per-output XBD0 stable times; ``characterize`` writes a
-black-box timing library (see :mod:`repro.core.ipblock`); the last three
-regenerate the paper's tables and figures.
+``delay`` prints per-output XBD0 stable times; ``hier-report`` and
+``demand`` analyze hierarchical Verilog designs (optionally over a JSON
+batch of arrival scenarios via ``--scenarios`` and the compiled kernel
+via ``--exec-engine``); ``characterize`` writes a black-box timing
+library (see :mod:`repro.core.ipblock`); the last three regenerate the
+paper's tables and figures.
 """
 
 from __future__ import annotations
@@ -71,6 +75,78 @@ def parse_arrivals(pairs: list[str]) -> dict[str, float]:
     return out
 
 
+def load_scenarios(path: str, inputs: list[str]) -> list[dict[str, float]]:
+    """Load ``--scenarios FILE``: a JSON list of arrival vectors.
+
+    Each scenario is either an object mapping primary-input names to
+    arrival times or a list of numbers aligned with the design's input
+    order.  Malformed files raise :class:`~repro.errors.ReproError`,
+    which the CLI surfaces as a one-line ``error:`` with exit code 2.
+    """
+    import json
+
+    file = Path(path)
+    try:
+        data = json.loads(file.read_text())
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{file.name}: not valid JSON ({exc})") from None
+    except UnicodeDecodeError:
+        raise ReproError(f"{file.name}: not a text file") from None
+    if not isinstance(data, list):
+        raise ReproError(f"{file.name}: expected a JSON list of scenarios")
+    if not data:
+        raise ReproError(f"{file.name}: scenario list is empty")
+    known = set(inputs)
+    scenarios: list[dict[str, float]] = []
+    for i, item in enumerate(data):
+        if isinstance(item, dict):
+            unknown = sorted(set(item) - known)
+            if unknown:
+                raise ReproError(
+                    f"{file.name}: scenario {i} names unknown input "
+                    f"{unknown[0]!r}"
+                )
+            pairs = list(item.items())
+        elif isinstance(item, list):
+            if len(item) != len(inputs):
+                raise ReproError(
+                    f"{file.name}: scenario {i} has {len(item)} values "
+                    f"for {len(inputs)} inputs"
+                )
+            pairs = list(zip(inputs, item))
+        else:
+            raise ReproError(
+                f"{file.name}: scenario {i} must be an object "
+                "(input -> time) or a list of times"
+            )
+        try:
+            scenarios.append({name: float(v) for name, v in pairs})
+        except (TypeError, ValueError):
+            raise ReproError(
+                f"{file.name}: scenario {i} has a non-numeric arrival time"
+            ) from None
+    return scenarios
+
+
+def load_design(path: str):
+    """Load a hierarchical Verilog design (.v) or raise ReproError."""
+    from repro.netlist.hierarchy import HierDesign
+    from repro.parsers.verilog import read_verilog
+
+    file = Path(path)
+    if file.suffix != ".v":
+        raise ReproError(
+            "hierarchical analysis expects a structural Verilog file"
+        )
+    with file.open() as fp:
+        circuit = read_verilog(fp)
+    if not isinstance(circuit, HierDesign):
+        raise ReproError(
+            "file holds a single flat module; use 'report' instead"
+        )
+    return circuit
+
+
 def make_tracer(args: argparse.Namespace):
     """Build a tracer from ``--trace/--profile/--trace-file``, else None.
 
@@ -129,6 +205,8 @@ def make_options(args: argparse.Namespace, tracer=None):
     try:
         return AnalysisOptions(
             engine=args.engine,
+            exec_engine=getattr(args, "exec_engine", "auto"),
+            batch_size=getattr(args, "batch_size", 256),
             jobs=getattr(args, "jobs", 1),
             cache_dir=getattr(args, "cache_dir", None),
             tracer=tracer,
@@ -168,27 +246,37 @@ def cmd_delay(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_batch(args: argparse.Namespace, circuit, options, method: str) -> None:
+    """Shared ``--scenarios`` path: batch-analyze and print the report.
+
+    ``--arrival`` entries act as per-scenario defaults for inputs the
+    scenario file leaves unset.
+    """
+    from repro.api import AnalysisSession
+    from repro.core.design_report import render_batch_report
+
+    base = parse_arrivals(args.arrival)
+    scenarios = load_scenarios(args.scenarios, circuit.inputs)
+    if base:
+        scenarios = [{**base, **s} for s in scenarios]
+    session = AnalysisSession(circuit, options=options)
+    batch = session.analyze_batch(scenarios, method=method)
+    print(render_batch_report(circuit, batch, show_nets=args.nets))
+
+
 def cmd_hier_report(args: argparse.Namespace) -> int:
     from repro.core.design_report import (
         design_timing_report,
         library_timing_report,
     )
-    from repro.netlist.hierarchy import HierDesign
-    from repro.parsers.verilog import read_verilog
 
-    file = Path(args.circuit)
-    if file.suffix != ".v":
-        raise ReproError("hier-report expects a structural Verilog file")
-    with file.open() as fp:
-        circuit = read_verilog(fp)
-    if not isinstance(circuit, HierDesign):
-        raise ReproError(
-            "file holds a single flat module; use 'report' instead"
-        )
+    circuit = load_design(args.circuit)
     arrival = parse_arrivals(args.arrival)
     tracer = make_tracer(args)
     options = make_options(args, tracer)
-    if options.cache_dir is not None or options.jobs > 1:
+    if args.scenarios:
+        run_batch(args, circuit, options, method="hierarchical")
+    elif options.cache_dir is not None or options.jobs > 1:
         print(
             library_timing_report(
                 circuit,
@@ -197,6 +285,28 @@ def cmd_hier_report(args: argparse.Namespace) -> int:
                 options=options,
             )
         )
+    else:
+        print(
+            design_timing_report(
+                circuit,
+                arrival,
+                show_nets=args.nets,
+                options=options,
+            )
+        )
+    finish_tracer(args, tracer)
+    return 0
+
+
+def cmd_demand(args: argparse.Namespace) -> int:
+    from repro.core.design_report import design_timing_report
+
+    circuit = load_design(args.circuit)
+    arrival = parse_arrivals(args.arrival)
+    tracer = make_tracer(args)
+    options = make_options(args, tracer)
+    if args.scenarios:
+        run_batch(args, circuit, options, method="demand")
     else:
         print(
             design_timing_report(
@@ -386,6 +496,33 @@ def build_parser() -> argparse.ArgumentParser:
             "(robustness drills; repeatable)",
         )
 
+    def add_exec_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--exec-engine",
+            choices=("auto", "interpreted", "compiled"),
+            default="auto",
+            help="graph-propagation engine: the per-net interpreted "
+            "walker, the compiled array kernel, or auto (compiled for "
+            "batches, interpreted for single scenarios)",
+        )
+        p.add_argument(
+            "--batch-size",
+            type=int,
+            default=256,
+            metavar="N",
+            help="scenario chunk size for the compiled kernel "
+            "(default 256)",
+        )
+        p.add_argument(
+            "--scenarios",
+            default=None,
+            metavar="FILE",
+            help="batch mode: JSON list of arrival scenarios, each an "
+            "object keyed by input name or a list aligned with the "
+            "design's input order (--arrival entries become "
+            "per-scenario defaults)",
+        )
+
     def add_obs_opts(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--trace",
@@ -428,10 +565,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_analysis_opts(hier)
     add_resilience_opts(hier)
+    add_exec_opts(hier)
     hier.add_argument(
         "--nets", action="store_true", help="include the per-net table"
     )
     hier.set_defaults(func=cmd_hier_report)
+
+    demand = sub.add_parser(
+        "demand",
+        help="demand-driven (Section 5) report for a hierarchical "
+        "Verilog design, with batched multi-scenario analysis",
+    )
+    add_analysis_opts(demand)
+    add_resilience_opts(demand)
+    add_exec_opts(demand)
+    demand.add_argument(
+        "--nets", action="store_true", help="include the per-net table"
+    )
+    demand.set_defaults(func=cmd_demand)
 
     sdc = sub.add_parser(
         "sdc",

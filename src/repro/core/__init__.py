@@ -1,10 +1,12 @@
 """Core algorithms: XBD0 analysis, required times, hierarchical timing."""
 
+from repro.core.batch import BatchResult, ScenarioResult
 from repro.core.budget import InputBudget, input_budgets
 from repro.core.conditional import ConditionalAnalyzer, ConditionalResult
 from repro.core.design_report import (
     design_timing_report,
     library_timing_report,
+    render_batch_report,
     render_design_report,
 )
 from repro.core.demand import (
@@ -74,6 +76,7 @@ from repro.core.xbd0 import (
 __all__ = [
     "AnalysisResult",
     "AnalysisResultMixin",
+    "BatchResult",
     "ConditionalAnalyzer",
     "ConditionalResult",
     "DelayTuple",
@@ -89,6 +92,7 @@ __all__ = [
     "IncrementalAnalyzer",
     "PolygonPlacement",
     "RequiredTimeResult",
+    "ScenarioResult",
     "StabilityAnalyzer",
     "SubFlatResult",
     "SubcircuitFlatAnalyzer",
@@ -119,6 +123,7 @@ __all__ = [
     "library_timing_report",
     "place_polygon",
     "prune_dominated",
+    "render_batch_report",
     "render_design_report",
     "render_polygon_ascii",
     "stack_cascade",

@@ -24,8 +24,9 @@ vector once.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.core.required import exact_required_tuples_for_vector
 from repro.core.result import AnalysisResultMixin
@@ -33,6 +34,9 @@ from repro.errors import AnalysisError
 from repro.netlist.hierarchy import HierDesign
 from repro.obs.trace import Tracer, ensure_tracer
 from repro.sim.vectors import all_vectors
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api import AnalysisOptions
 
 NEG_INF = float("-inf")
 POS_INF = float("inf")
@@ -50,6 +54,9 @@ class ConditionalResult(AnalysisResultMixin):
     output_times: dict[str, float]
     #: max over primary outputs.
     delay: float
+    #: Wall-clock seconds for the run (shadows the read-only mixin
+    #: property so the dataclass can assign the field).
+    elapsed_seconds: float = 0.0
 
     def _to_dict_extra(self) -> dict:
         return {
@@ -67,6 +74,11 @@ class ConditionalAnalyzer:
     max_cone_support:
         Safety cap on the support width of any single output cone (the
         exact relation is exponential in it).
+    options:
+        An :class:`~repro.api.AnalysisOptions` bundle; when given it is
+        the single configuration source (currently its tracer), like
+        every other analyzer.  The legacy ``tracer`` keyword keeps
+        working by being forwarded into an options bundle.
     """
 
     def __init__(
@@ -74,11 +86,17 @@ class ConditionalAnalyzer:
         design: HierDesign,
         max_cone_support: int = 16,
         tracer: Tracer | None = None,
+        options: "AnalysisOptions | None" = None,
     ):
+        from repro.api import AnalysisOptions
+
+        if options is None:
+            options = AnalysisOptions(tracer=tracer)
         design.validate()
         self.design = design
+        self.options = options
         self.max_cone_support = max_cone_support
-        self.tracer = ensure_tracer(tracer)
+        self.tracer = ensure_tracer(options.tracer)
         # (module, output, restricted value tuple) -> exact delay tuples
         self._cache: dict[tuple[str, str, tuple[bool, ...]], tuple] = {}
         self._cones: dict[tuple[str, str], tuple] = {}
@@ -137,6 +155,7 @@ class ConditionalAnalyzer:
         """Exact stable times of every net under one input vector."""
         design = self.design
         arrival = arrival or {}
+        start = time.perf_counter()
         values: dict[str, bool] = {}
         times: dict[str, float] = {}
         for x in design.inputs:
@@ -174,6 +193,7 @@ class ConditionalAnalyzer:
             net_times=times,
             output_times=output_times,
             delay=max(output_times.values()) if output_times else NEG_INF,
+            elapsed_seconds=time.perf_counter() - start,
         )
 
     def worst_case_by_enumeration(

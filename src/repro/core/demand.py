@@ -42,6 +42,8 @@ from repro.sta.topological import pin_to_pin_delay
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.api import AnalysisOptions
+    from repro.core.batch import BatchResult
+    from repro.kernel.graph import CompiledTimingGraph
 
 NEG_INF = float("-inf")
 POS_INF = float("inf")
@@ -139,6 +141,9 @@ class DemandDrivenResult(AnalysisResultMixin):
     #: Final weight per (module, input, output) pin pair that was refined
     #: below its topological value.
     refined_weights: dict[PinPair, float] = field(default_factory=dict)
+    #: Required time per primary output (the implicit deadline, possibly
+    #: tightened where an output also feeds another instance).
+    required_times: dict[str, float] = field(default_factory=dict)
     #: Conservative fallbacks taken during this run (empty on a clean
     #: run); each entry is a :class:`~repro.resilience.Degradation`.
     degradations: tuple[Degradation, ...] = ()
@@ -163,6 +168,71 @@ class DemandDrivenResult(AnalysisResultMixin):
             ],
             "degradations": [d.as_dict() for d in self.degradations],
         }
+
+
+class _InterpretedSta:
+    """Driver adapter: full dict-based re-propagation after each step.
+
+    The Section-5 literal loop — every refresh re-runs
+    :meth:`DemandDrivenAnalyzer._graph_sta` over the whole graph.
+    """
+
+    engine = "interpreted"
+
+    def __init__(self, analyzer: "DemandDrivenAnalyzer", arrival):
+        self._analyzer = analyzer
+        self._arrival = arrival
+        self.at, self.rt = analyzer._graph_sta(arrival)
+        self.passes = 1
+
+    def refresh(self, key: PinPair) -> None:
+        """Re-propagate after the weight of ``key`` improved."""
+        self.at, self.rt = self._analyzer._graph_sta(self._arrival)
+        self.passes += 1
+
+
+class _CompiledSta:
+    """Driver adapter: compiled graph with incremental re-propagation.
+
+    The first pass is a full :meth:`~repro.kernel.graph.GraphState.run_full`;
+    each refresh lowers the refined key's edges and reflows only the
+    affected cone.  Values are bit-identical to :class:`_InterpretedSta`
+    (same float operations per touched node, untouched nodes unchanged
+    by construction).
+    """
+
+    engine = "compiled"
+
+    def __init__(
+        self,
+        analyzer: "DemandDrivenAnalyzer",
+        arrival,
+        graph: "CompiledTimingGraph | None" = None,
+    ):
+        from repro.kernel.graph import GraphState
+
+        self._analyzer = analyzer
+        self.graph = graph if graph is not None else analyzer._compiled_graph()
+        self.state = GraphState(self.graph, arrival)
+        t0 = time.perf_counter() if analyzer.tracer.enabled else 0.0
+        self.state.run_full()
+        analyzer._note_sta_pass(t0, incremental=False)
+        self.at = self.state.at_dict()
+        self.rt = self.state.rt_dict()
+        self.passes = 1
+
+    def refresh(self, key: PinPair) -> None:
+        """Lower ``key``'s edges to the refined weight and reflow."""
+        analyzer = self._analyzer
+        t0 = time.perf_counter() if analyzer.tracer.enabled else 0.0
+        dirty = self.graph.set_key_weight(
+            key, analyzer._states[key].weight
+        )
+        self.state.reflow(dirty)
+        analyzer._note_sta_pass(t0, incremental=True)
+        self.at = self.state.at_dict()
+        self.rt = self.state.rt_dict()
+        self.passes += 1
 
 
 class DemandDrivenAnalyzer:
@@ -305,6 +375,51 @@ class DemandDrivenAnalyzer:
                 edges=len(self.edges),
             )
         return at, rt
+
+    def _compiled_graph(self) -> "CompiledTimingGraph":
+        """The timing graph lowered to index arrays, seeded with the
+        current (possibly already refined) pin-pair weights."""
+        from repro.kernel.graph import CompiledTimingGraph
+
+        return CompiledTimingGraph(
+            self.nets,
+            (
+                (src, dst, key, self._states[key].weight)
+                for src, dst, key in self.edges
+            ),
+            self.design.inputs,
+            self.design.outputs,
+        )
+
+    def _note_sta_pass(self, t0: float, incremental: bool) -> None:
+        """Trace one compiled STA pass (mirrors ``_graph_sta``'s events)."""
+        if not self.tracer.enabled:
+            return
+        self.tracer.count("demand.sta_passes")
+        self.tracer.event(
+            "sta-pass",
+            phase="propagation",
+            seconds=time.perf_counter() - t0,
+            nets=len(self.nets),
+            edges=len(self.edges),
+            engine="compiled",
+            incremental=incremental,
+        )
+
+    def _resolve_exec(
+        self, exec_engine: str | None, batch: int = 1
+    ) -> str:
+        """A concrete engine from an override or the options default."""
+        if exec_engine is None:
+            return self.options.resolve_exec_engine(batch)
+        if exec_engine == "auto":
+            return "compiled" if batch > 1 else "interpreted"
+        if exec_engine not in ("interpreted", "compiled"):
+            raise AnalysisError(
+                f"unknown exec engine {exec_engine!r}; "
+                "expected 'auto', 'interpreted', or 'compiled'"
+            )
+        return exec_engine
 
     # ------------------------------------------------------------- refinement
     def _critical_edges(
@@ -482,28 +597,42 @@ class DemandDrivenAnalyzer:
 
     # ------------------------------------------------------------------ drive
     def analyze(
-        self, arrival: Mapping[str, float] | None = None
+        self,
+        arrival: Mapping[str, float] | None = None,
+        *,
+        exec_engine: str | None = None,
     ) -> DemandDrivenResult:
-        """Run the full Section-5 loop under the given arrival times."""
+        """Run the full Section-5 loop under the given arrival times.
+
+        ``exec_engine`` overrides ``options.exec_engine`` for this call:
+        ``interpreted`` re-runs the full graph STA after each accepted
+        refinement; ``compiled`` uses the :mod:`repro.kernel` graph with
+        incremental (dirty-cone) re-propagation.  Both drive the same
+        refinement loop over the same critical-edge candidates and
+        produce bit-identical results.
+        """
         arrival = arrival or {}
+        engine = self._resolve_exec(exec_engine)
         start = time.perf_counter()
         mark = len(self.dlog)
         deadline = self.policy.start()
         budget = self.policy.refine_budget
         self._checks = 0
         self._refinements = 0
-        sta_passes = 0
-        at, rt = self._graph_sta(arrival)
-        sta_passes += 1
+        sta = (
+            _CompiledSta(self, arrival)
+            if engine == "compiled"
+            else _InterpretedSta(self, arrival)
+        )
         topo_delay = max(
-            (at[o] for o in self.design.outputs), default=NEG_INF
+            (sta.at[o] for o in self.design.outputs), default=NEG_INF
         )
         exhausted = None
         while exhausted is None:
-            critical = self._critical_edges(at, rt)
+            critical = self._critical_edges(sta.at, sta.rt)
             if not critical:
                 break
-            improved_any = False
+            improved_key = None
             for _src, _dst, key in critical:
                 if self._states[key].exact:
                     continue
@@ -521,7 +650,7 @@ class DemandDrivenAnalyzer:
                     )
                     break
                 if self._try_refine_guarded(key):
-                    improved_any = True
+                    improved_key = key
                     break  # re-run STA immediately, as the paper iterates
             if exhausted is not None:
                 kind, detail = exhausted
@@ -537,11 +666,10 @@ class DemandDrivenAnalyzer:
                     "keep-current-weights",
                 )
                 break
-            if not improved_any:
+            if improved_key is None:
                 break
-            at, rt = self._graph_sta(arrival)
-            sta_passes += 1
-        output_times = {o: at[o] for o in self.design.outputs}
+            sta.refresh(improved_key)
+        output_times = {o: sta.at[o] for o in self.design.outputs}
         refined: dict[PinPair, float] = {}
         for key, state in self._states.items():
             if state.index > 0 or state.exact and not state.lengths:
@@ -550,16 +678,78 @@ class DemandDrivenAnalyzer:
             self.tracer.gauge("demand.edges_total", len(self.edges))
             self.tracer.gauge("demand.edges_refined_final", len(refined))
         return DemandDrivenResult(
-            net_times=at,
+            net_times=sta.at,
             output_times=output_times,
             delay=max(output_times.values()) if output_times else NEG_INF,
             topological_delay=topo_delay,
             refinement_checks=self._checks,
             refinements=self._refinements,
-            sta_passes=sta_passes,
+            sta_passes=sta.passes,
             elapsed_seconds=time.perf_counter() - start,
             refined_weights=refined,
+            required_times={o: sta.rt[o] for o in self.design.outputs},
             degradations=self.dlog.snapshot()[mark:],
+        )
+
+    def analyze_batch(
+        self,
+        scenarios,
+        *,
+        exec_engine: str | None = None,
+    ) -> "BatchResult":
+        """Analyze many arrival scenarios, sharing refinements.
+
+        Scenarios run through :meth:`analyze` in order under one
+        resolved engine; because refinement state is memoized per pin
+        pair, edges proven (or refuted) under an earlier scenario are
+        never re-checked for later ones — the batch pays for each pin
+        pair once, like the paper's regular-design argument.  Slack per
+        output is ``required − arrival`` under each scenario's own
+        deadline.
+        """
+        from repro.core.batch import BatchResult, ScenarioResult
+
+        scenarios = [dict(s or {}) for s in scenarios]
+        engine = self._resolve_exec(
+            exec_engine, batch=max(1, len(scenarios))
+        )
+        t0 = time.perf_counter()
+        mark = len(self.dlog)
+        results = []
+        checks = refinements = passes = 0
+        for scenario in scenarios:
+            r = self.analyze(scenario, exec_engine=engine)
+            checks += r.refinement_checks
+            refinements += r.refinements
+            passes += r.sta_passes
+            slacks = {}
+            for o, at in r.output_times.items():
+                rt = r.required_times.get(o, POS_INF)
+                if at == NEG_INF or rt == POS_INF:
+                    slacks[o] = POS_INF
+                else:
+                    slacks[o] = rt - at
+            results.append(
+                ScenarioResult(
+                    arrival=scenario,
+                    net_times=r.net_times,
+                    output_times=r.output_times,
+                    delay=r.delay,
+                    slacks=slacks,
+                )
+            )
+        return BatchResult(
+            scenarios=tuple(results),
+            delay=max((r.delay for r in results), default=NEG_INF),
+            method="demand",
+            exec_engine=engine,
+            degradations=self.dlog.snapshot()[mark:],
+            elapsed_seconds=time.perf_counter() - t0,
+            stats={
+                "sta_passes": passes,
+                "refinement_checks": checks,
+                "refinements": refinements,
+            },
         )
 
 

@@ -10,12 +10,15 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from repro.core.batch import BatchResult
 from repro.core.demand import DemandDrivenAnalyzer, DemandDrivenResult
 from repro.core.result import AnalysisResult
 from repro.core.xbd0 import Engine
 from repro.netlist.hierarchy import HierDesign
 from repro.obs.trace import Tracer
 from repro.sta.topological import NEG_INF
+
+POS_INF = float("inf")
 
 
 def _fmt(value: float) -> str:
@@ -107,6 +110,52 @@ def render_design_report(
     if show_nets:
         lines.append("")
         lines.extend(_net_table(result.net_times))
+    return "\n".join(lines) + "\n"
+
+
+def render_batch_report(
+    design: HierDesign,
+    batch: BatchResult,
+    show_nets: bool = False,
+) -> str:
+    """Format a :class:`~repro.core.batch.BatchResult` as a report.
+
+    One line per scenario (delay and minimum output slack, the worst
+    scenario starred), then the per-output table of the worst scenario;
+    shared degradations render once since characterized models and
+    refined weights are batch-wide state.
+    """
+    worst = batch.worst_scenario()
+    lines = [
+        f"Batched timing report for {design.name}",
+        f"  {len(design.modules)} modules, {len(design.instances)} "
+        f"instances, {len(design.inputs)} inputs, "
+        f"{len(design.outputs)} outputs",
+        "",
+        f"  scenarios       : {len(batch)}",
+        f"  method          : {batch.method or 'hierarchical'} "
+        f"(exec engine {batch.exec_engine or 'auto'})",
+        f"  envelope delay  : {_fmt(batch.delay)}",
+        "",
+        f"  {'scenario':<10} {'delay':>8} {'min slack':>10}",
+        "  " + "-" * 32,
+    ]
+    for i, scenario in enumerate(batch):
+        slack = (
+            min(scenario.slacks.values()) if scenario.slacks else POS_INF
+        )
+        star = "  *" if i == worst else ""
+        lines.append(
+            f"  {i:<10} {_fmt(scenario.delay):>8} {_fmt(slack):>10}{star}"
+        )
+    if worst >= 0:
+        lines.append("")
+        lines.append(f"  worst scenario (#{worst}):")
+        lines.extend(_output_table(batch[worst]))
+    lines.extend(_degradation_lines(batch.degradations))
+    if show_nets and worst >= 0:
+        lines.append("")
+        lines.extend(_net_table(batch[worst].net_times))
     return "\n".join(lines) + "\n"
 
 

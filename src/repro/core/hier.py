@@ -38,6 +38,8 @@ from repro.sta.paths import all_pin_path_lengths
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.api import AnalysisOptions
+    from repro.core.batch import BatchResult
+    from repro.kernel.design import CompiledDesign
     from repro.library.store import ModelLibrary
 
 
@@ -202,6 +204,7 @@ class HierarchicalAnalyzer:
             # caller-supplied library land in the same trace.
             self.library.tracer = self.tracer
         self._models: dict[str, dict[str, TimingModel]] = {}
+        self._compiled: "CompiledDesign | None" = None
 
     # ------------------------------------------------------------------ step 1
     def preload_models(
@@ -227,6 +230,7 @@ class HierarchicalAnalyzer:
                     f"model for {out!r} not aligned with module inputs"
                 )
         self._models[module_name] = dict(models)
+        self._compiled = None
 
     def models_for(self, module_name: str) -> dict[str, TimingModel]:
         """Cached timing models of one module (characterizing on miss).
@@ -529,34 +533,113 @@ class HierarchicalAnalyzer:
             )
 
     # ------------------------------------------------------------------ step 2
-    def analyze(self, arrival: Mapping[str, float] | None = None) -> HierResult:
-        """Propagate arrivals through the instance DAG (Section 3.2)."""
+    def _ensure_models(self) -> tuple[str, ...]:
+        """Hook: make every model Step 2 needs available.
+
+        Returns the names characterized by this call (the
+        ``characterized_modules`` of the producing result).  The base
+        analyzer characterizes per *module*; subclasses with other model
+        granularities (per instance) override this and
+        :meth:`_models_of_instance` as a pair.
+        """
+        return self.characterize_all(deadline=self.policy.start())
+
+    def _models_of_instance(
+        self, inst_name: str
+    ) -> Mapping[str, TimingModel]:
+        """Hook: the timing models one instance propagates through.
+
+        The base analyzer shares one model set per module; subclasses
+        may return instance-specific models.  Both the interpreted walk
+        and :meth:`compile` consume this, so the two engines always see
+        the same models.
+        """
+        inst = self.design.instances[inst_name]
+        return self.models_for(inst.module_name)
+
+    def _propagate_interpreted(
+        self, arrival: Mapping[str, float]
+    ) -> dict[str, float]:
+        """One interpreted Step-2 walk: stable time per top-level net."""
         design = self.design
-        arrival = arrival or {}
-        t0 = time.perf_counter()
-        mark = len(self.dlog)
-        fresh = self.characterize_all(deadline=self.policy.start())
-        t1 = time.perf_counter()
-        with self.tracer.span(
-            "propagate", phase="propagation", design=design.name
-        ):
-            net_times: dict[str, float] = {
-                x: float(arrival.get(x, 0.0)) for x in design.inputs
+        net_times: dict[str, float] = {
+            x: float(arrival.get(x, 0.0)) for x in design.inputs
+        }
+        for inst_name in design.instance_order():
+            inst = design.instances[inst_name]
+            module = design.module_of(inst)
+            models = self._models_of_instance(inst_name)
+            local_arrival = {
+                port: net_times[inst.net_of(port)]
+                for port in module.inputs
             }
-            for inst_name in design.instance_order():
-                inst = design.instances[inst_name]
-                module = design.module_of(inst)
-                models = self.models_for(inst.module_name)
-                local_arrival = {
-                    port: net_times[inst.net_of(port)]
-                    for port in module.inputs
-                }
-                for port in module.outputs:
-                    stable = models[port].stable_time(local_arrival)
-                    net_times[inst.net_of(port)] = stable
+            for port in module.outputs:
+                stable = models[port].stable_time(local_arrival)
+                net_times[inst.net_of(port)] = stable
         missing = [o for o in design.outputs if o not in net_times]
         if missing:
             raise AnalysisError(f"undriven outputs {missing!r}")
+        return net_times
+
+    def compile(self, force: bool = False) -> "CompiledDesign":
+        """Compile Step-2 propagation into a reusable handle.
+
+        Characterizes any missing models (recording degradations on
+        :attr:`dlog` as usual), then freezes the top-level timing graph
+        into the flat arrays of a
+        :class:`~repro.kernel.design.CompiledDesign`.  The handle is
+        cached; model changes (:meth:`preload_models`,
+        :meth:`~IncrementalAnalyzer.replace_module`) invalidate it, and
+        ``force=True`` rebuilds unconditionally.
+        """
+        if self._compiled is None or force:
+            from repro.kernel.design import CompiledDesign
+            from repro.kernel.plan import compile_design
+
+            t0 = time.perf_counter()
+            mark = len(self.dlog)
+            fresh = self._ensure_models()
+            with self.tracer.span(
+                "compile-design", phase="compile", design=self.design.name
+            ):
+                plan = compile_design(self.design, self._models_of_instance)
+            self._compiled = CompiledDesign(
+                plan=plan,
+                outputs=tuple(self.design.outputs),
+                characterized_modules=fresh,
+                degradations=self.dlog.snapshot()[mark:],
+                compile_seconds=time.perf_counter() - t0,
+            )
+        return self._compiled
+
+    def analyze(self, arrival: Mapping[str, float] | None = None) -> HierResult:
+        """Propagate arrivals through the instance DAG (Section 3.2).
+
+        The propagation engine follows ``options.exec_engine``
+        (``auto`` = interpreted for this single-scenario entry point);
+        both engines produce bit-identical results.
+        """
+        design = self.design
+        arrival = arrival or {}
+        engine = self.options.resolve_exec_engine(1)
+        t0 = time.perf_counter()
+        mark = len(self.dlog)
+        fresh = self._ensure_models()
+        t1 = time.perf_counter()
+        if engine == "compiled":
+            compiled = self.compile()
+            with self.tracer.span(
+                "propagate",
+                phase="propagation",
+                design=design.name,
+                engine="compiled",
+            ):
+                net_times = compiled.propagate([arrival])[0]
+        else:
+            with self.tracer.span(
+                "propagate", phase="propagation", design=design.name
+            ):
+                net_times = self._propagate_interpreted(arrival)
         output_times = {o: net_times[o] for o in design.outputs}
         t2 = time.perf_counter()
         return HierResult(
@@ -567,6 +650,82 @@ class HierarchicalAnalyzer:
             characterization_seconds=t1 - t0,
             propagation_seconds=t2 - t1,
             degradations=self.dlog.snapshot()[mark:],
+        )
+
+    def analyze_batch(
+        self,
+        scenarios,
+        backend: str | None = None,
+    ) -> "BatchResult":
+        """Analyze many arrival scenarios in one call (Section 3.2 × N).
+
+        Characterization happens once; propagation follows
+        ``options.exec_engine`` (``auto`` = the compiled kernel for
+        batches).  ``backend`` optionally forces the kernel backend
+        (``"numpy"``/``"python"``).  Per-scenario slack is
+        ``deadline − arrival`` under each scenario's own deadline (its
+        latest primary-output arrival), the Section-5 convention.
+        """
+        from repro.core.batch import BatchResult, ScenarioResult
+
+        design = self.design
+        scenarios = [dict(s or {}) for s in scenarios]
+        engine = self.options.resolve_exec_engine(len(scenarios))
+        t0 = time.perf_counter()
+        mark = len(self.dlog)
+        fresh = self._ensure_models()
+        if not scenarios:
+            rows: list[dict[str, float]] = []
+        elif engine == "compiled":
+            compiled = self.compile()
+            with self.tracer.span(
+                "propagate-batch",
+                phase="propagation",
+                design=design.name,
+                engine="compiled",
+                scenarios=len(scenarios),
+            ):
+                rows = compiled.propagate(
+                    scenarios,
+                    backend=backend,
+                    batch_size=self.options.batch_size,
+                )
+        else:
+            with self.tracer.span(
+                "propagate-batch",
+                phase="propagation",
+                design=design.name,
+                engine="interpreted",
+                scenarios=len(scenarios),
+            ):
+                rows = [self._propagate_interpreted(s) for s in scenarios]
+        results = []
+        for scenario, net_times in zip(scenarios, rows):
+            output_times = {o: net_times[o] for o in design.outputs}
+            delay = max(output_times.values()) if output_times else NEG_INF
+            slacks = {
+                o: POS_INF
+                if delay == NEG_INF or t == NEG_INF
+                else delay - t
+                for o, t in output_times.items()
+            }
+            results.append(
+                ScenarioResult(
+                    arrival=scenario,
+                    net_times=net_times,
+                    output_times=output_times,
+                    delay=delay,
+                    slacks=slacks,
+                )
+            )
+        return BatchResult(
+            scenarios=tuple(results),
+            delay=max((r.delay for r in results), default=NEG_INF),
+            method="hierarchical",
+            exec_engine=engine,
+            degradations=self.dlog.snapshot()[mark:],
+            elapsed_seconds=time.perf_counter() - t0,
+            stats={"characterized_modules": list(fresh)},
         )
 
     # ------------------------------------------------------------------ slack
@@ -673,3 +832,4 @@ class IncrementalAnalyzer(HierarchicalAnalyzer):
         except NetlistError as exc:
             raise AnalysisError(str(exc)) from None
         self._models.pop(module_name, None)
+        self._compiled = None

@@ -152,41 +152,26 @@ class PerInstanceAnalyzer(HierarchicalAnalyzer):
                 self.max_tuples,
                 flat=self._flat,
             )
+            self._compiled = None
         return self._instance_models[inst_name]
 
-    def analyze(self, arrival=None):
-        """Step-2 propagation using per-instance models."""
-        import time as _time
+    def _ensure_models(self):
+        """Hook override: characterize every instance (not module).
 
-        from repro.core.hier import HierResult
-
-        design = self.design
-        arrival = arrival or {}
-        t0 = _time.perf_counter()
-        for inst_name in design.instance_order():
+        ``analyze``/``compile``/``analyze_batch`` on the base class call
+        this before propagating; reporting every instance name keeps the
+        pre-hook ``characterized_modules`` behavior of this analyzer.
+        """
+        order = tuple(self.design.instance_order())
+        for inst_name in order:
             self.models_for_instance(inst_name)
-        t1 = _time.perf_counter()
-        net_times = {
-            x: float(arrival.get(x, 0.0)) for x in design.inputs
-        }
-        for inst_name in design.instance_order():
-            inst = design.instances[inst_name]
-            module = design.module_of(inst)
-            models = self.models_for_instance(inst_name)
-            local_arrival = {
-                port: net_times[inst.net_of(port)] for port in module.inputs
-            }
-            for port in module.outputs:
-                net_times[inst.net_of(port)] = models[port].stable_time(
-                    local_arrival
-                )
-        output_times = {o: net_times[o] for o in design.outputs}
-        t2 = _time.perf_counter()
-        return HierResult(
-            net_times=net_times,
-            output_times=output_times,
-            delay=max(output_times.values()) if output_times else NEG_INF,
-            characterized_modules=tuple(design.instance_order()),
-            characterization_seconds=t1 - t0,
-            propagation_seconds=t2 - t1,
-        )
+        return order
+
+    def _models_of_instance(self, inst_name):
+        """Hook override: per-instance SDC-aware models.
+
+        Shared by the interpreted walk and the compiled kernel, so a
+        compiled per-instance analysis bakes each instance's customized
+        model into its plan.
+        """
+        return self.models_for_instance(inst_name)

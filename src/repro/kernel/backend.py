@@ -1,0 +1,50 @@
+"""Numpy detection for the compiled kernel.
+
+The kernel's batched executor vectorizes over scenarios with numpy when
+it is importable; every code path has a pure-python fallback so the
+package stays dependency-free (``pyproject.toml`` declares none).  All
+gating goes through this module so tests can assert both paths exist.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - trivially true or false per environment
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised via backend="python"
+    _np = None
+    HAVE_NUMPY = False
+
+#: Below this batch size the python executor usually wins (per-node numpy
+#: call overhead exceeds the vectorization gain), so ``backend=None``
+#: auto-selection stays on the pure-python flat-array path.
+NUMPY_MIN_BATCH = 8
+
+
+def numpy_or_none():
+    """The numpy module, or ``None`` when it is not installed."""
+    return _np
+
+
+def pick_backend(batch_size: int, backend: str | None = None) -> str:
+    """Resolve a backend request to ``"numpy"`` or ``"python"``.
+
+    ``backend=None`` auto-selects: numpy for batches of at least
+    :data:`NUMPY_MIN_BATCH` scenarios when numpy is importable, the
+    pure-python executor otherwise.  Requesting ``"numpy"`` without
+    numpy installed raises ``ValueError`` (callers surface it as a
+    configuration error).
+    """
+    if backend is None:
+        if HAVE_NUMPY and batch_size >= NUMPY_MIN_BATCH:
+            return "numpy"
+        return "python"
+    if backend not in ("numpy", "python"):
+        raise ValueError(
+            f"unknown kernel backend {backend!r}; "
+            "expected 'numpy', 'python', or None"
+        )
+    if backend == "numpy" and not HAVE_NUMPY:
+        raise ValueError("numpy backend requested but numpy is not installed")
+    return backend

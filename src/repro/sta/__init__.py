@@ -20,6 +20,7 @@ from repro.sta.report import functional_timing_report, timing_report
 from repro.sta.topological import (
     CriticalPath,
     arrival_times,
+    arrival_times_batch,
     critical_path,
     pin_to_pin_delay,
     required_times,
@@ -34,6 +35,7 @@ __all__ = [
     "all_pin_path_lengths",
     "annotations_from_models",
     "arrival_times",
+    "arrival_times_batch",
     "critical_path",
     "distinct_path_lengths",
     "event_time_candidates",

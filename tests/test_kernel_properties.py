@@ -1,0 +1,221 @@
+"""Property tests: the compiled kernel is bit-identical to the interpreter.
+
+Random reconvergent networks are bipartitioned into random hierarchies;
+every engine pairing (interpreted vs compiled, python vs numpy backend,
+full vs incremental re-propagation) must agree *exactly* — the kernel
+performs the same float64 additions, maxima, and minima as the
+interpreted walks, so no tolerance is needed or used.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import AnalysisOptions
+from repro.circuits.partition import cascade_bipartition
+from repro.circuits.random_logic import random_network
+from repro.core.demand import DemandDrivenAnalyzer
+from repro.core.hier import HierarchicalAnalyzer
+from repro.kernel import (
+    HAVE_NUMPY,
+    CompiledTimingGraph,
+    GraphState,
+    NumpyExecutor,
+    PythonExecutor,
+    compile_network,
+)
+
+NEG_INF = float("-inf")
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+
+def random_hierarchy(seed):
+    """A random depth-1 design, or None when the bipartition fails."""
+    net = random_network(5, 20, seed=seed, num_outputs=2)
+    try:
+        return cascade_bipartition(net)
+    except Exception:
+        return None
+
+
+def random_scenarios(design, seed, count):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        scenario = {
+            x: rng.uniform(-4.0, 10.0)
+            for x in design.inputs
+            if rng.random() < 0.8
+        }
+        out.append(scenario)
+    return out
+
+
+class TestHierEquivalence:
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_single_scenario_bit_identical(self, seed):
+        design = random_hierarchy(seed)
+        if design is None:
+            return
+        arrival = random_scenarios(design, seed + 1, 1)[0]
+        interp = HierarchicalAnalyzer(
+            design, options=AnalysisOptions(exec_engine="interpreted")
+        ).analyze(arrival)
+        comp = HierarchicalAnalyzer(
+            design, options=AnalysisOptions(exec_engine="compiled")
+        ).analyze(arrival)
+        assert comp.net_times == interp.net_times
+        assert comp.delay == interp.delay
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 20))
+    def test_batch_bit_identical(self, seed, count):
+        design = random_hierarchy(seed)
+        if design is None:
+            return
+        scenarios = random_scenarios(design, seed + 2, count)
+        analyzer = HierarchicalAnalyzer(design)
+        interp = analyzer.analyze_batch(scenarios, backend="python")
+        comp = analyzer.analyze_batch(scenarios)
+        assert interp.delay == comp.delay
+        for a, b in zip(interp, comp):
+            assert a.net_times == b.net_times
+            assert a.output_times == b.output_times
+            assert a.slacks == b.slacks
+
+
+class TestDemandEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_engines_agree_exactly(self, seed):
+        design = random_hierarchy(seed)
+        if design is None:
+            return
+        arrival = random_scenarios(design, seed + 3, 1)[0]
+        interp = DemandDrivenAnalyzer(design).analyze(
+            arrival, exec_engine="interpreted"
+        )
+        comp = DemandDrivenAnalyzer(design).analyze(
+            arrival, exec_engine="compiled"
+        )
+        # The compiled STA must replay the interpreted refinement loop
+        # decision-for-decision, not merely land on the same delay.
+        assert comp.net_times == interp.net_times
+        assert comp.delay == interp.delay
+        assert comp.refined_weights == interp.refined_weights
+        assert comp.refinement_checks == interp.refinement_checks
+        assert comp.sta_passes == interp.sta_passes
+        assert comp.required_times == interp.required_times
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_batch_engines_agree(self, seed):
+        design = random_hierarchy(seed)
+        if design is None:
+            return
+        scenarios = random_scenarios(design, seed + 4, 4)
+        interp = DemandDrivenAnalyzer(design).analyze_batch(
+            scenarios, exec_engine="interpreted"
+        )
+        comp = DemandDrivenAnalyzer(design).analyze_batch(
+            scenarios, exec_engine="compiled"
+        )
+        assert interp.delay == comp.delay
+        assert interp.stats == comp.stats
+        for a, b in zip(interp, comp):
+            assert a.net_times == b.net_times
+            assert a.slacks == b.slacks
+
+
+class TestExecutorEquivalence:
+    @needs_numpy
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 24))
+    def test_numpy_matches_python(self, seed, count):
+        net = random_network(4, 16, seed=seed, num_outputs=2)
+        plan = compile_network(net)
+        rng = random.Random(seed + 5)
+        rows = [
+            [rng.uniform(-5.0, 12.0) for _ in range(plan.n_inputs)]
+            for _ in range(count)
+        ]
+        assert (
+            PythonExecutor(plan).propagate(rows)
+            == NumpyExecutor(plan).propagate(rows)
+        )
+
+
+def random_dag(rng):
+    """Random CompiledTimingGraph with one unique key per edge."""
+    n = rng.randint(6, 16)
+    n_in = rng.randint(2, 3)
+    nets = [f"n{i}" for i in range(n)]
+    edges = []
+    for dst in range(n_in, n):
+        fanin = rng.sample(range(dst), k=min(dst, rng.randint(1, 3)))
+        for src in fanin:
+            edges.append(
+                (nets[src], nets[dst], len(edges),
+                 round(rng.uniform(0.5, 8.0), 3))
+            )
+    has_out = {e[0] for e in edges}
+    sinks = [x for x in nets[n_in:] if x not in has_out]
+    outputs = sinks or [nets[-1]]
+    return CompiledTimingGraph(nets, edges, nets[:n_in], outputs)
+
+
+class TestIncrementalReflow:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_reflow_matches_full_repropagation(self, seed):
+        rng = random.Random(seed)
+        graph = random_dag(rng)
+        arrival = {
+            graph.nets[i]: round(rng.uniform(0.0, 5.0), 3)
+            for i in range(graph.n_inputs)
+        }
+        state = GraphState(graph, arrival)
+        state.run_full()
+        for _ in range(8):
+            eid = rng.randrange(graph.n_edges)
+            key = graph.edge_key[eid]
+            weight = graph.edge_weight[eid]
+            if weight == NEG_INF:
+                continue
+            if rng.random() < 0.25:
+                new = NEG_INF  # refinement proved the pin pair false
+            else:
+                new = round(weight - rng.uniform(0.0, 4.0), 3)
+            state.reflow(graph.set_key_weight(key, new))
+            fresh = GraphState(graph, arrival)
+            fresh.run_full()
+            assert state.at == fresh.at
+            assert state.rt == fresh.rt
+            assert state.deadline == fresh.deadline
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_reflow_touches_fewer_nodes_than_full(self, seed):
+        rng = random.Random(seed)
+        graph = random_dag(rng)
+        state = GraphState(graph, {})
+        state.run_full()
+        total = 0
+        rounds = 0
+        for _ in range(5):
+            eid = rng.randrange(graph.n_edges)
+            weight = graph.edge_weight[eid]
+            if weight == NEG_INF:
+                continue
+            dirty = graph.set_key_weight(
+                graph.edge_key[eid], weight - 0.125
+            )
+            state.reflow(dirty)
+            rounds += 1
+        total = state.reflow_forward_nodes
+        # Each incremental pass touches at most every non-input node.
+        assert total <= rounds * (len(graph.nets) - graph.n_inputs)
