@@ -49,6 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.timing_model import TimingModel
     from repro.kernel.design import CompiledDesign
     from repro.library.store import ModelLibrary
+    from repro.obs.forensics import ForensicsReport
     from repro.resilience.policy import ResiliencePolicy
 
 #: Tautology engines accepted by every analyzer.
@@ -423,6 +424,27 @@ class AnalysisSession:
             lambda: DemandDrivenAnalyzer(self.design, options=self.options),
         )
         return analyzer.analyze(arrival)
+
+    def forensics(
+        self,
+        arrival: Mapping[str, float] | None = None,
+        *,
+        exec_engine: str | None = None,
+    ) -> "ForensicsReport":
+        """Conservatism audit of a demand-driven run (Section 5).
+
+        Runs the demand-driven loop on a **fresh** analyzer (the cached
+        one may already carry refined weights, which would understate
+        the topological bound) and returns the
+        :class:`~repro.obs.forensics.ForensicsReport`: per primary
+        output the topological arrival, the refined arrival, and the
+        ordered refinements that closed the gap.
+        """
+        from repro.core.demand import DemandDrivenAnalyzer
+
+        analyzer = DemandDrivenAnalyzer(self.design, options=self.options)
+        analyzer.analyze(arrival, exec_engine=exec_engine)
+        return analyzer.forensics_report()
 
     def explain_pin(
         self, module: str, inp: str, out: str

@@ -12,9 +12,14 @@ Usage (also exposed as ``python -m repro.cli``)::
 ``delay`` prints per-output XBD0 stable times; ``hier-report`` and
 ``demand`` analyze hierarchical Verilog designs (optionally over a JSON
 batch of arrival scenarios via ``--scenarios`` and the compiled kernel
-via ``--exec-engine``); ``characterize`` writes a black-box timing
-library (see :mod:`repro.core.ipblock`); the last three regenerate the
-paper's tables and figures.
+via ``--exec-engine``); ``forensics`` prints the conservatism audit
+(topological vs refined arrival per output and the refinements that
+closed the gap); ``characterize`` writes a black-box timing library
+(see :mod:`repro.core.ipblock`); the last three regenerate the paper's
+tables and figures.  Every analysis command takes the observability
+flags ``--trace/--profile/--trace-file`` plus the standard-format
+exporters ``--export-trace FILE.json`` (Chrome trace-event / Perfetto)
+and ``--export-metrics FILE.prom`` (Prometheus text exposition).
 """
 
 from __future__ import annotations
@@ -148,18 +153,22 @@ def load_design(path: str):
 
 
 def make_tracer(args: argparse.Namespace):
-    """Build a tracer from ``--trace/--profile/--trace-file``, else None.
+    """Build a tracer from the obs flags, else None.
 
-    ``None`` (all flags off, the default) keeps the zero-overhead null
-    path everywhere and the command output byte-identical to untraced
-    runs.
+    Any of ``--trace/--profile/--trace-file/--export-trace/
+    --export-metrics`` enables tracing; ``None`` (all flags off, the
+    default) keeps the zero-overhead null path everywhere and the
+    command output byte-identical to untraced runs.
     """
     trace = getattr(args, "trace", False)
     profile = getattr(args, "profile", False)
     trace_file = getattr(args, "trace_file", None)
-    if not (trace or profile or trace_file):
+    export_trace = getattr(args, "export_trace", None)
+    export_metrics = getattr(args, "export_metrics", None)
+    if not (trace or profile or trace_file or export_trace
+            or export_metrics):
         return None
-    from repro.obs import JsonlSink, SummarySink, Tracer
+    from repro.obs import JsonlSink, RingBufferSink, SummarySink, Tracer
 
     tracer = Tracer()
     if trace_file:
@@ -168,11 +177,15 @@ def make_tracer(args: argparse.Namespace):
         sink = SummarySink()
         tracer.add_sink(sink)
         tracer.profile_sink = sink
+    if export_trace:
+        sink = RingBufferSink(capacity=1 << 16)
+        tracer.add_sink(sink)
+        tracer.export_sink = sink
     return tracer
 
 
 def finish_tracer(args: argparse.Namespace, tracer, stream=None) -> None:
-    """Close sinks and print the summary the obs flags asked for."""
+    """Close sinks, print summaries, and write the export files."""
     if tracer is None:
         return
     tracer.close()
@@ -186,6 +199,28 @@ def finish_tracer(args: argparse.Namespace, tracer, stream=None) -> None:
     trace_file = getattr(args, "trace_file", None)
     if trace_file:
         print(f"wrote trace to {trace_file}", file=sys.stderr)
+    export_trace = getattr(args, "export_trace", None)
+    if export_trace:
+        from repro.obs import write_chrome_trace
+
+        sink = getattr(tracer, "export_sink", None)
+        count = write_chrome_trace(
+            export_trace, sink if sink is not None else [],
+            metrics=tracer.metrics,
+        )
+        print(
+            f"wrote {count} trace events to {export_trace}",
+            file=sys.stderr,
+        )
+    export_metrics = getattr(args, "export_metrics", None)
+    if export_metrics:
+        from repro.obs import write_prometheus
+
+        count = write_prometheus(export_metrics, tracer.metrics)
+        print(
+            f"wrote {count} metric samples to {export_metrics}",
+            file=sys.stderr,
+        )
 
 
 def make_options(args: argparse.Namespace, tracer=None):
@@ -317,6 +352,27 @@ def cmd_demand(args: argparse.Namespace) -> int:
             )
         )
     finish_tracer(args, tracer)
+    return 0
+
+
+def cmd_forensics(args: argparse.Namespace) -> int:
+    from repro.api import AnalysisSession
+
+    circuit = load_design(args.circuit)
+    arrival = parse_arrivals(args.arrival)
+    tracer = make_tracer(args)
+    options = make_options(args, tracer)
+    session = AnalysisSession(circuit, options=options)
+    report = session.forensics(arrival)
+    if args.json:
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
+    finish_tracer(
+        args, tracer, stream=sys.stderr if args.json else sys.stdout
+    )
     return 0
 
 
@@ -496,7 +552,9 @@ def build_parser() -> argparse.ArgumentParser:
             "(robustness drills; repeatable)",
         )
 
-    def add_exec_opts(p: argparse.ArgumentParser) -> None:
+    def add_exec_opts(
+        p: argparse.ArgumentParser, scenarios: bool = True
+    ) -> None:
         p.add_argument(
             "--exec-engine",
             choices=("auto", "interpreted", "compiled"),
@@ -513,15 +571,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="scenario chunk size for the compiled kernel "
             "(default 256)",
         )
-        p.add_argument(
-            "--scenarios",
-            default=None,
-            metavar="FILE",
-            help="batch mode: JSON list of arrival scenarios, each an "
-            "object keyed by input name or a list aligned with the "
-            "design's input order (--arrival entries become "
-            "per-scenario defaults)",
-        )
+        if scenarios:
+            p.add_argument(
+                "--scenarios",
+                default=None,
+                metavar="FILE",
+                help="batch mode: JSON list of arrival scenarios, each "
+                "an object keyed by input name or a list aligned with "
+                "the design's input order (--arrival entries become "
+                "per-scenario defaults)",
+            )
 
     def add_obs_opts(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -539,6 +598,20 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="FILE",
             help="also write every trace record as JSON lines to FILE",
+        )
+        p.add_argument(
+            "--export-trace",
+            default=None,
+            metavar="FILE.json",
+            help="write the trace in Chrome trace-event JSON "
+            "(open with chrome://tracing or https://ui.perfetto.dev)",
+        )
+        p.add_argument(
+            "--export-metrics",
+            default=None,
+            metavar="FILE.prom",
+            help="write the run's counters/gauges/histograms in "
+            "Prometheus text exposition format",
         )
 
     def add_analysis_opts(p: argparse.ArgumentParser) -> None:
@@ -574,7 +647,8 @@ def build_parser() -> argparse.ArgumentParser:
     demand = sub.add_parser(
         "demand",
         help="demand-driven (Section 5) report for a hierarchical "
-        "Verilog design, with batched multi-scenario analysis",
+        "Verilog design, with batched multi-scenario analysis "
+        "(compiled kernel by default)",
     )
     add_analysis_opts(demand)
     add_resilience_opts(demand)
@@ -582,7 +656,26 @@ def build_parser() -> argparse.ArgumentParser:
     demand.add_argument(
         "--nets", action="store_true", help="include the per-net table"
     )
-    demand.set_defaults(func=cmd_demand)
+    # Results are bit-identical either way; the compiled graph with
+    # incremental reflow is the fast path, so make it the default here
+    # (--exec-engine interpreted restores the literal Section-5 loop).
+    demand.set_defaults(func=cmd_demand, exec_engine="compiled")
+
+    forensics = sub.add_parser(
+        "forensics",
+        help="conservatism audit of a demand-driven run: topological "
+        "vs refined arrival per output, and which refinements closed "
+        "the gap",
+    )
+    add_analysis_opts(forensics)
+    add_resilience_opts(forensics)
+    add_exec_opts(forensics, scenarios=False)
+    forensics.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the audit as JSON instead of the text table",
+    )
+    forensics.set_defaults(func=cmd_forensics)
 
     sdc = sub.add_parser(
         "sdc",

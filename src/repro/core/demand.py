@@ -35,6 +35,11 @@ from repro.core.xbd0 import Engine, StabilityAnalyzer
 from repro.errors import AnalysisError
 from repro.netlist.hierarchy import HierDesign
 from repro.netlist.network import Network
+from repro.obs.forensics import (
+    ForensicsReport,
+    OutputForensics,
+    RefinementEvent,
+)
 from repro.obs.trace import Tracer, ensure_tracer
 from repro.resilience.degradation import Degradation, DegradationLog
 from repro.sta.paths import distinct_path_lengths
@@ -213,7 +218,7 @@ class _CompiledSta:
 
         self._analyzer = analyzer
         self.graph = graph if graph is not None else analyzer._compiled_graph()
-        self.state = GraphState(self.graph, arrival)
+        self.state = GraphState(self.graph, arrival, tracer=analyzer.tracer)
         t0 = time.perf_counter() if analyzer.tracer.enabled else 0.0
         self.state.run_full()
         analyzer._note_sta_pass(t0, incremental=False)
@@ -263,6 +268,7 @@ class DemandDrivenAnalyzer:
         self.dlog = DegradationLog(self.tracer)
         self._states: dict[PinPair, _PinPairState] = {}
         self._cones: dict[tuple[str, str], Network] = {}
+        self._forensics: ForensicsReport | None = None
         self._build_graph()
 
     # ------------------------------------------------------------------ graph
@@ -381,7 +387,8 @@ class DemandDrivenAnalyzer:
         current (possibly already refined) pin-pair weights."""
         from repro.kernel.graph import CompiledTimingGraph
 
-        return CompiledTimingGraph(
+        t0 = time.perf_counter() if self.tracer.enabled else 0.0
+        graph = CompiledTimingGraph(
             self.nets,
             (
                 (src, dst, key, self._states[key].weight)
@@ -390,6 +397,17 @@ class DemandDrivenAnalyzer:
             self.design.inputs,
             self.design.outputs,
         )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "kernel-compile",
+                seconds=time.perf_counter() - t0,
+                graph="timing-graph",
+                nets=len(graph.nets),
+                edges=graph.n_edges,
+                keys=len(graph.key_edges),
+            )
+            self.tracer.count("kernel.compiles")
+        return graph
 
     def _note_sta_pass(self, t0: float, incremental: bool) -> None:
         """Trace one compiled STA pass (mirrors ``_graph_sta``'s events)."""
@@ -627,15 +645,28 @@ class DemandDrivenAnalyzer:
         topo_delay = max(
             (sta.at[o] for o in self.design.outputs), default=NEG_INF
         )
+        outputs = tuple(self.design.outputs)
+        # Forensics: arrivals under the run's starting weights (the
+        # Theorem-1 topological bound on a fresh analyzer) plus every
+        # accepted refinement's exact per-output arrival movement.
+        # Recorded unconditionally — pure observation, one snapshot per
+        # accepted refinement.
+        topo_at = {o: sta.at[o] for o in outputs}
+        events: list[RefinementEvent] = []
         exhausted = None
         while exhausted is None:
             critical = self._critical_edges(sta.at, sta.rt)
             if not critical:
                 break
+            if self.tracer.enabled:
+                self.tracer.count("demand.critical_edges", len(critical))
             improved_key = None
+            weight_before = NEG_INF
             for _src, _dst, key in critical:
                 if self._states[key].exact:
                     continue
+                if self.tracer.enabled:
+                    self.tracer.count("demand.edges_examined")
                 if deadline.limited and deadline.expired():
                     exhausted = (
                         "deadline",
@@ -649,6 +680,7 @@ class DemandDrivenAnalyzer:
                         f"refinement budget {budget} exhausted",
                     )
                     break
+                weight_before = self._states[key].weight
                 if self._try_refine_guarded(key):
                     improved_key = key
                     break  # re-run STA immediately, as the paper iterates
@@ -668,7 +700,46 @@ class DemandDrivenAnalyzer:
                 break
             if improved_key is None:
                 break
+            before_at = {o: sta.at[o] for o in outputs}
+            delay_before = max(before_at.values(), default=NEG_INF)
             sta.refresh(improved_key)
+            after_at = {o: sta.at[o] for o in outputs}
+            delay_after = max(after_at.values(), default=NEG_INF)
+            module_name, inp, out = improved_key
+            weight_after = self._states[improved_key].weight
+            event = RefinementEvent(
+                seq=len(events) + 1,
+                module=module_name,
+                input_port=inp,
+                output_port=out,
+                weight_before=weight_before,
+                weight_after=weight_after,
+                delay_before=delay_before,
+                delay_after=delay_after,
+                output_moves={
+                    o: (before_at[o], after_at[o])
+                    for o in outputs
+                    if after_at[o] != before_at[o]
+                },
+            )
+            events.append(event)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "refinement-applied",
+                    module=module_name,
+                    input=inp,
+                    output=out,
+                    weight_before=weight_before,
+                    weight_after=weight_after,
+                    delay_before=delay_before,
+                    delay_after=delay_after,
+                    moved_outputs=len(event.output_moves),
+                )
+                movement = delay_before - delay_after
+                if movement == movement and abs(movement) != POS_INF:
+                    self.tracer.observe(
+                        "demand.refinement_slack_movement", movement
+                    )
         output_times = {o: sta.at[o] for o in self.design.outputs}
         refined: dict[PinPair, float] = {}
         for key, state in self._states.items():
@@ -677,6 +748,27 @@ class DemandDrivenAnalyzer:
         if self.tracer.enabled:
             self.tracer.gauge("demand.edges_total", len(self.edges))
             self.tracer.gauge("demand.edges_refined_final", len(refined))
+        self._forensics = ForensicsReport(
+            design=self.design.name,
+            exec_engine=engine,
+            arrival=dict(arrival),
+            outputs=tuple(
+                OutputForensics(
+                    output=o,
+                    topological_arrival=topo_at[o],
+                    refined_arrival=sta.at[o],
+                    required_time=sta.rt[o],
+                    refinements=tuple(
+                        e for e in events if o in e.output_moves
+                    ),
+                )
+                for o in outputs
+            ),
+            events=tuple(events),
+            refinement_checks=self._checks,
+            edges_total=len(self.edges),
+            pin_pairs_total=len(self._states),
+        )
         return DemandDrivenResult(
             net_times=sta.at,
             output_times=output_times,
@@ -690,6 +782,26 @@ class DemandDrivenAnalyzer:
             required_times={o: sta.rt[o] for o in self.design.outputs},
             degradations=self.dlog.snapshot()[mark:],
         )
+
+    def forensics_report(self) -> ForensicsReport:
+        """The conservatism audit of the most recent :meth:`analyze` run.
+
+        Per primary output: the arrival under the weights the run
+        started with (the Theorem-1 topological bound on a fresh
+        analyzer), the refined arrival it ended with, and the ordered
+        refinements that closed the gap — each with its exact
+        before/after arrival pair, so the attribution chains with exact
+        float equality (:attr:`ForensicsReport.fully_attributed`).
+        Note that on a *reused* analyzer the starting weights may
+        already carry earlier runs' refinements; use a fresh analyzer
+        (or :meth:`repro.api.AnalysisSession.forensics`) for the
+        topological-vs-refined story.
+        """
+        if self._forensics is None:
+            raise AnalysisError(
+                "no analysis recorded yet; call analyze() first"
+            )
+        return self._forensics
 
     def analyze_batch(
         self,

@@ -602,7 +602,10 @@ class HierarchicalAnalyzer:
             with self.tracer.span(
                 "compile-design", phase="compile", design=self.design.name
             ):
-                plan = compile_design(self.design, self._models_of_instance)
+                plan = compile_design(
+                    self.design, self._models_of_instance,
+                    tracer=self.tracer,
+                )
             self._compiled = CompiledDesign(
                 plan=plan,
                 outputs=tuple(self.design.outputs),
@@ -634,7 +637,9 @@ class HierarchicalAnalyzer:
                 design=design.name,
                 engine="compiled",
             ):
-                net_times = compiled.propagate([arrival])[0]
+                net_times = compiled.propagate(
+                    [arrival], tracer=self.tracer
+                )[0]
         else:
             with self.tracer.span(
                 "propagate", phase="propagation", design=design.name
@@ -689,6 +694,7 @@ class HierarchicalAnalyzer:
                     scenarios,
                     backend=backend,
                     batch_size=self.options.batch_size,
+                    tracer=self.tracer,
                 )
         else:
             with self.tracer.span(

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.kernel.execute import propagate_batch
 from repro.kernel.plan import CompiledGraph
+from repro.obs.trace import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.degradation import Degradation
@@ -69,10 +70,11 @@ class CompiledDesign:
         scenarios: Sequence[Mapping[str, float]],
         backend: str | None = None,
         batch_size: int | None = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> list[dict[str, float]]:
         """Net stable times for each scenario, as name-keyed dicts.
 
-        ``backend``/``batch_size`` forward to
+        ``backend``/``batch_size``/``tracer`` forward to
         :func:`~repro.kernel.execute.propagate_batch`.
         """
         values = propagate_batch(
@@ -81,6 +83,7 @@ class CompiledDesign:
             backend=backend,
             batch_size=batch_size,
             cache=self._executors,
+            tracer=tracer,
         )
         nets = self.plan.nets
         return [dict(zip(nets, row)) for row in values]

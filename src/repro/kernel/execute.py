@@ -18,10 +18,12 @@ rejects NaN/``+inf`` delays).
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 from repro.kernel.backend import numpy_or_none, pick_backend
 from repro.kernel.plan import CompiledGraph
+from repro.obs.trace import NULL_TRACER, Tracer
 
 NEG_INF = float("-inf")
 POS_INF = float("inf")
@@ -146,6 +148,7 @@ def propagate_batch(
     backend: str | None = None,
     batch_size: int | None = None,
     cache: dict | None = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> list[list[float]]:
     """Evaluate arrival rows against a plan, picking an executor.
 
@@ -157,6 +160,11 @@ def propagate_batch(
     ``batch_size × nets`` floats.  ``cache`` (a dict owned by the
     caller, keyed by backend name) reuses executors across calls so
     repeated evaluation of one plan skips the per-node array setup.
+
+    With tracing on, each call emits one ``kernel-propagate`` event
+    (chosen backend, scenario count, scenarios/second) and feeds the
+    ``kernel.batch_seconds`` histogram; the record carries no phase —
+    callers' spans already own this wall time.
     """
     rows = list(rows)
     if not rows:
@@ -171,9 +179,26 @@ def propagate_batch(
         )
         if cache is not None:
             cache[chosen] = executor
+    start_t = time.perf_counter() if tracer.enabled else 0.0
     if batch_size is None or batch_size >= len(rows):
-        return executor.propagate(rows)
-    out: list[list[float]] = []
-    for start in range(0, len(rows), batch_size):
-        out.extend(executor.propagate(rows[start : start + batch_size]))
+        out = executor.propagate(rows)
+    else:
+        out = []
+        for start in range(0, len(rows), batch_size):
+            out.extend(
+                executor.propagate(rows[start : start + batch_size])
+            )
+    if tracer.enabled:
+        seconds = time.perf_counter() - start_t
+        tracer.event(
+            "kernel-propagate",
+            seconds=seconds,
+            graph=plan.name,
+            backend=chosen,
+            scenarios=len(rows),
+            throughput=(len(rows) / seconds if seconds > 0.0 else 0.0),
+        )
+        tracer.count("kernel.batches")
+        tracer.count("kernel.scenarios", len(rows))
+        tracer.observe("kernel.batch_seconds", seconds)
     return out

@@ -19,9 +19,11 @@ untouched node's inputs are unchanged by construction.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Hashable, Iterable, Mapping, Sequence
 
 from repro.errors import AnalysisError
+from repro.obs.trace import NULL_TRACER, Tracer
 
 NEG_INF = float("-inf")
 POS_INF = float("inf")
@@ -119,9 +121,13 @@ class GraphState:
     """
 
     def __init__(
-        self, graph: CompiledTimingGraph, arrival: Mapping[str, float]
+        self,
+        graph: CompiledTimingGraph,
+        arrival: Mapping[str, float],
+        tracer: Tracer = NULL_TRACER,
     ):
         self.graph = graph
+        self.tracer = tracer
         self.at: list[float] = [0.0] * len(graph.nets)
         self.rt: list[float] = [POS_INF] * len(graph.nets)
         self.deadline: float = NEG_INF
@@ -165,12 +171,26 @@ class GraphState:
     def run_full(self) -> None:
         """Full forward + backward propagation (matches ``_graph_sta``)."""
         g = self.graph
+        tracer = self.tracer
+        start = time.perf_counter() if tracer.enabled else 0.0
         for n in range(g.n_inputs, len(g.nets)):
             self.at[n] = self._recompute_at(n)
         self.deadline = max(
             (self.at[i] for i in g.output_idx), default=NEG_INF
         )
         self._backward_full()
+        if tracer.enabled:
+            # phase=None: the caller's sta-pass span owns this interval.
+            tracer.event(
+                "kernel-propagate",
+                seconds=time.perf_counter() - start,
+                graph="timing-graph",
+                backend="graph",
+                nets=len(g.nets),
+                edges=g.n_edges,
+                scenarios=1,
+            )
+            tracer.count("kernel.full_passes")
 
     def _backward_full(self) -> None:
         g = self.graph
@@ -190,7 +210,13 @@ class GraphState:
         worklist starts at the dirty edges' tail nodes.
         """
         g = self.graph
+        tracer = self.tracer
         dirty_edges = list(dirty_edges)
+        if tracer.enabled:
+            start = time.perf_counter()
+            fwd0 = self.reflow_forward_nodes
+            bwd0 = self.reflow_backward_nodes
+            full0 = self.full_backward_passes
         heap: list[int] = []
         queued: set[int] = set()
         for eid in dirty_edges:
@@ -217,27 +243,49 @@ class GraphState:
         if deadline != self.deadline:
             self.deadline = deadline
             self._backward_full()
-            return
-        rheap: list[int] = []
-        rqueued: set[int] = set()
-        for eid in dirty_edges:
-            s = g.edge_src[eid]
-            if s not in rqueued:
-                rqueued.add(s)
-                heapq.heappush(rheap, -s)
-        while rheap:
-            n = -heapq.heappop(rheap)
-            rqueued.discard(n)
-            self.reflow_backward_nodes += 1
-            new = self._recompute_rt(n)
-            if new == self.rt[n]:
-                continue
-            self.rt[n] = new
-            for eid in g.in_edges[n]:
+        else:
+            rheap: list[int] = []
+            rqueued: set[int] = set()
+            for eid in dirty_edges:
                 s = g.edge_src[eid]
                 if s not in rqueued:
                     rqueued.add(s)
                     heapq.heappush(rheap, -s)
+            while rheap:
+                n = -heapq.heappop(rheap)
+                rqueued.discard(n)
+                self.reflow_backward_nodes += 1
+                new = self._recompute_rt(n)
+                if new == self.rt[n]:
+                    continue
+                self.rt[n] = new
+                for eid in g.in_edges[n]:
+                    s = g.edge_src[eid]
+                    if s not in rqueued:
+                        rqueued.add(s)
+                        heapq.heappush(rheap, -s)
+        if tracer.enabled:
+            # phase=None: reflows run inside refinement-owned intervals.
+            tracer.event(
+                "kernel-reflow",
+                seconds=time.perf_counter() - start,
+                dirty_edges=len(dirty_edges),
+                forward_nodes=self.reflow_forward_nodes - fwd0,
+                backward_nodes=self.reflow_backward_nodes - bwd0,
+                full_backward=self.full_backward_passes - full0,
+            )
+            tracer.count("kernel.reflows")
+            tracer.count(
+                "kernel.reflow_forward_nodes",
+                self.reflow_forward_nodes - fwd0,
+            )
+            tracer.count(
+                "kernel.reflow_backward_nodes",
+                self.reflow_backward_nodes - bwd0,
+            )
+            tracer.observe(
+                "kernel.reflow_dirty_edges", len(dirty_edges)
+            )
 
     # ---------------------------------------------------------------- queries
     def at_dict(self) -> dict[str, float]:

@@ -24,12 +24,14 @@ additions, maxima, and minima are performed on the same values.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.errors import AnalysisError
 from repro.netlist.hierarchy import HierDesign
 from repro.netlist.network import Network
+from repro.obs.trace import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.timing_model import TimingModel
@@ -128,6 +130,9 @@ class _GraphBuilder:
         self.ent_start: list[int] = [0]
         self.ent_src: list[int] = []
         self.ent_delay: list[float] = []
+        #: Nodes collapsed to constant ``-inf`` (an all-``-inf`` tuple
+        #: certified stability unconditionally) — forensics telemetry.
+        self.collapsed = 0
 
     def add_node(
         self, net: str, tuples: list[list[tuple[int, float]]]
@@ -142,6 +147,7 @@ class _GraphBuilder:
             raise AnalysisError(f"net {net!r} has multiple drivers")
         if any(not entries for entries in tuples):
             tuples = []
+            self.collapsed += 1
         for entries in tuples:
             for src, delay in entries:
                 if delay != delay or delay == POS_INF:
@@ -169,9 +175,38 @@ class _GraphBuilder:
         )
 
 
+def _note_compile(
+    tracer: Tracer, builder: _GraphBuilder, graph: CompiledGraph,
+    seconds: float,
+) -> None:
+    """Emit the ``kernel-compile`` event and plan-shape gauges.
+
+    ``phase=None`` deliberately: compilation happens inside spans that
+    already own their phase time, so a phase here would double-count.
+    """
+    tracer.event(
+        "kernel-compile",
+        seconds=seconds,
+        graph=graph.name,
+        nets=len(graph.nets),
+        nodes=graph.n_nodes,
+        tuples=graph.n_tuples,
+        entries=graph.n_entries,
+        collapsed=builder.collapsed,
+    )
+    tracer.count("kernel.compiles")
+    tracer.observe("kernel.compile_seconds", seconds)
+    tracer.gauge("kernel.plan.nets", len(graph.nets))
+    tracer.gauge("kernel.plan.nodes", graph.n_nodes)
+    tracer.gauge("kernel.plan.tuples", graph.n_tuples)
+    tracer.gauge("kernel.plan.entries", graph.n_entries)
+    tracer.gauge("kernel.plan.collapsed_nodes", builder.collapsed)
+
+
 def compile_design(
     design: HierDesign,
     instance_models: Callable[[str], Mapping[str, "TimingModel"]],
+    tracer: Tracer = NULL_TRACER,
 ) -> CompiledGraph:
     """Compile a design's Step-2 propagation into a :class:`CompiledGraph`.
 
@@ -182,6 +217,7 @@ def compile_design(
     follows ``design.instance_order()``, matching the interpreted walk
     exactly.
     """
+    start = time.perf_counter() if tracer.enabled else 0.0
     design.validate()
     builder = _GraphBuilder(design.name, design.inputs)
     for inst_name in design.instance_order():
@@ -205,10 +241,14 @@ def compile_design(
     missing = [o for o in design.outputs if o not in graph.net_index]
     if missing:
         raise AnalysisError(f"undriven outputs {missing!r}")
+    if tracer.enabled:
+        _note_compile(tracer, builder, graph, time.perf_counter() - start)
     return graph
 
 
-def compile_network(network: Network) -> CompiledGraph:
+def compile_network(
+    network: Network, tracer: Tracer = NULL_TRACER
+) -> CompiledGraph:
     """Compile flat topological STA into a :class:`CompiledGraph`.
 
     Every gate becomes a single-tuple node whose entries carry the gate
@@ -217,6 +257,7 @@ def compile_network(network: Network) -> CompiledGraph:
     become ``-inf`` nodes, matching
     :func:`repro.sta.topological.arrival_times`.
     """
+    start = time.perf_counter() if tracer.enabled else 0.0
     builder = _GraphBuilder(network.name, tuple(network.inputs))
     for sig in network.topological_order():
         if network.is_input(sig):
@@ -226,4 +267,7 @@ def compile_network(network: Network) -> CompiledGraph:
             (builder.net_index[f], gate.delay) for f in gate.fanins
         ]
         builder.add_node(sig, [entries] if entries else [])
-    return builder.build()
+    graph = builder.build()
+    if tracer.enabled:
+        _note_compile(tracer, builder, graph, time.perf_counter() - start)
+    return graph

@@ -14,6 +14,13 @@ Tracing is strictly opt-in: the default :data:`NULL_TRACER` makes every
 instrumentation site a no-op and analyzer outputs are identical with
 tracing on or off.
 
+On top of the sinks sit standard-format exporters
+(:func:`write_chrome_trace` for chrome://tracing / Perfetto,
+:func:`render_prometheus` for the Prometheus text exposition) and the
+conservatism audit (:class:`ForensicsReport`), which attributes the
+topological-vs-refined arrival gap per primary output to the ordered
+refinements that closed it.
+
 Typical use::
 
     from repro.obs import Tracer, RingBufferSink
@@ -24,8 +31,21 @@ Typical use::
     print(tracer.summary())          # per-phase time/counter breakdown
 """
 
+from repro.obs.export import (
+    chrome_trace_events,
+    prometheus_name,
+    render_prometheus,
+    write_chrome_trace,
+    write_prometheus,
+)
+from repro.obs.forensics import (
+    ForensicsReport,
+    OutputForensics,
+    RefinementEvent,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, Metrics
 from repro.obs.sinks import (
+    JsonlRecords,
     JsonlSink,
     RingBufferSink,
     SummarySink,
@@ -41,16 +61,25 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "ForensicsReport",
     "Gauge",
     "Histogram",
+    "JsonlRecords",
     "JsonlSink",
     "Metrics",
     "NULL_TRACER",
+    "OutputForensics",
     "PHASES",
+    "RefinementEvent",
     "RingBufferSink",
     "SummarySink",
     "TraceRecord",
     "Tracer",
+    "chrome_trace_events",
     "ensure_tracer",
+    "prometheus_name",
     "read_jsonl",
+    "render_prometheus",
+    "write_chrome_trace",
+    "write_prometheus",
 ]

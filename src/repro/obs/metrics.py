@@ -112,6 +112,7 @@ class Metrics:
                 n: {
                     "count": h.count,
                     "total": h.total,
+                    "mean": h.mean,
                     "min": None if h.count == 0 else h.minimum,
                     "max": None if h.count == 0 else h.maximum,
                 }

@@ -7,7 +7,8 @@ produces, via ``sink.emit(record)``.  They are deliberately tiny so an
 * :class:`RingBufferSink` — bounded in-memory history for tests and
   interactive inspection;
 * :class:`JsonlSink` — one JSON object per line, the machine-readable
-  export (round-trips through :func:`read_jsonl`);
+  export (round-trips through :func:`read_jsonl`, which survives
+  malformed lines and counts them);
 * :class:`SummarySink` — keeps nothing but the record stream's
   aggregate shape; its ``render`` mirrors ``Tracer.summary`` for
   callers that only hold the sink.
@@ -89,29 +90,57 @@ class JsonlSink:
         self.close()
 
 
-def read_jsonl(source: str | os.PathLike | TextIO) -> list[TraceRecord]:
-    """Parse a JSONL trace back into :class:`TraceRecord` objects."""
+class JsonlRecords(list):
+    """Parsed trace records plus a count of malformed lines skipped.
+
+    A plain ``list`` of :class:`TraceRecord` in every respect; the
+    extra :attr:`skipped` attribute says how many lines could not be
+    parsed (truncated trailing record, corrupt line, missing field).
+    """
+
+    def __init__(self, records=(), skipped: int = 0):
+        super().__init__(records)
+        #: Malformed lines encountered and dropped while reading.
+        self.skipped = skipped
+
+
+def read_jsonl(
+    source: str | os.PathLike | TextIO, strict: bool = False
+) -> JsonlRecords:
+    """Parse a JSONL trace back into :class:`TraceRecord` objects.
+
+    Malformed lines — most commonly a record truncated by a crash
+    mid-write — are skipped and counted on the returned list's
+    ``skipped`` attribute, so a damaged trace still yields every
+    readable record.  Pass ``strict=True`` to re-raise on the first
+    bad line instead.
+    """
     if isinstance(source, (str, os.PathLike)):
         text = Path(source).read_text()
     else:
         text = source.read()
-    records = []
+    records = JsonlRecords()
     for line in io.StringIO(text):
         line = line.strip()
         if not line:
             continue
-        raw = json.loads(line)
-        records.append(
-            TraceRecord(
-                kind=raw["kind"],
-                name=raw["name"],
-                t=raw["t"],
-                seconds=raw["seconds"],
-                phase=raw["phase"],
-                depth=raw["depth"],
-                attrs=raw.get("attrs", {}),
+        try:
+            raw = json.loads(line)
+            records.append(
+                TraceRecord(
+                    kind=raw["kind"],
+                    name=raw["name"],
+                    t=raw["t"],
+                    seconds=raw["seconds"],
+                    phase=raw["phase"],
+                    depth=raw["depth"],
+                    attrs=raw.get("attrs", {}),
+                )
             )
-        )
+        except (json.JSONDecodeError, KeyError, TypeError):
+            if strict:
+                raise
+            records.skipped += 1
     return records
 
 

@@ -64,6 +64,14 @@ class TestMetrics:
         assert snapshot["counters"]["c"] == 1
         assert snapshot["gauges"]["g"] == 2.5
         assert snapshot["histograms"]["h"]["count"] == 1
+        assert snapshot["histograms"]["h"]["mean"] == 1.0
+
+    def test_empty_histogram_mean_is_zero(self):
+        m = Metrics()
+        h = m.histogram("quiet")
+        assert h.count == 0
+        assert h.mean == 0.0  # no ZeroDivisionError on zero observations
+        assert m.as_dict()["histograms"]["quiet"]["mean"] == 0.0
 
 
 class TestTracer:
@@ -188,6 +196,30 @@ class TestSinks:
         buf.seek(0)
         assert len(read_jsonl(buf)) == 1
 
+    def test_jsonl_truncated_trailing_record_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            for i in range(3):
+                sink.emit(
+                    TraceRecord(kind="event", name=f"e{i}", t=float(i))
+                )
+        lines = path.read_text().splitlines()
+        # simulate a crash mid-write: last record cut in half
+        path.write_text(
+            "\n".join(lines[:2] + [lines[2][: len(lines[2]) // 2]])
+        )
+        records = read_jsonl(path)
+        assert [r.name for r in records] == ["e0", "e1"]
+        assert records.skipped == 1
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path, strict=True)
+
+    def test_jsonl_missing_field_counted(self):
+        buf = io.StringIO('{"kind": "event"}\n')
+        records = read_jsonl(buf)
+        assert list(records) == []
+        assert records.skipped == 1
+
     def test_summary_sink_render(self):
         sink = SummarySink()
         assert "(no records)" in sink.render()
@@ -195,6 +227,20 @@ class TestSinks:
         sink.emit(TraceRecord(kind="event", name="a", t=1.0, seconds=0.5))
         text = sink.render()
         assert "a" in text and "2" in text and "1.500" in text
+
+    def test_summary_sink_render_deterministic(self):
+        records = [
+            TraceRecord(kind="event", name=n, t=0.0, seconds=0.5)
+            for n in ("beta", "alpha", "gamma")
+        ]
+        forward, backward = SummarySink(), SummarySink()
+        for r in records:
+            forward.emit(r)
+        for r in reversed(records):
+            backward.emit(r)
+        # sorted by name: emission order must not change the table
+        assert forward.render() == backward.render()
+        assert forward.render() == forward.render()
 
 
 class TestAnalyzerWiring:
