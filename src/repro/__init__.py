@@ -53,7 +53,7 @@ from repro.obs import Metrics, Tracer
 from repro.resilience import Degradation, FaultPlan, ResiliencePolicy
 from repro.seq.circuit import Flop, SequentialCircuit
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnalysisOptions",

@@ -202,6 +202,54 @@ class AnalysisOptions:
         )
 
 
+def coerce_scenarios(
+    data, inputs: list[str], source: str = "scenarios"
+) -> list[dict[str, float]]:
+    """Validate a raw scenario batch into arrival-time mappings.
+
+    ``data`` is a list whose items are either objects mapping primary
+    input names to arrival times or lists of numbers aligned with
+    ``inputs``.  Shared by the CLI's ``--scenarios FILE`` loader and the
+    server's ``POST /batch`` endpoint; ``source`` names the origin in
+    error messages.  Malformed batches raise
+    :class:`~repro.errors.ReproError`.
+    """
+    if not isinstance(data, list):
+        raise ReproError(f"{source}: expected a JSON list of scenarios")
+    if not data:
+        raise ReproError(f"{source}: scenario list is empty")
+    known = set(inputs)
+    scenarios: list[dict[str, float]] = []
+    for i, item in enumerate(data):
+        if isinstance(item, dict):
+            unknown = sorted(set(item) - known)
+            if unknown:
+                raise ReproError(
+                    f"{source}: scenario {i} names unknown input "
+                    f"{unknown[0]!r}"
+                )
+            pairs = list(item.items())
+        elif isinstance(item, list):
+            if len(item) != len(inputs):
+                raise ReproError(
+                    f"{source}: scenario {i} has {len(item)} values "
+                    f"for {len(inputs)} inputs"
+                )
+            pairs = list(zip(inputs, item))
+        else:
+            raise ReproError(
+                f"{source}: scenario {i} must be an object "
+                "(input -> time) or a list of times"
+            )
+        try:
+            scenarios.append({name: float(v) for name, v in pairs})
+        except (TypeError, ValueError):
+            raise ReproError(
+                f"{source}: scenario {i} has a non-numeric arrival time"
+            ) from None
+    return scenarios
+
+
 def load_circuit_file(path: str | Path) -> Network | HierDesign:
     """Load a netlist by extension, keeping hierarchy when present.
 

@@ -6,6 +6,7 @@ Usage (also exposed as ``python -m repro.cli``)::
     repro-sta delay circuit.blif --engine bdd
     repro-sta demand design.v --scenarios arrivals.json
     repro-sta characterize circuit.bench -o circuit.timing.json
+    repro-sta serve --preload design.v --port 8421
     repro-sta table1 | table2 | figures
 
 ``report`` prints a classic STA report plus the functional comparison;
@@ -15,8 +16,9 @@ batch of arrival scenarios via ``--scenarios`` and the compiled kernel
 via ``--exec-engine``); ``forensics`` prints the conservatism audit
 (topological vs refined arrival per output and the refinements that
 closed the gap); ``characterize`` writes a black-box timing library
-(see :mod:`repro.core.ipblock`); the last three regenerate the paper's
-tables and figures.  Every analysis command takes the observability
+(see :mod:`repro.core.ipblock`); ``serve`` runs the long-lived
+analysis server (:mod:`repro.server`); the last three regenerate the
+paper's tables and figures.  Every analysis command takes the observability
 flags ``--trace/--profile/--trace-file`` plus the standard-format
 exporters ``--export-trace FILE.json`` (Chrome trace-event / Perfetto)
 and ``--export-metrics FILE.prom`` (Prometheus text exposition).
@@ -25,6 +27,7 @@ and ``--export-metrics FILE.prom`` (Prometheus text exposition).
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from pathlib import Path
 
@@ -36,6 +39,57 @@ from repro.netlist.network import Network
 from repro.parsers.bench import read_bench
 from repro.parsers.blif import read_blif
 from repro.sta.report import functional_timing_report, timing_report
+
+
+def package_version() -> str:
+    """The package version, from pyproject.toml or installed metadata.
+
+    A source-tree checkout reads ``pyproject.toml`` next to the package
+    (authoritative even when a stale build is also importable); an
+    installed package falls back to ``importlib.metadata``; the
+    hard-coded ``repro.__version__`` is the last resort.
+    """
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    if pyproject.is_file():
+        try:
+            import tomllib
+
+            version = (
+                tomllib.loads(pyproject.read_text())
+                .get("project", {})
+                .get("version")
+            )
+            if version:
+                return str(version)
+        except (OSError, ValueError):
+            pass
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
+
+
+class _Parser(argparse.ArgumentParser):
+    """Argparse with the repo's error contract: every usage problem is
+    a one-line ``error: ...`` on stderr and exit code 2 (no usage dump),
+    matching how runtime :class:`~repro.errors.ReproError`\\ s surface."""
+
+    def error(self, message: str):
+        match = re.match(
+            r"argument \S+: invalid choice: '([^']*)'(?= \(choose from)",
+            message,
+        )
+        if match and self.prog == "repro-sta":
+            message = (
+                f"unknown command {match.group(1)!r} "
+                f"(run 'repro-sta --help' for the command list)"
+            )
+        print(f"error: {message}", file=sys.stderr)
+        raise SystemExit(2)
 
 
 def load_circuit(path: str) -> Network:
@@ -90,6 +144,8 @@ def load_scenarios(path: str, inputs: list[str]) -> list[dict[str, float]]:
     """
     import json
 
+    from repro.api import coerce_scenarios
+
     file = Path(path)
     try:
         data = json.loads(file.read_text())
@@ -97,40 +153,7 @@ def load_scenarios(path: str, inputs: list[str]) -> list[dict[str, float]]:
         raise ReproError(f"{file.name}: not valid JSON ({exc})") from None
     except UnicodeDecodeError:
         raise ReproError(f"{file.name}: not a text file") from None
-    if not isinstance(data, list):
-        raise ReproError(f"{file.name}: expected a JSON list of scenarios")
-    if not data:
-        raise ReproError(f"{file.name}: scenario list is empty")
-    known = set(inputs)
-    scenarios: list[dict[str, float]] = []
-    for i, item in enumerate(data):
-        if isinstance(item, dict):
-            unknown = sorted(set(item) - known)
-            if unknown:
-                raise ReproError(
-                    f"{file.name}: scenario {i} names unknown input "
-                    f"{unknown[0]!r}"
-                )
-            pairs = list(item.items())
-        elif isinstance(item, list):
-            if len(item) != len(inputs):
-                raise ReproError(
-                    f"{file.name}: scenario {i} has {len(item)} values "
-                    f"for {len(inputs)} inputs"
-                )
-            pairs = list(zip(inputs, item))
-        else:
-            raise ReproError(
-                f"{file.name}: scenario {i} must be an object "
-                "(input -> time) or a list of times"
-            )
-        try:
-            scenarios.append({name: float(v) for name, v in pairs})
-        except (TypeError, ValueError):
-            raise ReproError(
-                f"{file.name}: scenario {i} has a non-numeric arrival time"
-            ) from None
-    return scenarios
+    return coerce_scenarios(data, inputs, source=file.name)
 
 
 def load_design(path: str):
@@ -448,6 +471,77 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``--preload gen:...`` specs understood by ``serve`` (and by
+#: ``tools/bench_server.py``): generated cascade carry-skip adders.
+GEN_SPEC = re.compile(r"^gen:csa(\d+)\.(\d+)$")
+
+
+def preload_design(registry, spec: str):
+    """Register one ``--preload`` spec: a ``.v`` path or ``gen:csaW.B``."""
+    match = GEN_SPEC.match(spec)
+    if match:
+        from repro.circuits.adders import cascade_adder
+
+        total, block = int(match.group(1)), int(match.group(2))
+        try:
+            design = cascade_adder(total, block)
+        except Exception as exc:
+            raise ReproError(f"{spec}: {exc}") from None
+        return registry.register_design(design)
+    if spec.startswith("gen:"):
+        raise ReproError(
+            f"unknown generator spec {spec!r}; expected gen:csaW.B "
+            "(e.g. gen:csa32.2)"
+        )
+    return registry.register_file(spec)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import CoalesceConfig, TimingHTTPServer, TimingServerApp
+
+    try:
+        coalesce = CoalesceConfig(
+            max_batch=1 if args.no_coalesce else args.max_batch,
+            max_wait=args.max_wait_ms / 1e3,
+            quiet_wait=args.quiet_wait_ms / 1e3,
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from None
+    options = make_options(args)
+    try:
+        app = TimingServerApp(
+            options=options,
+            coalesce=coalesce,
+            default_deadline=args.request_deadline,
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from None
+    for spec in args.preload:
+        entry = preload_design(app.registry, spec)
+        print(
+            f"registered {entry.name} ({entry.design_id}) "
+            f"in {entry.compile_seconds:.2f}s",
+            file=sys.stderr,
+        )
+    server = TimingHTTPServer(
+        app, args.host, args.port, verbose=args.verbose
+    )
+    # Parsed by tools/bench_server.py and humans alike; flushed so a
+    # pipe sees the address before the first request.
+    print(
+        f"serving {len(app.registry)} design(s) on {server.url}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+        server.server_close()
+    return 0
+
+
 def cmd_table1(_args: argparse.Namespace) -> int:
     from repro.bench.table1 import main as table1_main
 
@@ -470,9 +564,15 @@ def cmd_figures(_args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _Parser(
         prog="repro-sta",
         description="Hierarchical functional timing analysis (XBD0).",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {package_version()}",
+        help="print the package version and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -694,6 +794,93 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", help="output file (default: stdout)"
     )
     character.set_defaults(func=cmd_characterize)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived analysis server: compiled designs "
+        "held hot in memory, concurrent JSON requests coalesced into "
+        "kernel batches (also: python -m repro.server)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default %(default)s)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8421,
+        metavar="N",
+        help="bind port; 0 picks an ephemeral port (default %(default)s)",
+    )
+    serve.add_argument(
+        "--preload",
+        action="append",
+        default=[],
+        metavar="DESIGN",
+        help="register a design at startup: a structural Verilog file "
+        "or a generator spec like gen:csa32.2 (repeatable)",
+    )
+    serve.add_argument(
+        "--engine",
+        choices=("sat", "bdd", "brute"),
+        default="sat",
+        help="tautology engine for characterization",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="max scenarios coalesced into one kernel call "
+        "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=10.0,
+        metavar="MS",
+        help="max queue latency before a batch is flushed "
+        "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--quiet-wait-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="flush once no new request arrived for this long "
+        "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable request coalescing (every request is its own "
+        "kernel call; the bench_server baseline configuration)",
+    )
+    serve.add_argument(
+        "--request-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request deadline; requests queued or "
+        "evaluated past it get a 504 with a degradation record "
+        "(requests may override with their own 'deadline' field)",
+    )
+    add_cache_opts(serve)
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="scenario chunk size for the compiled kernel "
+        "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log every HTTP request to stderr",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     for name, func, doc in (
         ("table1", cmd_table1, "regenerate the paper's Table 1"),

@@ -48,6 +48,10 @@ class CompiledDesign:
     _executors: dict = field(
         default_factory=dict, repr=False, compare=False
     )
+    #: Cache of net-name -> row-index tuples for ``propagate(nets=...)``.
+    _net_indices: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def inputs(self) -> tuple[str, ...]:
@@ -58,12 +62,29 @@ class CompiledDesign:
         self, scenarios: Sequence[Mapping[str, float]]
     ) -> list[list[float]]:
         """Arrival rows (aligned with :attr:`inputs`) from scenario
-        mappings; missing inputs default to 0.0 like the interpreter."""
+        mappings; missing inputs default to 0.0 like the interpreter.
+
+        Scattered into a zero row rather than built by scanning every
+        input: scenarios are usually sparse (a handful of constrained
+        arrivals on a design with thousands of inputs), and the scan
+        costs more per scenario than the batched kernel itself.
+        """
         inputs = self.inputs
-        return [
-            [float(scenario.get(x, 0.0)) for x in inputs]
-            for scenario in scenarios
-        ]
+        index = self._net_indices.get(None)
+        if index is None:
+            index = self._net_indices[None] = {
+                name: i for i, name in enumerate(inputs)
+            }
+        n = len(inputs)
+        rows = []
+        for scenario in scenarios:
+            row = [0.0] * n
+            for name, value in scenario.items():
+                i = index.get(name)
+                if i is not None:
+                    row[i] = float(value)
+            rows.append(row)
+        return rows
 
     def propagate(
         self,
@@ -71,11 +92,16 @@ class CompiledDesign:
         backend: str | None = None,
         batch_size: int | None = None,
         tracer: Tracer = NULL_TRACER,
+        nets: Sequence[str] | None = None,
     ) -> list[dict[str, float]]:
         """Net stable times for each scenario, as name-keyed dicts.
 
         ``backend``/``batch_size``/``tracer`` forward to
-        :func:`~repro.kernel.execute.propagate_batch`.
+        :func:`~repro.kernel.execute.propagate_batch`.  ``nets`` limits
+        each result dict to the named nets (e.g. ``handle.outputs``);
+        building the full ~all-nets dict costs more per scenario than
+        the batched kernel itself on large designs, so callers that
+        only read outputs should pass the filter.
         """
         values = propagate_batch(
             self.plan,
@@ -85,5 +111,52 @@ class CompiledDesign:
             cache=self._executors,
             tracer=tracer,
         )
-        nets = self.plan.nets
-        return [dict(zip(nets, row)) for row in values]
+        if nets is None:
+            all_nets = self.plan.nets
+            return [dict(zip(all_nets, row)) for row in values]
+        pairs = self._indices_for(tuple(nets))
+        return [{n: row[i] for n, i in pairs} for row in values]
+
+    def propagate_rows(
+        self,
+        scenarios: Sequence[Mapping[str, float]],
+        backend: str | None = None,
+        batch_size: int | None = None,
+        tracer: Tracer = NULL_TRACER,
+        nets: Sequence[str] | None = None,
+    ) -> list[list[float]]:
+        """Raw stable-time rows, without name-keyed dict building.
+
+        Each row aligns with :attr:`CompiledGraph.nets` (or with
+        ``nets`` when given).  The dict-free variant of
+        :meth:`propagate` for hot callers — a server answering
+        delay-only queries pays more for the name dict than for the
+        batched kernel call itself.
+        """
+        values = propagate_batch(
+            self.plan,
+            self.rows_from(scenarios),
+            backend=backend,
+            batch_size=batch_size,
+            cache=self._executors,
+            tracer=tracer,
+        )
+        if nets is None:
+            return [list(row) for row in values]
+        idx = [i for _, i in self._indices_for(tuple(nets))]
+        return [[row[i] for i in idx] for row in values]
+
+    def _indices_for(self, nets: tuple[str, ...]) -> tuple:
+        pairs = self._net_indices.get(nets)
+        if pairs is None:
+            index = {n: i for i, n in enumerate(self.plan.nets)}
+            missing = [n for n in nets if n not in index]
+            if missing:
+                raise ValueError(
+                    f"unknown net {missing[0]!r} (plan "
+                    f"{self.plan.name!r} has {len(index)} nets)"
+                )
+            pairs = self._net_indices[nets] = tuple(
+                (n, index[n]) for n in nets
+            )
+        return pairs

@@ -64,6 +64,11 @@ class Deadline:
         """True when a finite budget was set."""
         return self._limit is not None
 
+    @property
+    def limit(self) -> float | None:
+        """The budget in seconds (``None`` when unlimited)."""
+        return self._limit
+
     def elapsed(self) -> float:
         """Seconds since the deadline started."""
         return self._clock() - self._t0

@@ -1,0 +1,12 @@
+"""``python -m repro.server`` — shorthand for ``repro-sta serve``.
+
+Forwards every argument to the CLI's ``serve`` subcommand, so the two
+invocations accept identical flags.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - thin shim
+    sys.exit(main(["serve", *sys.argv[1:]]))

@@ -1,0 +1,510 @@
+"""The analysis service itself: JSON requests in, JSON responses out.
+
+:class:`TimingServerApp` is the transport-agnostic core of the server —
+it maps ``(method, path, body)`` to ``(status, content_type, payload)``
+without touching sockets, which keeps every endpoint unit-testable and
+leaves :mod:`repro.server.http` a thin adapter.
+
+Endpoints::
+
+    GET  /healthz    liveness + uptime + aggregate counters
+    GET  /metrics    Prometheus text exposition of the server registry
+    GET  /designs    registered designs (id, name, sizes, stats)
+    POST /designs    register a design {"source": "...verilog..."}
+    POST /analyze    one scenario, coalesced into kernel batches
+    POST /batch      many scenarios, one kernel call
+    POST /forensics  conservatism audit (topological vs refined)
+    GET  /trace      recent records as Chrome trace-event JSON
+
+Error contract: every non-2xx response is
+``{"error": {"code", "message"}, "trace_id"}``; a deadline rejection is
+status 504 with the request's ``degradations`` list attached — the same
+"every conservative fallback is visible" rule the analyzers follow.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from typing import TYPE_CHECKING, Sequence
+
+from repro.api import AnalysisOptions, coerce_scenarios
+from repro.errors import ReproError
+from repro.obs.export import chrome_trace_events, render_prometheus
+from repro.obs.sinks import RingBufferSink
+from repro.obs.trace import Tracer
+from repro.server.coalescer import CoalesceConfig, Outcome
+from repro.server.registry import (
+    DesignRegistry,
+    RegisteredDesign,
+    UnknownDesign,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+JSON = "application/json"
+PROM = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Fields a request may ask to ``include`` in its response.
+INCLUDABLE = ("outputs", "nets")
+
+
+class RequestError(ReproError):
+    """A malformed or unserviceable request (maps to 4xx)."""
+
+    def __init__(self, message: str, status: int = 400, code: str = "bad-request"):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+class TimingServerApp:
+    """Route dispatch plus request/response shaping for the daemon.
+
+    Parameters
+    ----------
+    registry:
+        The design cache; one is created from ``options``/``coalesce``
+        when not given.
+    options:
+        Analysis options for designs registered through the app.
+    coalesce:
+        Flush policy for per-design request coalescers.
+    default_deadline:
+        Per-request deadline (seconds) applied when a request does not
+        carry its own ``deadline`` field (``None`` = unlimited).
+    trace_capacity:
+        Ring-buffer size backing ``GET /trace``.
+    """
+
+    def __init__(
+        self,
+        registry: DesignRegistry | None = None,
+        *,
+        options: AnalysisOptions | None = None,
+        coalesce: CoalesceConfig | None = None,
+        default_deadline: float | None = None,
+        trace_capacity: int = 4096,
+    ):
+        if registry is None:
+            self.trace_sink = RingBufferSink(capacity=trace_capacity)
+            tracer = Tracer(sinks=[self.trace_sink])
+            registry = DesignRegistry(
+                options, coalesce=coalesce, tracer=tracer
+            )
+        else:
+            self.trace_sink = RingBufferSink(capacity=trace_capacity)
+            registry.tracer.add_sink(self.trace_sink)
+        self.registry = registry
+        self.tracer = registry.tracer
+        if default_deadline is not None and default_deadline <= 0:
+            raise ValueError("default_deadline must be > 0")
+        self.default_deadline = default_deadline
+        self.started_at = time.time()
+        self._monotonic_start = time.monotonic()
+        self._trace_ids = itertools.count(1)
+        self._routes = {
+            ("GET", "/healthz"): self._healthz,
+            ("GET", "/metrics"): self._metrics,
+            ("GET", "/designs"): self._designs_get,
+            ("POST", "/designs"): self._designs_post,
+            ("POST", "/analyze"): self._analyze,
+            ("POST", "/batch"): self._batch,
+            ("POST", "/forensics"): self._forensics,
+            ("GET", "/trace"): self._trace,
+        }
+
+    # ------------------------------------------------------------- dispatching
+    def handle(
+        self, method: str, path: str, body: bytes = b""
+    ) -> tuple[int, str, bytes]:
+        """One request in, one ``(status, content_type, payload)`` out.
+
+        Never raises: unexpected errors become structured 500s so one
+        bad request cannot take a handler thread (or the daemon) down.
+        """
+        trace_id = f"req-{next(self._trace_ids):08d}"
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        t0 = time.perf_counter()
+        try:
+            handler = self._routes.get((method, path))
+            if handler is None:
+                known_paths = {p for _, p in self._routes}
+                if path in known_paths:
+                    raise RequestError(
+                        f"{method} not supported on {path}",
+                        status=405,
+                        code="method-not-allowed",
+                    )
+                raise RequestError(
+                    f"unknown endpoint {path!r}",
+                    status=404,
+                    code="not-found",
+                )
+            payload = self._parse_body(method, body)
+            status, ctype, out = handler(payload, trace_id)
+        except RequestError as exc:
+            status, ctype, out = self._error(
+                exc.status, exc.code, str(exc), trace_id
+            )
+        except UnknownDesign as exc:
+            status, ctype, out = self._error(
+                404, "unknown-design", str(exc), trace_id
+            )
+        except ReproError as exc:
+            status, ctype, out = self._error(
+                400, "bad-request", str(exc), trace_id
+            )
+        except Exception as exc:  # noqa: BLE001 - last-resort boundary
+            status, ctype, out = self._error(
+                500,
+                "internal-error",
+                f"{type(exc).__name__}: {exc}",
+                trace_id,
+            )
+        if self.tracer.enabled:
+            self.tracer.count("server.requests")
+            self.tracer.count(f"server.responses.{status}")
+            self.tracer.observe(
+                "server.request_seconds", time.perf_counter() - t0
+            )
+        return status, ctype, out
+
+    @staticmethod
+    def _parse_body(method: str, body: bytes) -> dict:
+        if method != "POST":
+            return {}
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise RequestError(f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise RequestError("request body must be a JSON object")
+        return payload
+
+    def _error(
+        self, status: int, code: str, message: str, trace_id: str, **extra
+    ) -> tuple[int, str, bytes]:
+        doc = {
+            "error": {"code": code, "message": message},
+            "trace_id": trace_id,
+        }
+        doc.update(extra)
+        return status, JSON, _dumps(doc)
+
+    # ---------------------------------------------------------------- handlers
+    def _healthz(self, _payload, trace_id):
+        entries = self.registry.list()
+        doc = {
+            "status": "ok",
+            "uptime_seconds": time.monotonic() - self._monotonic_start,
+            "designs": len(entries),
+            "requests": int(
+                self.tracer.metrics.counter("server.requests").value
+            ),
+            "trace_id": trace_id,
+        }
+        return 200, JSON, _dumps(doc)
+
+    def _metrics(self, _payload, _trace_id):
+        text = render_prometheus(self.tracer.metrics)
+        return 200, PROM, text.encode()
+
+    def _designs_get(self, _payload, trace_id):
+        return 200, JSON, _dumps(
+            {"designs": self.registry.list(), "trace_id": trace_id}
+        )
+
+    def _designs_post(self, payload, trace_id):
+        source = payload.get("source")
+        path = payload.get("path")
+        if (source is None) == (path is None):
+            raise RequestError(
+                "provide exactly one of 'source' (netlist text) or "
+                "'path' (server-side .v file)"
+            )
+        if source is not None:
+            if not isinstance(source, str):
+                raise RequestError("'source' must be a string")
+            entry = self.registry.register_source(
+                source, filename=str(payload.get("filename", "design.v"))
+            )
+        else:
+            try:
+                entry = self.registry.register_file(str(path))
+            except OSError as exc:
+                raise RequestError(f"{path}: {exc}") from None
+        doc = entry.describe()
+        doc["trace_id"] = trace_id
+        return 200, JSON, _dumps(doc)
+
+    def _analyze(self, payload, trace_id):
+        entry = self._entry_of(payload)
+        arrival = self._arrival_of(payload, entry)
+        include = self._include_of(payload)
+        deadline = self._deadline_of(payload)
+        if "nets" in include:
+            # the coalesced path extracts output rows only; a full net
+            # dump is a debugging request, evaluated directly
+            net_times = entry.handle.propagate(
+                [arrival],
+                batch_size=self.registry.options.batch_size,
+                tracer=self.tracer,
+            )[0]
+            outcome = Outcome(ok=True, value=net_times, batch_size=1)
+            if deadline is not None and deadline.expired():
+                outcome = Outcome(
+                    ok=False,
+                    error="deadline-exceeded",
+                    detail=(
+                        f"evaluated past its {deadline.limit:g}s deadline"
+                    ),
+                )
+            if outcome.ok:
+                doc = self._net_doc(entry, net_times, include)
+        else:
+            outcome = entry.coalescer.submit(
+                arrival, deadline=deadline, label=trace_id
+            )
+            if outcome.ok:
+                doc = self._row_doc(entry, outcome.value, include)
+        if not outcome.ok:
+            return self._outcome_error(outcome, trace_id)
+        entry.requests += 1
+        doc.update(
+            {
+                "trace_id": trace_id,
+                "design": entry.design_id,
+                "name": entry.name,
+                "batch_size": outcome.batch_size,
+                "queue_ms": round(outcome.queue_seconds * 1e3, 3),
+            }
+        )
+        if entry.handle.degradations:
+            doc["degradations"] = [
+                d.as_dict() for d in entry.handle.degradations
+            ]
+        return 200, JSON, _dumps(doc)
+
+    def _batch(self, payload, trace_id):
+        entry = self._entry_of(payload)
+        raw = payload.get("scenarios")
+        if raw is None:
+            raise RequestError("missing 'scenarios' (list of arrival vectors)")
+        scenarios = coerce_scenarios(
+            raw, list(entry.handle.inputs), source="scenarios"
+        )
+        include = self._include_of(payload)
+        deadline = self._deadline_of(payload)
+        t0 = time.perf_counter()
+        if "nets" in include:
+            rows = entry.handle.propagate(
+                scenarios,
+                batch_size=self.registry.options.batch_size,
+                tracer=self.tracer,
+            )
+        else:
+            rows = entry.handle.propagate_rows(
+                scenarios,
+                batch_size=self.registry.options.batch_size,
+                tracer=self.tracer,
+                nets=entry.handle.outputs,
+            )
+        elapsed = time.perf_counter() - t0
+        if deadline is not None and deadline.expired():
+            outcome = Outcome(
+                ok=False,
+                error="deadline-exceeded",
+                detail=(
+                    f"batch of {len(scenarios)} evaluated in "
+                    f"{elapsed * 1e3:.1f}ms, past its "
+                    f"{deadline.limit:g}s deadline"
+                ),
+            )
+            return self._outcome_error(outcome, trace_id)
+        entry.requests += len(scenarios)
+        if "nets" in include:
+            docs = [
+                self._net_doc(entry, net_times, include)
+                for net_times in rows
+            ]
+        else:
+            docs = [self._row_doc(entry, row, include) for row in rows]
+        delays = [d["delay"] for d in docs]
+        doc = {
+            "trace_id": trace_id,
+            "design": entry.design_id,
+            "name": entry.name,
+            "count": len(docs),
+            "delay": max(delays) if delays else None,
+            "delays": delays,
+            "elapsed_ms": round(elapsed * 1e3, 3),
+        }
+        if include:
+            doc["scenarios"] = docs
+        if entry.handle.degradations:
+            doc["degradations"] = [
+                d.as_dict() for d in entry.handle.degradations
+            ]
+        return 200, JSON, _dumps(doc)
+
+    def _forensics(self, payload, trace_id):
+        entry = self._entry_of(payload)
+        arrival = self._arrival_of(payload, entry)
+        with self.tracer.span(
+            "server-forensics", phase="analysis", design=entry.name
+        ):
+            report = entry.session.forensics(arrival)
+        entry.requests += 1
+        doc = report.as_dict()
+        doc["trace_id"] = trace_id
+        doc["design"] = entry.design_id
+        return 200, JSON, _dumps(doc)
+
+    def _trace(self, _payload, trace_id):
+        events = chrome_trace_events(self.trace_sink)
+        doc = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "metrics": self.tracer.metrics.as_dict(),
+        }
+        return 200, JSON, _dumps(doc)
+
+    # ----------------------------------------------------------- field helpers
+    def _entry_of(self, payload) -> RegisteredDesign:
+        key = payload.get("design")
+        if not key:
+            raise RequestError(
+                "missing 'design' (a design id from POST /designs or a "
+                "top-module name)"
+            )
+        return self.registry.get(str(key))
+
+    @staticmethod
+    def _arrival_of(payload, entry: RegisteredDesign) -> dict[str, float]:
+        arrival = payload.get("arrival", {})
+        if not isinstance(arrival, dict):
+            raise RequestError(
+                "'arrival' must be an object mapping input names to times"
+            )
+        known = set(entry.handle.inputs)
+        unknown = sorted(set(arrival) - known)
+        if unknown:
+            raise RequestError(
+                f"arrival names unknown input {unknown[0]!r}"
+            )
+        try:
+            return {name: float(v) for name, v in arrival.items()}
+        except (TypeError, ValueError):
+            raise RequestError(
+                "'arrival' times must be numbers"
+            ) from None
+
+    @staticmethod
+    def _include_of(payload) -> tuple[str, ...]:
+        include = payload.get("include", [])
+        if isinstance(include, str):
+            include = [include]
+        if not isinstance(include, list):
+            raise RequestError("'include' must be a list of field names")
+        unknown = sorted(set(include) - set(INCLUDABLE))
+        if unknown:
+            raise RequestError(
+                f"unknown include field {unknown[0]!r}; "
+                f"expected one of {INCLUDABLE}"
+            )
+        return tuple(include)
+
+    def _deadline_of(self, payload):
+        from repro.resilience.policy import Deadline, ResiliencePolicy
+
+        seconds = payload.get("deadline", self.default_deadline)
+        if seconds is None:
+            return None
+        try:
+            seconds = float(seconds)
+        except (TypeError, ValueError):
+            raise RequestError("'deadline' must be a number of seconds")
+        if seconds <= 0:
+            raise RequestError("'deadline' must be > 0 seconds")
+        return ResiliencePolicy(deadline_seconds=seconds).start()
+
+    @staticmethod
+    def _row_doc(
+        entry: RegisteredDesign,
+        row: Sequence[float],
+        include: tuple[str, ...],
+    ) -> dict:
+        """Response body from a raw output-times row (the hot path)."""
+        doc: dict = {"delay": max(row) if row else None}
+        if "outputs" in include:
+            doc["outputs"] = dict(zip(entry.handle.outputs, row))
+        return doc
+
+    @staticmethod
+    def _net_doc(
+        entry: RegisteredDesign, net_times: dict, include: tuple[str, ...]
+    ) -> dict:
+        """Response body from a full all-nets dict (debugging path)."""
+        outputs = {o: net_times[o] for o in entry.handle.outputs}
+        doc: dict = {
+            "delay": max(outputs.values()) if outputs else None,
+        }
+        if "outputs" in include:
+            doc["outputs"] = outputs
+        doc["nets"] = dict(net_times)
+        return doc
+
+    def _outcome_error(
+        self, outcome: Outcome, trace_id: str
+    ) -> tuple[int, str, bytes]:
+        status = {
+            "deadline-exceeded": 504,
+            "server-closed": 503,
+            "server-stalled": 503,
+            "evaluation-error": 500,
+        }.get(outcome.error, 500)
+        extra = {
+            "degradations": [d.as_dict() for d in outcome.degradations],
+            "queue_ms": round(outcome.queue_seconds * 1e3, 3),
+        }
+        return self._error(
+            status, outcome.error, outcome.detail, trace_id, **extra
+        )
+
+    # --------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Drain every design's coalescer (used at daemon shutdown)."""
+        self.registry.close()
+
+
+def _dumps(doc: dict) -> bytes:
+    """Strict-JSON encoding: non-finite floats become strings, matching
+    the Chrome-trace exporter's convention."""
+    try:
+        return json.dumps(doc, allow_nan=False).encode()
+    except ValueError:
+        return json.dumps(_definite(doc)).encode()
+
+
+def _definite(value):
+    if isinstance(value, float):
+        if value != value:
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if value == float("-inf"):
+            return "-inf"
+        return value
+    if isinstance(value, dict):
+        return {k: _definite(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_definite(v) for v in value]
+    return value
+
+
+__all__ = ["TimingServerApp", "RequestError", "INCLUDABLE"]

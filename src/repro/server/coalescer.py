@@ -1,0 +1,373 @@
+"""Request coalescing: concurrency in, kernel batches out.
+
+The compiled kernel is ~8x faster per scenario at batch 256 than at
+batch 1, but an HTTP request carries one scenario.  The coalescer is
+the adapter between those shapes: request threads :meth:`submit` one
+scenario each and block; a per-design flusher thread collects the
+in-flight scenarios and evaluates them as **one**
+:func:`~repro.kernel.execute.propagate_batch` call, then wakes every
+waiter with its own row.
+
+Flush policy (:class:`CoalesceConfig`): a batch closes when
+
+* ``max_batch`` scenarios are pending, or
+* the collection window has been open ``max_wait`` seconds, or
+* no new request has arrived for ``quiet_wait`` seconds (the debounce
+  that lets a closed-loop burst of clients fill a batch without every
+  batch paying the full ``max_wait``).
+
+``max_wait`` bounds the *window*, not a request's total queue age: a
+request that arrived while the previous batch was evaluating has
+already waited, but restarting its clock when the flusher becomes free
+is what lets the other half of the fleet (whose replies are still being
+written) rejoin the same batch — otherwise a population of N clients
+settles into alternating half-full batches and never fills one.
+
+The debounce is *adaptive*: it only applies while the previous batch
+actually coalesced (``> 1`` scenarios).  A solo client's requests flush
+immediately — making it wait ``quiet_wait`` for batch-mates that never
+come would tax the idle case to help the busy one — and the first
+request of a burst bootstraps batching for free, because its batch-mates
+queue up while it evaluates.
+
+``max_batch=1`` degenerates to no coalescing — every request is its own
+kernel call, serialized through the flusher — which is exactly the
+baseline configuration ``tools/bench_server.py`` measures against.
+
+Deadlines: each request may carry a
+:class:`~repro.resilience.policy.Deadline`.  A request whose deadline
+expires while queued is rejected *without* evaluating it (and without
+delaying its batch-mates); one that completes past its deadline is
+rejected after the fact.  Both outcomes are structured 504-style
+:class:`Outcome` values carrying a
+:class:`~repro.resilience.degradation.Degradation` record, mirroring
+the analyzer layers' "every fallback is visible" contract.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.obs.trace import Tracer, ensure_tracer
+from repro.resilience.degradation import Degradation, DegradationLog
+from repro.resilience.policy import Deadline
+
+
+@dataclass(frozen=True)
+class CoalesceConfig:
+    """Flush policy for one :class:`RequestCoalescer`."""
+
+    #: Scenarios per kernel call; 1 disables coalescing entirely.
+    max_batch: int = 64
+    #: Ceiling on the collection window: flush once the flusher has
+    #: been gathering this batch for this long (seconds).
+    max_wait: float = 0.010
+    #: Debounce: flush once no new request has arrived for this long
+    #: (seconds); keeps bursts together without paying ``max_wait``.
+    #: Only applied while the previous batch coalesced (see module
+    #: docstring) so a solo client never waits for phantom batch-mates.
+    quiet_wait: float = 0.002
+
+    def __post_init__(self) -> None:
+        if int(self.max_batch) < 1:
+            raise ValueError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        object.__setattr__(self, "max_batch", int(self.max_batch))
+        if self.max_wait < 0 or self.quiet_wait < 0:
+            raise ValueError("max_wait and quiet_wait must be >= 0")
+
+
+@dataclass
+class Outcome:
+    """What happened to one submitted request."""
+
+    #: True when :attr:`value` holds the evaluation result.
+    ok: bool
+    #: The per-request evaluation result (one element of the batch).
+    value: object = None
+    #: Machine-readable failure kind (``deadline-exceeded``,
+    #: ``evaluation-error``, ``server-closed``) when not ok.
+    error: str = ""
+    #: Human-readable failure detail when not ok.
+    detail: str = ""
+    #: Conservative-fallback records explaining a rejection.
+    degradations: tuple[Degradation, ...] = ()
+    #: Seconds the request waited before its batch was dispatched.
+    queue_seconds: float = 0.0
+    #: Scenarios evaluated in the same kernel call (0 on rejection
+    #: before evaluation).
+    batch_size: int = 0
+
+
+class _Pending:
+    __slots__ = (
+        "scenario", "deadline", "enqueued", "done", "outcome", "label",
+    )
+
+    def __init__(self, scenario, deadline, enqueued, label):
+        self.scenario = scenario
+        self.deadline: Deadline | None = deadline
+        self.enqueued: float = enqueued
+        self.done = threading.Event()
+        self.outcome: Outcome | None = None
+        self.label = label
+
+
+class RequestCoalescer:
+    """Collects concurrent single-scenario requests into kernel batches.
+
+    Parameters
+    ----------
+    evaluate:
+        ``evaluate(scenarios) -> results`` — one result per scenario,
+        called from the flusher thread only (so ``max_batch=1`` also
+        serializes evaluation, the honest no-coalescing baseline).
+    config:
+        The flush policy (see :class:`CoalesceConfig`).
+    tracer:
+        Receives ``server.coalescer.*`` counters and histograms.
+    name:
+        Label for trace records (usually the design name).
+    """
+
+    def __init__(
+        self,
+        evaluate: Callable[[list], Sequence],
+        *,
+        config: CoalesceConfig | None = None,
+        tracer: Tracer | None = None,
+        name: str = "",
+        clock=time.monotonic,
+    ):
+        self.evaluate = evaluate
+        self.config = config or CoalesceConfig()
+        self.tracer = ensure_tracer(tracer)
+        self.name = name
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._pending: list[_Pending] = []
+        self._newest: float = 0.0
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        #: Total requests submitted (monotonic; read by /healthz).
+        self.submitted = 0
+        #: Total batches flushed.
+        self.batches = 0
+        #: Requests that shared a kernel call with at least one other.
+        self.coalesced = 0
+        #: Size of the last flushed batch: > 1 means a concurrent
+        #: regime, where the quiet-wait debounce is worth paying.
+        self._last_batch = 0
+
+    # ------------------------------------------------------------- client side
+    def submit(
+        self,
+        scenario,
+        deadline: Deadline | float | None = None,
+        label: str = "",
+        wait_timeout: float | None = 60.0,
+    ) -> Outcome:
+        """Enqueue one scenario and block until its batch completes.
+
+        ``deadline`` is a started :class:`Deadline` or a budget in
+        seconds (started here).  ``wait_timeout`` bounds the absolute
+        wait for liveness (a stuck flusher yields a ``server-stalled``
+        outcome rather than a hung connection).
+        """
+        if isinstance(deadline, (int, float)):
+            deadline = Deadline(float(deadline), clock=self._clock)
+        pending = _Pending(scenario, deadline, self._clock(), label)
+        with self._cond:
+            if self._closed:
+                return self._closed_outcome(pending)
+            self._pending.append(pending)
+            self._newest = pending.enqueued
+            self.submitted += 1
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run,
+                    name=f"coalescer:{self.name or 'design'}",
+                    daemon=True,
+                )
+                self._thread.start()
+            self._cond.notify_all()
+        if not pending.done.wait(wait_timeout):
+            return Outcome(
+                ok=False,
+                error="server-stalled",
+                detail=(
+                    f"request waited {wait_timeout:g}s without being "
+                    "dispatched"
+                ),
+                queue_seconds=self._clock() - pending.enqueued,
+            )
+        assert pending.outcome is not None
+        return pending.outcome
+
+    # ------------------------------------------------------------ flusher side
+    def _run(self) -> None:
+        cfg = self.config
+        while True:
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if not self._pending and self._closed:
+                    return
+                # Collecting window: wait for max-batch, window-age, or
+                # quiet-period flush, whichever comes first.  A closed
+                # coalescer flushes whatever is pending immediately, as
+                # does a solo-client regime (last batch did not
+                # coalesce — waiting would buy nothing).
+                window_start = self._clock()
+                while not self._closed and self._last_batch > 1:
+                    if len(self._pending) >= cfg.max_batch:
+                        break
+                    now = self._clock()
+                    # the quiet clock starts no earlier than the window:
+                    # arrivals queued during the previous evaluation look
+                    # stale, but their batch-mates' replies are still in
+                    # flight and resends are about to land
+                    flush_at = min(
+                        window_start + cfg.max_wait,
+                        max(self._newest, window_start) + cfg.quiet_wait,
+                    )
+                    if flush_at <= now:
+                        break
+                    self._cond.wait(flush_at - now)
+                batch = self._pending[: cfg.max_batch]
+                del self._pending[: len(batch)]
+                self._last_batch = len(batch)
+            self._flush(batch)
+
+    def _flush(self, batch: list[_Pending]) -> None:
+        now = self._clock()
+        live: list[_Pending] = []
+        for pending in batch:
+            queue_seconds = now - pending.enqueued
+            if (
+                pending.deadline is not None
+                and pending.deadline.expired()
+            ):
+                self._reject_deadline(pending, queue_seconds, "queued")
+            else:
+                live.append(pending)
+        if not live:
+            return
+        try:
+            values = list(self.evaluate([p.scenario for p in live]))
+        except Exception as exc:
+            for pending in live:
+                pending.outcome = Outcome(
+                    ok=False,
+                    error="evaluation-error",
+                    detail=f"{type(exc).__name__}: {exc}",
+                    batch_size=len(live),
+                    queue_seconds=now - pending.enqueued,
+                )
+                pending.done.set()
+            self._count("server.coalescer.errors")
+            return
+        done_at = self._clock()
+        if len(values) != len(live):  # defensive: evaluate broke contract
+            for pending in live:
+                pending.outcome = Outcome(
+                    ok=False,
+                    error="evaluation-error",
+                    detail=(
+                        f"evaluate returned {len(values)} results for "
+                        f"{len(live)} scenarios"
+                    ),
+                    batch_size=len(live),
+                    queue_seconds=now - pending.enqueued,
+                )
+                pending.done.set()
+            self._count("server.coalescer.errors")
+            return
+        for pending, value in zip(live, values):
+            queue_seconds = now - pending.enqueued
+            if (
+                pending.deadline is not None
+                and pending.deadline.expired()
+            ):
+                self._reject_deadline(
+                    pending, done_at - pending.enqueued, "evaluated"
+                )
+                continue
+            pending.outcome = Outcome(
+                ok=True,
+                value=value,
+                queue_seconds=queue_seconds,
+                batch_size=len(live),
+            )
+            pending.done.set()
+        self.batches += 1
+        if len(live) > 1:
+            self.coalesced += len(live)
+        if self.tracer.enabled:
+            self.tracer.count("server.coalescer.batches")
+            self.tracer.count("server.coalescer.scenarios", len(live))
+            self.tracer.observe("server.coalescer.batch_size", len(live))
+            self.tracer.observe(
+                "server.coalescer.evaluate_seconds", done_at - now
+            )
+
+    def _reject_deadline(
+        self, pending: _Pending, waited: float, stage: str
+    ) -> None:
+        log = DegradationLog(self.tracer)
+        limit = pending.deadline.limit
+        log.record(
+            kind="deadline",
+            subject=pending.label or self.name or "request",
+            detail=(
+                f"request {stage} for {waited * 1e3:.1f}ms, past its "
+                f"{limit:g}s deadline"
+            ),
+            fallback="request rejected (504); no analysis result returned",
+        )
+        pending.outcome = Outcome(
+            ok=False,
+            error="deadline-exceeded",
+            detail=(
+                f"deadline of {limit:g}s exceeded after "
+                f"{waited * 1e3:.1f}ms ({stage})"
+            ),
+            degradations=log.snapshot(),
+            queue_seconds=waited,
+        )
+        pending.done.set()
+        self._count("server.coalescer.deadline_rejections")
+
+    def _count(self, name: str) -> None:
+        if self.tracer.enabled:
+            self.tracer.count(name)
+
+    def _closed_outcome(self, pending: _Pending) -> Outcome:
+        return Outcome(
+            ok=False,
+            error="server-closed",
+            detail="server is shutting down",
+        )
+
+    # --------------------------------------------------------------- lifecycle
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop accepting requests; flush or fail whatever is queued.
+
+        Pending requests are still dispatched (the flusher drains the
+        queue before exiting) so a graceful shutdown loses nothing.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+
+
+__all__ = ["CoalesceConfig", "Outcome", "RequestCoalescer"]

@@ -1,0 +1,202 @@
+"""The stdlib HTTP shell around :class:`~repro.server.app.TimingServerApp`.
+
+A threaded TCP server speaking just enough HTTP/1.1 for a localhost
+JSON service, tuned for request-per-millisecond round trips:
+
+* hand-rolled request parsing — ``BaseHTTPRequestHandler`` burns
+  several hundred microseconds per request in ``readline`` and
+  ``email.parser`` header handling, which on one core rivals the
+  coalesced cost of an entire analysis; this parser reads the raw
+  head, splits lines, and looks at the two headers that matter
+  (``Content-Length``, ``Connection``);
+* keep-alive by default (HTTP/1.1 semantics), one response write per
+  request with an explicit ``Content-Length``;
+* ``TCP_NODELAY`` — without it the write-request/read-response
+  ping-pong of a keep-alive connection stalls ~40ms per request on
+  Nagle + delayed-ACK interaction;
+* listen backlog raised from the stdlib default of 5 so a burst of
+  connecting clients is not reset;
+* daemon threads so a hung client cannot block process exit.
+
+Every parseable request is answered, even on handler bugs (the app
+converts them to structured 500s); the shell only swallows client
+disconnects.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from http.client import responses as _REASONS
+
+from repro.server.app import TimingServerApp
+
+#: Default bind address: serving is localhost-first; put a real proxy in
+#: front for anything else.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8421
+
+#: Cap on request head + body size (16 MiB): a netlist upload fits, a
+#: runaway or malicious stream does not.
+MAX_REQUEST_BYTES = 16 * 1024 * 1024
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One keep-alive connection: parse, dispatch to the app, respond."""
+
+    def handle(self) -> None:
+        sock = self.request
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        buf = b""
+        try:
+            while True:
+                # -------- request head
+                while b"\r\n\r\n" not in buf:
+                    if len(buf) > MAX_REQUEST_BYTES:
+                        return
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        return
+                    buf += chunk
+                head, _, buf = buf.partition(b"\r\n\r\n")
+                lines = head.split(b"\r\n")
+                parts = lines[0].split(b" ")
+                if len(parts) != 3:
+                    sock.sendall(_plain_response(400, b"bad request line"))
+                    return
+                method, target, version = parts
+                keep_alive = version != b"HTTP/1.0"
+                length = 0
+                for line in lines[1:]:
+                    name, _, value = line.partition(b":")
+                    name = name.strip().lower()
+                    if name == b"content-length":
+                        try:
+                            length = int(value)
+                        except ValueError:
+                            sock.sendall(
+                                _plain_response(400, b"bad content-length")
+                            )
+                            return
+                    elif name == b"connection":
+                        token = value.strip().lower()
+                        if token == b"close":
+                            keep_alive = False
+                        elif token == b"keep-alive":
+                            keep_alive = True
+                if length < 0 or length > MAX_REQUEST_BYTES:
+                    sock.sendall(_plain_response(413, b"body too large"))
+                    return
+                # -------- request body
+                while len(buf) < length:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        return
+                    buf += chunk
+                body, buf = buf[:length], buf[length:]
+                # -------- dispatch + response
+                status, ctype, payload = self.server.app.handle(
+                    method.decode("latin-1"),
+                    target.decode("latin-1"),
+                    body,
+                )
+                reason = _REASONS.get(status, "Unknown")
+                header = (
+                    f"HTTP/1.1 {status} {reason}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                )
+                if not keep_alive:
+                    header += "Connection: close\r\n"
+                sock.sendall(header.encode("latin-1") + b"\r\n" + payload)
+                if self.server.verbose:
+                    print(
+                        f"{self.client_address[0]} "
+                        f"{method.decode('latin-1')} "
+                        f"{target.decode('latin-1')} {status}"
+                    )
+                if not keep_alive:
+                    return
+        except (
+            BrokenPipeError,
+            ConnectionResetError,
+            TimeoutError,
+            OSError,
+        ):
+            pass  # client went away; nothing to answer
+
+
+def _plain_response(status: int, detail: bytes) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    return (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: text/plain\r\n"
+        f"Content-Length: {len(detail)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("latin-1") + detail
+
+
+class TimingHTTPServer(socketserver.ThreadingTCPServer):
+    """One daemon: an app, a bound socket, a thread per connection."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    request_queue_size = 128
+
+    def __init__(
+        self,
+        app: TimingServerApp,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        verbose: bool = False,
+    ):
+        self.app = app
+        self.verbose = verbose
+        super().__init__((host, port), _Handler)
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` ephemeral binds)."""
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def shutdown(self) -> None:  # adds coalescer drain to the stdlib stop
+        super().shutdown()
+        self.app.close()
+
+
+def start_server(
+    app: TimingServerApp,
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+    *,
+    verbose: bool = False,
+) -> tuple[TimingHTTPServer, threading.Thread]:
+    """Bind and serve on a background thread (tests, benchmarks).
+
+    Returns the server (already accepting connections) and its thread;
+    call ``server.shutdown()`` to stop both.
+    """
+    server = TimingHTTPServer(app, host, port, verbose=verbose)
+    thread = threading.Thread(
+        target=server.serve_forever,
+        name=f"timing-server:{server.port}",
+        daemon=True,
+    )
+    thread.start()
+    return server, thread
+
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "MAX_REQUEST_BYTES",
+    "TimingHTTPServer",
+    "start_server",
+]

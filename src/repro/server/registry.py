@@ -1,0 +1,337 @@
+"""Design registry: hot :class:`~repro.kernel.design.CompiledDesign`
+handles keyed by netlist content hash.
+
+The server's whole point is amortization — characterize and compile a
+design once, then answer many analyze requests against the frozen
+handle.  :class:`DesignRegistry` owns that cache:
+
+* designs register by **content**: the SHA-256 of the netlist source is
+  the identity, so re-registering byte-identical source is free and two
+  clients posting the same netlist share one compiled handle;
+* each entry bundles the :class:`~repro.api.AnalysisSession` (for
+  forensics and any non-kernel analysis), the compiled handle, and the
+  per-design :class:`~repro.server.coalescer.RequestCoalescer`;
+* lookups touch an LRU clock; past ``max_designs`` the least recently
+  used entry is evicted and its coalescer drained.
+
+Registration and eviction hold the registry lock; per-design
+compilation holds a per-entry lock so two concurrent registrations of
+different designs do not serialize each other's characterization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from repro.api import AnalysisOptions, AnalysisSession
+from repro.errors import AnalysisError, ParseError, ReproError
+from repro.netlist.hierarchy import HierDesign
+from repro.obs.trace import NULL_TRACER, Tracer, ensure_tracer
+from repro.server.coalescer import CoalesceConfig, RequestCoalescer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.design import CompiledDesign
+
+
+class UnknownDesign(ReproError):
+    """Lookup of a design id/name that is not registered."""
+
+
+def content_id(source: str) -> str:
+    """The design identity for a netlist source text.
+
+    The first 12 hex digits of the SHA-256 of the exact source bytes:
+    long enough that collisions are not a practical concern for a
+    registry of at most a few thousand designs, short enough to read in
+    logs and URLs.
+    """
+    return hashlib.sha256(source.encode()).hexdigest()[:12]
+
+
+@dataclass
+class RegisteredDesign:
+    """One compiled design held hot by the server."""
+
+    #: Content hash of the registered netlist source.
+    design_id: str
+    #: Top-module name (also addressable, last registration wins).
+    name: str
+    #: The wrapped session (shared model library, tracer, options).
+    session: AnalysisSession
+    #: The frozen propagation handle every request evaluates against.
+    handle: "CompiledDesign"
+    #: The per-design request coalescer (single-scenario requests).
+    coalescer: RequestCoalescer
+    #: Wall-clock seconds spent characterizing + compiling at register.
+    compile_seconds: float
+    #: Unix time of registration.
+    registered_at: float = field(default_factory=time.time)
+    #: Monotonic LRU clock (registry-managed).
+    last_used: float = field(default_factory=time.monotonic)
+    #: Requests answered against this entry (analyze + batch scenarios).
+    requests: int = 0
+
+    @property
+    def design(self) -> HierDesign:
+        return self.session.design
+
+    def describe(self) -> dict:
+        """JSON-ready metadata for ``GET /designs``."""
+        design = self.design
+        return {
+            "design": self.design_id,
+            "name": self.name,
+            "inputs": len(design.inputs),
+            "outputs": len(design.outputs),
+            "instances": len(design.instances),
+            "modules": len(design.modules),
+            "compile_seconds": self.compile_seconds,
+            "registered_at": self.registered_at,
+            "requests": self.requests,
+            "degradations": len(self.handle.degradations),
+        }
+
+
+class DesignRegistry:
+    """Thread-safe cache of compiled designs, keyed by content hash.
+
+    Parameters
+    ----------
+    options:
+        Analysis options every registered design compiles under (engine,
+        jobs, cache_dir...).  The registry forces nothing; the model
+        library configured here is shared by every design.
+    coalesce:
+        Flush policy handed to each design's
+        :class:`~repro.server.coalescer.RequestCoalescer`.
+    max_designs:
+        LRU capacity; registering past it evicts the least recently
+        used entry (and drains its coalescer).
+    tracer:
+        Server-lifetime tracer; counters/histograms back ``/metrics``.
+    """
+
+    def __init__(
+        self,
+        options: AnalysisOptions | None = None,
+        *,
+        coalesce: CoalesceConfig | None = None,
+        max_designs: int = 32,
+        tracer: Tracer | None = None,
+    ):
+        if max_designs < 1:
+            raise ValueError(f"max_designs must be >= 1, got {max_designs}")
+        self.tracer = ensure_tracer(tracer)
+        base = options or AnalysisOptions()
+        if base.tracer is None and self.tracer is not NULL_TRACER:
+            base = base.with_changes(tracer=self.tracer)
+        self.options = base
+        self.coalesce = coalesce or CoalesceConfig()
+        self.max_designs = max_designs
+        self._lock = threading.RLock()
+        self._entries: dict[str, RegisteredDesign] = {}
+        self._by_name: dict[str, str] = {}
+
+    # ------------------------------------------------------------ registration
+    def register_source(
+        self, source: str, *, filename: str = "design.v"
+    ) -> RegisteredDesign:
+        """Register a structural-Verilog source text (idempotent).
+
+        Returns the existing entry when the exact source is already
+        registered; otherwise parses, characterizes, compiles, and
+        caches it.  Non-hierarchical sources raise
+        :class:`~repro.errors.ReproError` (the kernel serves
+        hierarchical designs; flatten-and-serve is not supported).
+        """
+        design_id = content_id(source)
+        with self._lock:
+            entry = self._entries.get(design_id)
+            if entry is not None:
+                self._touch(entry)
+                return entry
+        circuit = self._parse(source, filename)
+        entry = self._compile(design_id, circuit)
+        with self._lock:
+            racer = self._entries.get(design_id)
+            if racer is not None:  # lost a registration race; keep first
+                entry.coalescer.close()
+                self._touch(racer)
+                return racer
+            self._entries[design_id] = entry
+            self._by_name[entry.name] = design_id
+            self._touch(entry)
+            self._evict_over_capacity()
+        if self.tracer.enabled:
+            self.tracer.count("server.designs.registered")
+            self.tracer.gauge("server.designs", len(self._entries))
+        return entry
+
+    def register_file(self, path: str | Path) -> RegisteredDesign:
+        """Register a ``.v`` file by content."""
+        file = Path(path)
+        if file.suffix != ".v":
+            raise ReproError(
+                f"{file.name}: the server registers structural Verilog "
+                "(.v) designs"
+            )
+        try:
+            source = file.read_text()
+        except UnicodeDecodeError:
+            raise ParseError(
+                f"{file.name} is not a text netlist (undecodable bytes)"
+            ) from None
+        return self.register_source(source, filename=file.name)
+
+    def register_design(self, design: HierDesign) -> RegisteredDesign:
+        """Register an in-memory design (generators, tests).
+
+        Content identity comes from the design's Verilog dump, so a
+        generated circuit and its serialized form share one entry.
+        Generator names like ``csa8.2`` are not legal Verilog
+        identifiers; they dump (and therefore register) with ``.``/``-``
+        mapped to ``_``.
+        """
+        import re as _re
+
+        from repro.parsers.verilog import dumps_verilog
+
+        legal = _re.sub(r"[^A-Za-z0-9_$]", "_", design.name) or "design"
+        if not _re.match(r"[A-Za-z_]", legal):
+            legal = f"d_{legal}"
+        original = design.name
+        try:
+            design.name = legal
+            source = dumps_verilog(design)
+        finally:
+            design.name = original
+        return self.register_source(source)
+
+    def _parse(self, source: str, filename: str) -> HierDesign:
+        from repro.parsers.verilog import read_verilog
+
+        try:
+            circuit = read_verilog(io.StringIO(source))
+        except ReproError:
+            raise
+        except Exception as exc:  # pragma: no cover - parser internals
+            raise ParseError(f"{filename}: {exc}") from None
+        if not isinstance(circuit, HierDesign):
+            raise ReproError(
+                f"{filename}: file holds a single flat module; the "
+                "server serves hierarchical designs"
+            )
+        return circuit
+
+    def _compile(
+        self, design_id: str, circuit: HierDesign
+    ) -> RegisteredDesign:
+        t0 = time.perf_counter()
+        session = AnalysisSession(circuit, options=self.options)
+        with self.tracer.span(
+            "server-register", phase="compile", design=circuit.name
+        ):
+            handle = session.compile()
+        compile_seconds = time.perf_counter() - t0
+        entry = RegisteredDesign(
+            design_id=design_id,
+            name=circuit.name,
+            session=session,
+            handle=handle,
+            coalescer=self._make_coalescer(handle),
+            compile_seconds=compile_seconds,
+        )
+        return entry
+
+    def _make_coalescer(self, handle: "CompiledDesign") -> RequestCoalescer:
+        # raw output-time rows, aligned with handle.outputs: name-keyed
+        # dicts cost more per scenario than the batched kernel on large
+        # designs, and the coalesced path only ever reads primary
+        # outputs (requests that want every net bypass the coalescer)
+        def evaluate(scenarios: list[dict]) -> list[list[float]]:
+            return handle.propagate_rows(
+                scenarios,
+                batch_size=self.options.batch_size,
+                tracer=self.tracer,
+                nets=handle.outputs,
+            )
+
+        return RequestCoalescer(
+            evaluate,
+            config=self.coalesce,
+            tracer=self.tracer,
+            name=handle.plan.name,
+        )
+
+    # ----------------------------------------------------------------- lookups
+    def get(self, key: str) -> RegisteredDesign:
+        """Entry by design id (content hash) or top-module name."""
+        with self._lock:
+            design_id = self._by_name.get(key, key)
+            entry = self._entries.get(design_id)
+            if entry is None:
+                raise UnknownDesign(
+                    f"unknown design {key!r}; register it via "
+                    "POST /designs or list ids via GET /designs"
+                )
+            self._touch(entry)
+            return entry
+
+    def list(self) -> list[dict]:
+        """Metadata for every registered design, most recent first."""
+        with self._lock:
+            entries = sorted(
+                self._entries.values(),
+                key=lambda e: e.last_used,
+                reverse=True,
+            )
+            return [e.describe() for e in entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries or key in self._by_name
+
+    # --------------------------------------------------------------- lifecycle
+    def _touch(self, entry: RegisteredDesign) -> None:
+        entry.last_used = time.monotonic()
+
+    def _evict_over_capacity(self) -> None:
+        while len(self._entries) > self.max_designs:
+            victim = min(
+                self._entries.values(), key=lambda e: e.last_used
+            )
+            self._remove(victim)
+            if self.tracer.enabled:
+                self.tracer.count("server.designs.evicted")
+
+    def _remove(self, entry: RegisteredDesign) -> None:
+        self._entries.pop(entry.design_id, None)
+        if self._by_name.get(entry.name) == entry.design_id:
+            self._by_name.pop(entry.name, None)
+        entry.coalescer.close()
+
+    def close(self) -> None:
+        """Drain every coalescer (pending requests fail with 503)."""
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+            self._by_name.clear()
+        for entry in entries:
+            entry.coalescer.close()
+
+
+__all__ = [
+    "DesignRegistry",
+    "RegisteredDesign",
+    "UnknownDesign",
+    "content_id",
+]

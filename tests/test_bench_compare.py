@@ -146,3 +146,51 @@ class TestCliExitCodes:
         assert (
             compiled["overhead_fraction"] < compiled["budget_fraction"]
         )
+
+    def test_server_throughput_baseline_meets_target(self):
+        payload = json.loads(
+            (BASELINES / "server_throughput.json").read_text()
+        )
+        # the committed coalescing win the gate protects (ISSUE: >= 3x
+        # at concurrency >= 32)
+        assert payload["coalescing_speedup"] >= 3.0
+        assert payload["levels"][-1]["concurrency"] >= 32
+
+
+class TestMissingBaseline:
+    def test_missing_baseline_file_is_exit_3(self, bc, tmp_path, capsys):
+        results = tmp_path / "server_throughput.json"
+        results.write_text(json.dumps({"coalescing_speedup": 3.4}))
+        absent = tmp_path / "no_such_baseline.json"
+        rc = bc.main(["--baseline", str(absent), str(results)])
+        assert rc == bc.EXIT_MISSING_BASELINE == 3
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+        # the message is actionable: it says how to bootstrap one
+        assert f"cp {results} {absent}" in err
+
+    def test_unmatched_result_in_directory_mode_is_exit_3(
+        self, bc, tmp_path, capsys
+    ):
+        baselines = tmp_path / "baselines"
+        results = tmp_path / "results"
+        baselines.mkdir()
+        results.mkdir()
+        (baselines / "known.json").write_text('{"speedup": 2.0}')
+        (results / "known.json").write_text('{"speedup": 2.0}')
+        (results / "novel.json").write_text('{"speedup": 9.0}')
+        rc = bc.main(["--baseline", str(baselines), str(results)])
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "novel.json" in err and "bootstrap" in err
+
+    def test_matched_directories_still_pass(self, bc, tmp_path, capsys):
+        baselines = tmp_path / "baselines"
+        results = tmp_path / "results"
+        baselines.mkdir()
+        results.mkdir()
+        (baselines / "known.json").write_text('{"speedup": 2.0}')
+        (results / "known.json").write_text('{"speedup": 2.1}')
+        rc = bc.main(["--baseline", str(baselines), str(results)])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out

@@ -151,3 +151,31 @@ class TestCLI:
         assert main(["figures"]) == 0
         out = capsys.readouterr().out
         assert "Figure 3" in out and "Figure 5" in out
+
+    def test_version_flag(self, capsys):
+        from repro.cli import package_version
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out.strip()
+        assert out == f"repro-sta {package_version()}"
+        # and the reported version is a real dotted version string
+        assert package_version()[0].isdigit()
+
+    def test_unknown_subcommand_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["frobnicate"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        # one-line contract: error: <message>, no usage dump
+        lines = [line for line in err.splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("error: unknown command 'frobnicate'")
+        assert "--help" in lines[0]
+
+    def test_bad_flag_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["report", "--no-such-flag"])
+        assert exc.value.code == 2
+        assert "error:" in capsys.readouterr().err

@@ -32,7 +32,10 @@ Usage::
         --baseline benchmarks/baselines benchmarks/results
 
 Exit codes: 0 — no regression; 1 — at least one regression or missing
-metric; 2 — usage error (unreadable file, no comparable metrics).
+metric; 2 — usage error (unreadable file, no comparable metrics);
+3 — missing baseline (the result has nothing committed to compare
+against — run the benchmark once and commit its output under
+``benchmarks/baselines/``).
 """
 
 from __future__ import annotations
@@ -51,6 +54,26 @@ LOWER_BETTER = ("overhead_fraction",)
 ABSOLUTE_SUFFIXES = ("_seconds", "_s")
 
 DEFAULT_THRESHOLD = 0.10
+
+#: exit code for "nothing committed to compare against" — distinct from
+#: regressions (1) and malformed input (2) so CI can treat a missing
+#: baseline as "bootstrap me", not as a broken build
+EXIT_MISSING_BASELINE = 3
+
+
+def _missing_baseline(path: Path, results: list[Path]) -> int:
+    """Report an absent baseline with the command that creates it."""
+    hint = results[0] if results else Path("benchmarks/results/<bench>.json")
+    print(
+        f"bench_compare: baseline {path} does not exist.\n"
+        f"  No committed numbers to gate against. Bootstrap the baseline "
+        f"by running the benchmark once\n"
+        f"  and committing its result, e.g.:\n"
+        f"    cp {hint} {path if path.suffix == '.json' else path / hint.name}\n"
+        f"  then re-run this comparison.",
+        file=sys.stderr,
+    )
+    return EXIT_MISSING_BASELINE
 
 
 def _classify(key: str) -> str | None:
@@ -230,7 +253,30 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if not args.baseline.exists():
+        return _missing_baseline(args.baseline, list(args.results))
+
     pairs = _pair_files(args.baseline, list(args.results))
+    if args.baseline.is_dir():
+        # result files with no same-named committed baseline are a
+        # missing-baseline condition, not something to skip silently
+        paired = {cur for _, cur in pairs}
+        unmatched = [
+            f
+            for target in args.results
+            if target.is_dir()
+            for f in sorted(target.glob("*.json"))
+            if f not in paired
+        ]
+        if unmatched:
+            for f in unmatched:
+                print(
+                    f"bench_compare: {f.name}: no baseline "
+                    f"{args.baseline / f.name} — bootstrap it with "
+                    f"'cp {f} {args.baseline / f.name}'",
+                    file=sys.stderr,
+                )
+            return EXIT_MISSING_BASELINE
     if not pairs:
         print("bench_compare: no baseline/result file pairs", file=sys.stderr)
         return 2
@@ -240,6 +286,8 @@ def main(argv: list[str] | None = None) -> int:
     for base_file, cur_file in pairs:
         try:
             base = json.loads(base_file.read_text())
+        except FileNotFoundError:
+            return _missing_baseline(base_file, [cur_file])
         except (OSError, json.JSONDecodeError) as exc:
             print(f"bench_compare: {base_file}: {exc}", file=sys.stderr)
             return 2

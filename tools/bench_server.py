@@ -1,0 +1,307 @@
+#!/usr/bin/env python
+"""Closed-loop load generator for the analysis server.
+
+Starts an in-process :class:`~repro.server.TimingServerApp` behind the
+real threaded HTTP shell, hammers ``POST /analyze`` from N keep-alive
+client threads, and reports requests/second plus latency percentiles —
+once with request coalescing enabled and once with ``max_batch=1``
+(every request its own kernel call).  The interesting number is the
+ratio between the two: on one design, request concurrency converted
+into kernel batch width is the server's whole performance story.
+
+Clients speak minimal hand-rolled HTTP/1.1 over raw sockets (with
+TCP_NODELAY) instead of ``http.client`` because on a single core the
+client's own parsing overhead competes with the server for CPU and
+dilutes the measured ratio.
+
+Output JSON (``benchmarks/results/server_throughput.json`` by default)
+is gated by ``tools/bench_compare.py``: the tracked metric is
+``coalescing_speedup`` (req/s ratio at the highest concurrency level);
+absolute rates and percentiles are machine-dependent and untracked.
+
+Usage::
+
+    python tools/bench_server.py            # default gen:csa1024.8 sweep
+    python tools/bench_server.py --design gen:csa256.8 --duration 1 \
+        --concurrency 1,32
+    python tools/bench_compare.py \
+        --baseline benchmarks/baselines/server_throughput.json \
+        benchmarks/results/server_throughput.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cli import preload_design  # noqa: E402
+from repro.server import CoalesceConfig, TimingServerApp, start_server  # noqa: E402
+
+DEFAULT_DESIGN = "gen:csa2048.8"
+DEFAULT_LEVELS = "1,8,32,64"
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[idx]
+
+
+class _Client(threading.Thread):
+    """One closed-loop client: send request, read reply, repeat."""
+
+    def __init__(self, host: str, port: int, request: bytes):
+        super().__init__(daemon=True)
+        self.host, self.port, self.request = host, port, request
+        self.latencies: list[float] = []
+        self.errors = 0
+        self.stop = threading.Event()
+
+    def run(self) -> None:
+        sock = socket.create_connection((self.host, self.port), timeout=30)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        buf = b""
+        try:
+            while not self.stop.is_set():
+                t0 = time.perf_counter()
+                sock.sendall(self.request)
+                while b"\r\n\r\n" not in buf:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        return
+                    buf += chunk
+                head, _, buf = buf.partition(b"\r\n\r\n")
+                status = int(head.split(b" ", 2)[1])
+                length = 0
+                for line in head.split(b"\r\n")[1:]:
+                    name, _, value = line.partition(b":")
+                    if name.strip().lower() == b"content-length":
+                        length = int(value)
+                while len(buf) < length:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        return
+                    buf += chunk
+                buf = buf[length:]
+                self.latencies.append(time.perf_counter() - t0)
+                if status != 200:
+                    self.errors += 1
+        finally:
+            sock.close()
+
+
+def run_level(
+    host: str,
+    port: int,
+    request: bytes,
+    concurrency: int,
+    duration: float,
+    warmup: float,
+) -> dict:
+    """Closed-loop load at one concurrency level; measured window only."""
+    clients = [_Client(host, port, request) for _ in range(concurrency)]
+    for c in clients:
+        c.start()
+    time.sleep(warmup)
+    skip = [len(c.latencies) for c in clients]
+    t0 = time.perf_counter()
+    time.sleep(duration)
+    for c in clients:
+        c.stop.set()
+    # unblock: the last in-flight request per client finishes on its own
+    for c in clients:
+        c.join(timeout=30)
+    window = time.perf_counter() - t0
+    latencies = sorted(
+        lat
+        for c, n in zip(clients, skip)
+        for lat in c.latencies[n:]
+    )
+    errors = sum(c.errors for c in clients)
+    if errors:
+        raise SystemExit(f"bench_server: {errors} non-200 responses")
+    return {
+        "concurrency": concurrency,
+        "requests": len(latencies),
+        "requests_per_second": round(len(latencies) / window, 1),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+    }
+
+
+def run_mode(
+    design: str,
+    coalesce: CoalesceConfig,
+    levels: list[int],
+    duration: float,
+    warmup: float,
+    batch_size: int,
+) -> tuple[dict, list[dict]]:
+    """One server lifetime: sweep every concurrency level against it."""
+    from repro.api import AnalysisOptions
+
+    app = TimingServerApp(
+        options=AnalysisOptions(batch_size=batch_size), coalesce=coalesce
+    )
+    entry = preload_design(app.registry, design)
+    server, thread = start_server(app, port=0)
+    body = json.dumps({"design": entry.name, "arrival": {}}).encode()
+    request = (
+        f"POST /analyze HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode() + body
+    results = []
+    try:
+        for concurrency in levels:
+            results.append(
+                run_level(
+                    "127.0.0.1",
+                    server.port,
+                    request,
+                    concurrency,
+                    duration,
+                    warmup,
+                )
+            )
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+    hist = app.tracer.metrics.histograms.get("server.coalescer.batch_size")
+    stats = {
+        "compile_seconds": round(entry.compile_seconds, 3),
+        "mean_batch": (
+            round(hist.total / hist.count, 1) if hist and hist.count else 0.0
+        ),
+    }
+    return stats, results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_server",
+        description="Load-test the analysis server: coalesced vs max_batch=1.",
+    )
+    parser.add_argument(
+        "--design",
+        default=DEFAULT_DESIGN,
+        help="a .v file or gen:csaW.B generator spec (default %(default)s)",
+    )
+    parser.add_argument(
+        "--concurrency",
+        default=DEFAULT_LEVELS,
+        help="comma-separated client counts (default %(default)s)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=3.0,
+        help="measured seconds per level (default %(default)s)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=float,
+        default=1.0,
+        help="unmeasured seconds per level (default %(default)s)",
+    )
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--max-wait-ms", type=float, default=10.0)
+    parser.add_argument("--quiet-wait-ms", type=float, default=2.0)
+    parser.add_argument("--batch-size", type=int, default=256)
+    parser.add_argument(
+        "-o",
+        "--out",
+        type=Path,
+        default=Path("benchmarks/results/server_throughput.json"),
+    )
+    args = parser.parse_args(argv)
+
+    levels = sorted({int(c) for c in args.concurrency.split(",")})
+    coalesced_cfg = CoalesceConfig(
+        max_batch=args.max_batch,
+        max_wait=args.max_wait_ms / 1e3,
+        quiet_wait=args.quiet_wait_ms / 1e3,
+    )
+    serial_cfg = CoalesceConfig(
+        max_batch=1,
+        max_wait=args.max_wait_ms / 1e3,
+        quiet_wait=args.quiet_wait_ms / 1e3,
+    )
+
+    print(f"bench_server: {args.design}, levels {levels}", flush=True)
+    stats, coalesced = run_mode(
+        args.design, coalesced_cfg, levels, args.duration, args.warmup,
+        args.batch_size,
+    )
+    print(
+        f"  coalesced (max_batch={args.max_batch}, "
+        f"mean batch {stats['mean_batch']}):"
+    )
+    for row in coalesced:
+        print(
+            f"    c={row['concurrency']:3d}: "
+            f"{row['requests_per_second']:8.1f} req/s  "
+            f"p50 {row['p50_ms']:.1f}ms  p99 {row['p99_ms']:.1f}ms"
+        )
+    _, serial = run_mode(
+        args.design, serial_cfg, levels, args.duration, args.warmup,
+        args.batch_size,
+    )
+    print("  serial (max_batch=1):")
+    for row in serial:
+        print(
+            f"    c={row['concurrency']:3d}: "
+            f"{row['requests_per_second']:8.1f} req/s  "
+            f"p50 {row['p50_ms']:.1f}ms  p99 {row['p99_ms']:.1f}ms"
+        )
+
+    rows = []
+    for co, se in zip(coalesced, serial):
+        ratio = (
+            co["requests_per_second"] / se["requests_per_second"]
+            if se["requests_per_second"]
+            else 0.0
+        )
+        rows.append(
+            {
+                "concurrency": co["concurrency"],
+                "coalesced": co,
+                "serial": se,
+                "ratio": round(ratio, 2),
+            }
+        )
+        print(
+            f"  c={co['concurrency']:3d}: coalescing ratio "
+            f"{ratio:.2f}x"
+        )
+
+    doc = {
+        "bench": "server_throughput",
+        "design": args.design,
+        "duration_per_level_seconds": args.duration,
+        "max_batch": args.max_batch,
+        "mean_batch": stats["mean_batch"],
+        "levels": rows,
+        # the gated metric: req/s ratio at the highest concurrency level
+        "coalescing_speedup": rows[-1]["ratio"] if rows else 0.0,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(
+        f"bench_server: coalescing_speedup "
+        f"{doc['coalescing_speedup']:.2f}x at c={levels[-1]} -> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
