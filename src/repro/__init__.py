@@ -27,6 +27,8 @@ The public API re-exports the main types; subpackages hold the substrates:
   parallel leaf characterization
 * :mod:`repro.circuits` — benchmark generators and partitioning
 * :mod:`repro.bench`    — table/figure regenerators
+* :mod:`repro.scenarios` — declarative scenario specs and families
+  (corner sweeps, parametric delays, Monte-Carlo SSTA)
 * :mod:`repro.obs`      — tracer, metrics, and sinks (observability)
 * :mod:`repro.resilience` — deadlines, fault-tolerant execution, and
   conservative degradation (fail-safe analysis)
@@ -51,9 +53,21 @@ from repro.netlist.hierarchy import HierDesign, Instance, Module
 from repro.netlist.network import Gate, GateType, Network
 from repro.obs import Metrics, Tracer
 from repro.resilience import Degradation, FaultPlan, ResiliencePolicy
+from repro.scenarios import (
+    Corner,
+    CornerSweep,
+    FamilyResult,
+    MonteCarlo,
+    ParametricSweep,
+    Scenario,
+    ScenarioFamily,
+    ScenarioSet,
+    ScenarioSpec,
+    analyze_family,
+)
 from repro.seq.circuit import Flop, SequentialCircuit
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AnalysisOptions",
@@ -61,8 +75,11 @@ __all__ = [
     "BatchResult",
     "CompiledDesign",
     "ConditionalAnalyzer",
+    "Corner",
+    "CornerSweep",
     "Degradation",
     "DemandDrivenAnalyzer",
+    "FamilyResult",
     "FaultPlan",
     "Flop",
     "Gate",
@@ -74,13 +91,20 @@ __all__ = [
     "Metrics",
     "ModelLibrary",
     "Module",
+    "MonteCarlo",
     "Network",
+    "ParametricSweep",
     "ResiliencePolicy",
+    "Scenario",
+    "ScenarioFamily",
     "ScenarioResult",
+    "ScenarioSet",
+    "ScenarioSpec",
     "SequentialCircuit",
     "StabilityAnalyzer",
     "TimingModel",
     "Tracer",
+    "analyze_family",
     "carry_skip_block",
     "cascade_adder",
     "characterize_network",

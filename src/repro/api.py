@@ -31,6 +31,7 @@ Example::
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping
@@ -51,6 +52,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.library.store import ModelLibrary
     from repro.obs.forensics import ForensicsReport
     from repro.resilience.policy import ResiliencePolicy
+    from repro.scenarios.families import ScenarioFamily
+    from repro.scenarios.result import FamilyResult
 
 #: Tautology engines accepted by every analyzer.
 ENGINES = ("sat", "bdd", "brute")
@@ -202,18 +205,45 @@ class AnalysisOptions:
         )
 
 
+#: Message of the legacy ``list[dict]``-batch deprecation shim.
+SCENARIO_LIST_DEPRECATION = (
+    "bare scenario lists are deprecated; pass a ScenarioSpec "
+    "(repro.scenarios.Scenario, ScenarioSet, or a scenario family)"
+)
+
+
+def warn_scenario_list() -> None:
+    """Emit the legacy ``list[dict]`` batch :class:`DeprecationWarning`."""
+    warnings.warn(
+        SCENARIO_LIST_DEPRECATION, DeprecationWarning, stacklevel=3
+    )
+
+
 def coerce_scenarios(
     data, inputs: list[str], source: str = "scenarios"
 ) -> list[dict[str, float]]:
     """Validate a raw scenario batch into arrival-time mappings.
 
-    ``data`` is a list whose items are either objects mapping primary
-    input names to arrival times or lists of numbers aligned with
-    ``inputs``.  Shared by the CLI's ``--scenarios FILE`` loader and the
-    server's ``POST /batch`` endpoint; ``source`` names the origin in
-    error messages.  Malformed batches raise
+    ``data`` is a :class:`~repro.scenarios.ScenarioSpec` (scenario
+    families excluded — expand those through
+    :func:`repro.scenarios.analyze_family`) or, legacy form, a list
+    whose items are either objects mapping primary input names to
+    arrival times or lists of numbers aligned with ``inputs``.  Shared
+    by the CLI's ``--scenarios FILE`` loader and the server's
+    ``POST /batch`` endpoint; ``source`` names the origin in error
+    messages.  Malformed batches raise
     :class:`~repro.errors.ReproError`.
     """
+    from repro.scenarios.families import ScenarioFamily
+    from repro.scenarios.spec import ScenarioSpec
+
+    if isinstance(data, ScenarioFamily):
+        raise ReproError(
+            f"{source}: scenario families vary delays, not arrivals; "
+            "evaluate them via analyze_family()"
+        )
+    if isinstance(data, ScenarioSpec):
+        data = data.expand()
     if not isinstance(data, list):
         raise ReproError(f"{source}: expected a JSON list of scenarios")
     if not data:
@@ -404,22 +434,68 @@ class AnalysisSession:
         )
         return analyzer.compile()
 
+    def analyze_family(
+        self,
+        family: "ScenarioFamily | Mapping",
+        *,
+        backend: str | None = None,
+    ) -> "FamilyResult":
+        """Evaluate a scenario family against the compiled design.
+
+        ``family`` is a :class:`~repro.scenarios.ScenarioFamily`
+        (:class:`~repro.scenarios.CornerSweep`,
+        :class:`~repro.scenarios.ParametricSweep`, or
+        :class:`~repro.scenarios.MonteCarlo`) or its JSON-spec dict.
+        The design is compiled once (:meth:`compile` — cached), every
+        member streams through the kernel's delay-override hooks in
+        ``options.batch_size`` chunks, and the aggregated
+        :class:`~repro.scenarios.FamilyResult` comes back.  Families
+        always run on the compiled kernel; ``exec_engine`` does not
+        apply.
+        """
+        from repro.scenarios import analyze_family, family_from_json
+        from repro.scenarios.families import ScenarioFamily
+
+        if not isinstance(family, ScenarioFamily):
+            family = family_from_json(family, source="family")
+        handle = self.compile()
+        return analyze_family(
+            handle,
+            family,
+            backend=backend,
+            batch_size=self.options.batch_size,
+            tracer=self.tracer,
+        )
+
     def analyze_batch(
         self,
         scenarios,
         method: str = "hierarchical",
-    ) -> "BatchResult":
+    ):
         """Analyze a batch of arrival scenarios in one call.
 
-        ``scenarios`` is a sequence of arrival-time mappings (missing
-        inputs default to 0.0).  ``method`` selects the analysis:
-        ``"hierarchical"`` (Section 3 two-step) or ``"demand"``
-        (Section 5 demand-driven, refinements shared across the batch).
-        The execution engine follows ``options.exec_engine`` (``auto``
-        uses the compiled kernel for batches).  Returns a
-        :class:`~repro.core.batch.BatchResult` with per-scenario
-        arrivals/slacks and the shared degradation log.
+        ``scenarios`` is a :class:`~repro.scenarios.ScenarioSpec` or,
+        legacy form (deprecated, still working), a bare sequence of
+        arrival-time mappings (missing inputs default to 0.0).
+        ``method`` selects the analysis: ``"hierarchical"`` (Section 3
+        two-step) or ``"demand"`` (Section 5 demand-driven, refinements
+        shared across the batch).  The execution engine follows
+        ``options.exec_engine`` (``auto`` uses the compiled kernel for
+        batches).  Returns a :class:`~repro.core.batch.BatchResult`
+        with per-scenario arrivals/slacks and the shared degradation
+        log — except for family specs, which route through
+        :meth:`analyze_family` and return a
+        :class:`~repro.scenarios.FamilyResult`.
         """
+        from repro.scenarios.families import ScenarioFamily
+        from repro.scenarios.spec import ScenarioSpec
+
+        if isinstance(scenarios, ScenarioFamily):
+            return self.analyze_family(scenarios)
+        if isinstance(scenarios, ScenarioSpec):
+            scenarios = scenarios.expand()
+        else:
+            warn_scenario_list()
         if method == "hierarchical":
             from repro.core.hier import HierarchicalAnalyzer
 

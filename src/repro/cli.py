@@ -134,26 +134,52 @@ def parse_arrivals(pairs: list[str]) -> dict[str, float]:
     return out
 
 
-def load_scenarios(path: str, inputs: list[str]) -> list[dict[str, float]]:
-    """Load ``--scenarios FILE``: a JSON list of arrival vectors.
-
-    Each scenario is either an object mapping primary-input names to
-    arrival times or a list of numbers aligned with the design's input
-    order.  Malformed files raise :class:`~repro.errors.ReproError`,
-    which the CLI surfaces as a one-line ``error:`` with exit code 2.
-    """
+def _load_json(path: str):
     import json
-
-    from repro.api import coerce_scenarios
 
     file = Path(path)
     try:
-        data = json.loads(file.read_text())
+        return file, json.loads(file.read_text())
     except json.JSONDecodeError as exc:
         raise ReproError(f"{file.name}: not valid JSON ({exc})") from None
     except UnicodeDecodeError:
         raise ReproError(f"{file.name}: not a text file") from None
+
+
+def load_scenarios(path: str, inputs: list[str]):
+    """Load ``--scenarios FILE``: arrival vectors or a scenario spec.
+
+    The legacy format — a JSON list whose items are objects mapping
+    primary-input names to arrival times, or lists of numbers aligned
+    with the design's input order — returns a plain list of arrival
+    mappings.  A scenario-spec object (``family`` / ``arrival`` /
+    ``scenarios`` key, see ``docs/SCENARIOS.md``) returns the parsed
+    :class:`~repro.scenarios.ScenarioSpec` — a
+    :class:`~repro.scenarios.ScenarioFamily` for family specs.
+    Malformed files raise :class:`~repro.errors.ReproError`, which the
+    CLI surfaces as a one-line ``error:`` with exit code 2.
+    """
+    from repro.api import coerce_scenarios
+    from repro.scenarios.families import ScenarioFamily
+    from repro.scenarios.spec import spec_from_json
+
+    file, data = _load_json(path)
+    if isinstance(data, dict) and (
+        "family" in data or "arrival" in data or "scenarios" in data
+    ):
+        spec = spec_from_json(data, source=file.name)
+        if isinstance(spec, ScenarioFamily):
+            return spec
+        return coerce_scenarios(spec, inputs, source=file.name)
     return coerce_scenarios(data, inputs, source=file.name)
+
+
+def load_family(path: str):
+    """Load ``--family FILE``: a scenario-family spec object."""
+    from repro.scenarios.families import family_from_json
+
+    file, data = _load_json(path)
+    return family_from_json(data, source=file.name)
 
 
 def load_design(path: str):
@@ -308,18 +334,57 @@ def run_batch(args: argparse.Namespace, circuit, options, method: str) -> None:
     """Shared ``--scenarios`` path: batch-analyze and print the report.
 
     ``--arrival`` entries act as per-scenario defaults for inputs the
-    scenario file leaves unset.
+    scenario file leaves unset.  A scenario file holding a family spec
+    routes through the family engine instead.
     """
     from repro.api import AnalysisSession
     from repro.core.design_report import render_batch_report
+    from repro.scenarios.families import ScenarioFamily
+    from repro.scenarios.spec import ScenarioSet
 
     base = parse_arrivals(args.arrival)
-    scenarios = load_scenarios(args.scenarios, circuit.inputs)
-    if base:
-        scenarios = [{**base, **s} for s in scenarios]
+    loaded = load_scenarios(args.scenarios, circuit.inputs)
     session = AnalysisSession(circuit, options=options)
-    batch = session.analyze_batch(scenarios, method=method)
+    if isinstance(loaded, ScenarioFamily):
+        run_family(args, circuit, options, family=loaded, session=session)
+        return
+    if base:
+        loaded = [{**base, **s} for s in loaded]
+    batch = session.analyze_batch(ScenarioSet(loaded), method=method)
     print(render_batch_report(circuit, batch, show_nets=args.nets))
+
+
+def run_family(
+    args: argparse.Namespace,
+    circuit,
+    options,
+    family=None,
+    session=None,
+) -> None:
+    """Shared ``--family`` path: evaluate a scenario family.
+
+    ``--arrival`` entries act as defaults for inputs the family's
+    ``arrival`` object leaves unset.
+    """
+    from repro.api import AnalysisSession
+
+    if family is None:
+        family = load_family(args.family)
+    base = parse_arrivals(args.arrival)
+    if base:
+        family = family.with_arrival(base)
+    if session is None:
+        session = AnalysisSession(circuit, options=options)
+    result = session.analyze_family(family)
+    print(result.render())
+
+
+def _check_scenario_flags(args: argparse.Namespace) -> None:
+    if getattr(args, "scenarios", None) and getattr(args, "family", None):
+        raise ReproError(
+            "--scenarios and --family are mutually exclusive; a "
+            "--scenarios file may itself hold a family spec"
+        )
 
 
 def cmd_hier_report(args: argparse.Namespace) -> int:
@@ -332,7 +397,10 @@ def cmd_hier_report(args: argparse.Namespace) -> int:
     arrival = parse_arrivals(args.arrival)
     tracer = make_tracer(args)
     options = make_options(args, tracer)
-    if args.scenarios:
+    _check_scenario_flags(args)
+    if args.family:
+        run_family(args, circuit, options)
+    elif args.scenarios:
         run_batch(args, circuit, options, method="hierarchical")
     elif options.cache_dir is not None or options.jobs > 1:
         print(
@@ -363,7 +431,10 @@ def cmd_demand(args: argparse.Namespace) -> int:
     arrival = parse_arrivals(args.arrival)
     tracer = make_tracer(args)
     options = make_options(args, tracer)
-    if args.scenarios:
+    _check_scenario_flags(args)
+    if args.family:
+        run_family(args, circuit, options)
+    elif args.scenarios:
         run_batch(args, circuit, options, method="demand")
     else:
         print(
@@ -513,6 +584,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             options=options,
             coalesce=coalesce,
             default_deadline=args.request_deadline,
+            max_scenarios=args.max_scenarios,
         )
     except ValueError as exc:
         raise ReproError(str(exc)) from None
@@ -679,7 +751,18 @@ def build_parser() -> argparse.ArgumentParser:
                 help="batch mode: JSON list of arrival scenarios, each "
                 "an object keyed by input name or a list aligned with "
                 "the design's input order (--arrival entries become "
-                "per-scenario defaults)",
+                "per-scenario defaults); scenario-spec objects (see "
+                "docs/SCENARIOS.md) are also accepted",
+            )
+            p.add_argument(
+                "--family",
+                default=None,
+                metavar="FILE",
+                help="family mode: JSON scenario-family spec (corner "
+                "sweep, parametric sweep, or monte-carlo; see "
+                "docs/SCENARIOS.md) evaluated through the compiled "
+                "kernel's delay-override hooks (--arrival entries "
+                "become arrival defaults)",
             )
 
     def add_obs_opts(p: argparse.ArgumentParser) -> None:
@@ -856,6 +939,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable request coalescing (every request is its own "
         "kernel call; the bench_server baseline configuration)",
+    )
+    serve.add_argument(
+        "--max-scenarios",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="reject /batch requests (and family expansions) larger "
+        "than N scenarios with a 413 error (default %(default)s)",
     )
     serve.add_argument(
         "--request-deadline",

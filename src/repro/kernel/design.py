@@ -93,10 +93,11 @@ class CompiledDesign:
         batch_size: int | None = None,
         tracer: Tracer = NULL_TRACER,
         nets: Sequence[str] | None = None,
+        delays=None,
     ) -> list[dict[str, float]]:
         """Net stable times for each scenario, as name-keyed dicts.
 
-        ``backend``/``batch_size``/``tracer`` forward to
+        ``backend``/``batch_size``/``tracer``/``delays`` forward to
         :func:`~repro.kernel.execute.propagate_batch`.  ``nets`` limits
         each result dict to the named nets (e.g. ``handle.outputs``);
         building the full ~all-nets dict costs more per scenario than
@@ -110,6 +111,7 @@ class CompiledDesign:
             batch_size=batch_size,
             cache=self._executors,
             tracer=tracer,
+            delays=delays,
         )
         if nets is None:
             all_nets = self.plan.nets
@@ -124,6 +126,7 @@ class CompiledDesign:
         batch_size: int | None = None,
         tracer: Tracer = NULL_TRACER,
         nets: Sequence[str] | None = None,
+        delays=None,
     ) -> list[list[float]]:
         """Raw stable-time rows, without name-keyed dict building.
 
@@ -140,6 +143,7 @@ class CompiledDesign:
             batch_size=batch_size,
             cache=self._executors,
             tracer=tracer,
+            delays=delays,
         )
         if nets is None:
             return [list(row) for row in values]

@@ -29,6 +29,27 @@ NEG_INF = float("-inf")
 POS_INF = float("inf")
 
 
+def delay_form(delays) -> str:
+    """Classify a ``delays`` override: ``none``, ``shared``, or ``rows``.
+
+    ``shared`` is one per-entry delay vector applied to every scenario
+    (a corner); ``rows`` is one vector per scenario (parametric grids,
+    Monte-Carlo samples).  Accepts lists/tuples and numpy arrays.
+    """
+    if delays is None:
+        return "none"
+    ndim = getattr(delays, "ndim", None)
+    if ndim is not None:
+        if ndim == 1:
+            return "shared"
+        if ndim == 2:
+            return "rows"
+        raise ValueError(f"delays array must be 1-D or 2-D, got {ndim}-D")
+    if len(delays) and hasattr(delays[0], "__len__"):
+        return "rows"
+    return "shared"
+
+
 class PythonExecutor:
     """Pure-python flat-array executor (no dependencies)."""
 
@@ -41,29 +62,57 @@ class PythonExecutor:
         self._ent_delay = list(plan.ent_delay)
 
     def propagate(
-        self, rows: Sequence[Sequence[float]]
+        self,
+        rows: Sequence[Sequence[float]],
+        delays=None,
     ) -> list[list[float]]:
         """Net values per scenario.
 
         ``rows`` holds one arrival vector per scenario, aligned with
         ``plan.nets[:plan.n_inputs]``; the result rows are aligned with
-        ``plan.nets``.
+        ``plan.nets``.  ``delays`` optionally overrides the plan's entry
+        delays: one vector (aligned with ``plan.ent_delay``) shared by
+        every scenario, or one vector per scenario.  The override path
+        performs the identical float64 additions, so a vector equal to
+        ``plan.ent_delay`` is bit-identical to no override.
         """
         plan = self.plan
         n_inputs = plan.n_inputs
         n_nodes = plan.n_nodes
+        n_entries = len(self._ent_src)
         tup_start = self._tup_start
         ent_start = self._ent_start
         ent_src = self._ent_src
-        ent_delay = self._ent_delay
+        form = delay_form(delays)
+        shared = self._ent_delay if form == "none" else (
+            delays if form == "shared" else None
+        )
+        if shared is not None and len(shared) != n_entries:
+            raise ValueError(
+                f"delay override has {len(shared)} entries, "
+                f"plan has {n_entries}"
+            )
+        if form == "rows" and len(delays) != len(rows):
+            raise ValueError(
+                f"{len(delays)} delay rows for {len(rows)} scenarios"
+            )
         out: list[list[float]] = []
-        for row in rows:
+        for r, row in enumerate(rows):
             values = [float(v) for v in row]
             if len(values) != n_inputs:
                 raise ValueError(
                     f"arrival row has {len(values)} entries, "
                     f"plan has {n_inputs} inputs"
                 )
+            if shared is not None:
+                ent_delay = shared
+            else:
+                ent_delay = delays[r]
+                if len(ent_delay) != n_entries:
+                    raise ValueError(
+                        f"delay row {r} has {len(ent_delay)} entries, "
+                        f"plan has {n_entries}"
+                    )
             values.extend([0.0] * n_nodes)
             for k in range(n_nodes):
                 ts, te = tup_start[k], tup_start[k + 1]
@@ -94,15 +143,17 @@ class NumpyExecutor:
             raise RuntimeError("numpy is not installed")
         self._np = np
         self.plan = plan
-        # Per node: (net index, entry srcs, entry delays, tuple bounds)
-        # with bounds relative to the node's entry slice, ready for
-        # maximum.reduceat; constants carry None.
+        # Per node: (net index, entry srcs, entry delays, tuple bounds,
+        # entry slice lo/hi) with bounds relative to the node's entry
+        # slice, ready for maximum.reduceat; lo/hi index into the full
+        # entry array for delay overrides; constants carry None.
         self._nodes = []
+        self._n_entries = len(plan.ent_delay)
         for k in range(plan.n_nodes):
             idx = plan.n_inputs + k
             ts, te = plan.tup_start[k], plan.tup_start[k + 1]
             if ts == te:
-                self._nodes.append((idx, None, None, None))
+                self._nodes.append((idx, None, None, None, 0, 0))
                 continue
             lo, hi = plan.ent_start[ts], plan.ent_start[te]
             srcs = np.asarray(plan.ent_src[lo:hi], dtype=np.int64)
@@ -111,15 +162,45 @@ class NumpyExecutor:
                 [plan.ent_start[t] - lo for t in range(ts, te)],
                 dtype=np.int64,
             )
-            self._nodes.append((idx, srcs, delays, bounds))
+            self._nodes.append((idx, srcs, delays, bounds, lo, hi))
 
     def propagate(
-        self, rows: Sequence[Sequence[float]]
+        self,
+        rows: Sequence[Sequence[float]],
+        delays=None,
     ) -> list[list[float]]:
-        """Net values per scenario (same contract as the python path)."""
+        """Net values per scenario (same contract as the python path).
+
+        ``delays`` mirrors :meth:`PythonExecutor.propagate`: ``None``
+        uses the plan's cached per-node arrays; a 1-D ``(n_entries,)``
+        vector is shared across the batch; a 2-D ``(batch, n_entries)``
+        matrix gives each scenario its own delays (broadcast against the
+        gathered source values, so the float64 op sequence per element
+        is unchanged).
+        """
         np = self._np
         plan = self.plan
         batch = len(rows)
+        override = None
+        if delays is not None:
+            override = np.asarray(delays, dtype=np.float64)
+            if override.ndim == 1:
+                if override.shape[0] != self._n_entries:
+                    raise ValueError(
+                        f"delay override has {override.shape[0]} "
+                        f"entries, plan has {self._n_entries}"
+                    )
+            elif override.ndim == 2:
+                if override.shape != (batch, self._n_entries):
+                    raise ValueError(
+                        f"delay override has shape {override.shape}, "
+                        f"expected ({batch}, {self._n_entries})"
+                    )
+            else:
+                raise ValueError(
+                    f"delays array must be 1-D or 2-D, "
+                    f"got {override.ndim}-D"
+                )
         values = np.empty((batch, len(plan.nets)), dtype=np.float64)
         arrivals = np.asarray(rows, dtype=np.float64)
         if arrivals.shape != (batch, plan.n_inputs):
@@ -128,11 +209,16 @@ class NumpyExecutor:
                 f"plan expects ({batch}, {plan.n_inputs})"
             )
         values[:, : plan.n_inputs] = arrivals
-        for idx, srcs, delays, bounds in self._nodes:
+        for idx, srcs, node_delays, bounds, lo, hi in self._nodes:
             if srcs is None:
                 values[:, idx] = NEG_INF
                 continue
-            terms = values[:, srcs] + delays
+            if override is None:
+                terms = values[:, srcs] + node_delays
+            elif override.ndim == 1:
+                terms = values[:, srcs] + override[lo:hi]
+            else:
+                terms = values[:, srcs] + override[:, lo:hi]
             if len(bounds) == 1:
                 values[:, idx] = terms.max(axis=1)
             else:
@@ -149,6 +235,7 @@ def propagate_batch(
     batch_size: int | None = None,
     cache: dict | None = None,
     tracer: Tracer = NULL_TRACER,
+    delays=None,
 ) -> list[list[float]]:
     """Evaluate arrival rows against a plan, picking an executor.
 
@@ -160,6 +247,10 @@ def propagate_batch(
     ``batch_size × nets`` floats.  ``cache`` (a dict owned by the
     caller, keyed by backend name) reuses executors across calls so
     repeated evaluation of one plan skips the per-node array setup.
+    ``delays`` optionally overrides the plan's entry delays — one
+    ``(n_entries,)`` vector shared by the whole batch (a corner), or
+    one vector per scenario (parametric/Monte-Carlo families); per-row
+    delays are chunked in lockstep with ``rows``.
 
     With tracing on, each call emits one ``kernel-propagate`` event
     (chosen backend, scenario count, scenarios/second) and feeds the
@@ -169,6 +260,11 @@ def propagate_batch(
     rows = list(rows)
     if not rows:
         return []
+    form = delay_form(delays)
+    if form == "rows" and len(delays) != len(rows):
+        raise ValueError(
+            f"{len(delays)} delay rows for {len(rows)} scenarios"
+        )
     chosen = pick_backend(len(rows), backend)
     executor = None if cache is None else cache.get(chosen)
     if executor is None:
@@ -181,12 +277,18 @@ def propagate_batch(
             cache[chosen] = executor
     start_t = time.perf_counter() if tracer.enabled else 0.0
     if batch_size is None or batch_size >= len(rows):
-        out = executor.propagate(rows)
+        out = executor.propagate(rows, delays=delays)
     else:
         out = []
         for start in range(0, len(rows), batch_size):
+            end = start + batch_size
+            chunk_delays = (
+                delays[start:end] if form == "rows" else delays
+            )
             out.extend(
-                executor.propagate(rows[start : start + batch_size])
+                executor.propagate(
+                    rows[start:end], delays=chunk_delays
+                )
             )
     if tracer.enabled:
         seconds = time.perf_counter() - start_t

@@ -66,6 +66,13 @@ class CompiledGraph:
     ent_src: tuple[int, ...]
     ent_delay: tuple[float, ...]
     net_index: Mapping[str, int] = field(repr=False)
+    #: Optional delay-group labels (module names for a compiled design,
+    #: gate types for a flat network); empty when the compiler recorded
+    #: no grouping.  Scenario families use them for per-model scaling.
+    groups: tuple[str, ...] = ()
+    #: Per-entry index into :attr:`groups` (same length as
+    #: :attr:`ent_delay` when present, empty otherwise).
+    ent_group: tuple[int, ...] = ()
 
     @property
     def n_nodes(self) -> int:
@@ -82,10 +89,51 @@ class CompiledGraph:
         """Total finite-delay entry count across all tuples."""
         return len(self.ent_src)
 
+    def group_factors(
+        self,
+        default: float = 1.0,
+        by_group: Mapping[str, float] | None = None,
+    ) -> list[float]:
+        """Per-entry delay multipliers for plan-time scaling.
+
+        Every entry whose group label appears in ``by_group`` gets that
+        factor; every other entry gets ``default``.  This is the scaling
+        hook scenario families (multi-corner sweeps, parametric delays,
+        Monte-Carlo means) lower through: the returned list aligns with
+        :attr:`ent_delay`, so ``base * factor`` per entry is a complete
+        corner.  Naming a group the plan does not have raises
+        :class:`~repro.errors.AnalysisError` (catches corner-spec typos).
+        """
+        overrides = dict(by_group or {})
+        if not overrides:
+            return [float(default)] * self.n_entries
+        if not self.ent_group:
+            raise AnalysisError(
+                f"plan {self.name!r} carries no delay-group metadata; "
+                "per-group scaling needs a plan from compile_design or "
+                "compile_network"
+            )
+        unknown = sorted(set(overrides) - set(self.groups))
+        if unknown:
+            raise AnalysisError(
+                f"unknown delay group {unknown[0]!r}; plan "
+                f"{self.name!r} has groups {sorted(self.groups)}"
+            )
+        per_group = [
+            float(overrides.get(g, default)) for g in self.groups
+        ]
+        return [per_group[gi] for gi in self.ent_group]
+
     def validate(self) -> None:
         """Check the CSR invariants (tests and debugging)."""
         if len(self.tup_start) != self.n_nodes + 1:
             raise AnalysisError("tup_start length mismatch")
+        if self.ent_group and len(self.ent_group) != self.n_entries:
+            raise AnalysisError("ent_group length mismatch")
+        if any(
+            not (0 <= gi < len(self.groups)) for gi in self.ent_group
+        ):
+            raise AnalysisError("ent_group indexes past groups")
         if self.tup_start[0] != 0 or self.ent_start[0] != 0:
             raise AnalysisError("CSR arrays must start at 0")
         if list(self.tup_start) != sorted(self.tup_start):
@@ -130,24 +178,36 @@ class _GraphBuilder:
         self.ent_start: list[int] = [0]
         self.ent_src: list[int] = []
         self.ent_delay: list[float] = []
+        self.groups: list[str] = []
+        self.group_index: dict[str, int] = {}
+        self.ent_group: list[int] = []
         #: Nodes collapsed to constant ``-inf`` (an all-``-inf`` tuple
         #: certified stability unconditionally) — forensics telemetry.
         self.collapsed = 0
 
     def add_node(
-        self, net: str, tuples: list[list[tuple[int, float]]]
+        self,
+        net: str,
+        tuples: list[list[tuple[int, float]]],
+        group: str = "",
     ) -> None:
         """Append one computed net.
 
         ``tuples`` holds per-tuple ``(source net index, delay)`` entry
         lists; an empty *entry list* marks an unconditional tuple, which
         collapses the node to constant ``-inf`` (zero tuples).
+        ``group`` labels this node's entries for plan-time delay scaling
+        (see :meth:`CompiledGraph.group_factors`).
         """
         if net in self.net_index:
             raise AnalysisError(f"net {net!r} has multiple drivers")
         if any(not entries for entries in tuples):
             tuples = []
             self.collapsed += 1
+        gi = self.group_index.get(group)
+        if gi is None:
+            gi = self.group_index[group] = len(self.groups)
+            self.groups.append(group)
         for entries in tuples:
             for src, delay in entries:
                 if delay != delay or delay == POS_INF:
@@ -156,6 +216,7 @@ class _GraphBuilder:
                     )
                 self.ent_src.append(src)
                 self.ent_delay.append(float(delay))
+                self.ent_group.append(gi)
             self.ent_start.append(len(self.ent_src))
         self.tup_start.append(len(self.ent_start) - 1)
         self.net_index[net] = len(self.nets)
@@ -172,6 +233,8 @@ class _GraphBuilder:
             ent_src=tuple(self.ent_src),
             ent_delay=tuple(self.ent_delay),
             net_index=self.net_index,
+            groups=tuple(self.groups),
+            ent_group=tuple(self.ent_group),
         )
 
 
@@ -236,7 +299,7 @@ def compile_design(
                         (builder.net_index[inst.net_of(x)], delay)
                     )
                 tuples.append(entries)
-            builder.add_node(inst.net_of(port), tuples)
+            builder.add_node(inst.net_of(port), tuples, group=module.name)
     graph = builder.build()
     missing = [o for o in design.outputs if o not in graph.net_index]
     if missing:
@@ -266,7 +329,9 @@ def compile_network(
         entries = [
             (builder.net_index[f], gate.delay) for f in gate.fanins
         ]
-        builder.add_node(sig, [entries] if entries else [])
+        builder.add_node(
+            sig, [entries] if entries else [], group=gate.gtype.value
+        )
     graph = builder.build()
     if tracer.enabled:
         _note_compile(tracer, builder, graph, time.perf_counter() - start)

@@ -156,6 +156,118 @@ class OutputForensics:
 
 
 @dataclass(frozen=True)
+class SlackHistogram:
+    """Fixed-bin histogram of slack (or delay) values.
+
+    Shared by the conservatism audit (per-output slack distribution)
+    and scenario families (per-member delay/slack distributions).
+    Infinite values — unconstrained outputs, unreachable arrivals — are
+    excluded from the bins and reported in :attr:`unbounded`.
+    """
+
+    #: Bin edges (``len(counts) + 1`` values); bin ``i`` covers
+    #: ``[edges[i], edges[i+1])``, with the last bin closed above.
+    edges: tuple[float, ...]
+    counts: tuple[int, ...]
+    minimum: float
+    maximum: float
+    mean: float
+    #: Finite values binned.
+    total: int
+    #: Values excluded for being infinite.
+    unbounded: int = 0
+
+    @classmethod
+    def from_values(
+        cls, values, bins: int = 16
+    ) -> "SlackHistogram":
+        """Build a histogram over ``bins`` equal-width bins.
+
+        Degenerate inputs stay well-formed: no finite values yields
+        empty edges/counts; a single distinct value yields one
+        zero-width bin holding everything.
+        """
+        if bins < 1:
+            raise ValueError(f"bins must be >= 1, got {bins}")
+        raw = [float(v) for v in values]
+        finite = [v for v in raw if NEG_INF < v < POS_INF]
+        unbounded = len(raw) - len(finite)
+        if not finite:
+            return cls(
+                edges=(),
+                counts=(),
+                minimum=POS_INF,
+                maximum=NEG_INF,
+                mean=0.0,
+                total=0,
+                unbounded=unbounded,
+            )
+        lo, hi = min(finite), max(finite)
+        mean = sum(finite) / len(finite)
+        span = hi - lo
+        if span == 0.0:
+            return cls(
+                edges=(lo, hi),
+                counts=(len(finite),),
+                minimum=lo,
+                maximum=hi,
+                mean=mean,
+                total=len(finite),
+                unbounded=unbounded,
+            )
+        counts = [0] * bins
+        for v in finite:
+            i = int((v - lo) / span * bins)
+            counts[min(i, bins - 1)] += 1
+        edges = tuple(lo + span * i / bins for i in range(bins + 1))
+        return cls(
+            edges=edges,
+            counts=tuple(counts),
+            minimum=lo,
+            maximum=hi,
+            mean=mean,
+            total=len(finite),
+            unbounded=unbounded,
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready form."""
+        return {
+            "bins": len(self.counts),
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "min": None if self.minimum == POS_INF else self.minimum,
+            "max": None if self.maximum == NEG_INF else self.maximum,
+            "mean": self.mean,
+            "total": self.total,
+            "unbounded": self.unbounded,
+        }
+
+    def render(self, indent: str = "  ", width: int = 40) -> str:
+        """ASCII bar chart, one line per bin."""
+        header = (
+            f"histogram: {self.total} values in {len(self.counts)} bins"
+            f" (min {_fmt(self.minimum)}, max {_fmt(self.maximum)},"
+            f" mean {_fmt(self.mean)}"
+            + (f", {self.unbounded} unbounded" if self.unbounded else "")
+            + ")"
+        )
+        if not self.counts:
+            return header + "\n"
+        peak = max(self.counts)
+        lines = [header]
+        for i, count in enumerate(self.counts):
+            bar = "#" * (
+                round(count / peak * width) if peak else 0
+            )
+            lines.append(
+                f"{indent}[{_fmt(self.edges[i]):>8}, "
+                f"{_fmt(self.edges[i + 1]):>8}) {count:>6}  {bar}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+@dataclass(frozen=True)
 class ForensicsReport:
     """Per-output conservatism audit of one demand-driven run."""
 
@@ -220,6 +332,21 @@ class ForensicsReport:
             "events": [e.as_dict() for e in self.events],
         }
 
+    def slack_histogram(self, bins: int = 16) -> SlackHistogram:
+        """Distribution of per-output slack (required − refined arrival).
+
+        Outputs without a required time (``inf``) land in the
+        histogram's ``unbounded`` tally rather than a bin, so a design
+        with no constraints still renders sensibly.
+        """
+        return SlackHistogram.from_values(
+            (
+                o.required_time - o.refined_arrival
+                for o in self.outputs
+            ),
+            bins=bins,
+        )
+
     def render(self, indent: str = "  ") -> str:
         """Human-readable audit: the per-output table, then the events."""
         lines = [
@@ -269,4 +396,5 @@ __all__ = [
     "ForensicsReport",
     "OutputForensics",
     "RefinementEvent",
+    "SlackHistogram",
 ]

@@ -1,0 +1,47 @@
+"""Scenario specs and families: declarative multi-scenario STA.
+
+The redesigned scenario API (:class:`ScenarioSpec` and friends) plus
+the family engine that lowers corner sweeps, parametric sweeps, and
+Monte-Carlo sampling onto the compiled kernel's delay-override hooks.
+See ``docs/SCENARIOS.md`` for the JSON schema and semantics.
+"""
+
+from repro.scenarios.engine import analyze_family
+from repro.scenarios.families import (
+    Corner,
+    CornerSweep,
+    FamilyMember,
+    MonteCarlo,
+    ParametricSweep,
+    ScenarioFamily,
+    family_from_json,
+)
+from repro.scenarios.result import (
+    CornerStats,
+    FamilyResult,
+    MemberResult,
+)
+from repro.scenarios.spec import (
+    Scenario,
+    ScenarioSet,
+    ScenarioSpec,
+    spec_from_json,
+)
+
+__all__ = [
+    "Corner",
+    "CornerStats",
+    "CornerSweep",
+    "FamilyMember",
+    "FamilyResult",
+    "MemberResult",
+    "MonteCarlo",
+    "ParametricSweep",
+    "Scenario",
+    "ScenarioFamily",
+    "ScenarioSet",
+    "ScenarioSpec",
+    "analyze_family",
+    "family_from_json",
+    "spec_from_json",
+]

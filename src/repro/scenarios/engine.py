@@ -1,0 +1,149 @@
+"""The family engine: stream a :class:`ScenarioFamily` through the kernel.
+
+:func:`analyze_family` is the one evaluation path every family takes:
+
+1. validate the family's arrival vector against the compiled design;
+2. pick the executor backend **once** (from the chunk size, so the
+   choice — and therefore Monte-Carlo's sampling generator — does not
+   flip between chunks);
+3. for each chunk of at most ``batch_size`` members, lower the chunk
+   to per-member delay vectors (:meth:`ScenarioFamily.delay_rows`) and
+   evaluate it via
+   :meth:`~repro.kernel.design.CompiledDesign.propagate_rows` with the
+   ``delays=`` override — the handle's executor cache is reused across
+   every chunk, so the per-node array setup is paid once per family;
+4. fold each chunk into O(members + outputs) aggregates and drop it,
+   keeping memory bounded regardless of sample count.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from repro.errors import AnalysisError
+from repro.kernel.backend import numpy_or_none, pick_backend
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.scenarios.families import ScenarioFamily
+from repro.scenarios.result import (
+    DETAIL_LIMIT,
+    FamilyResult,
+    MemberResult,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.design import CompiledDesign
+
+NEG_INF = float("-inf")
+
+
+def analyze_family(
+    handle: "CompiledDesign",
+    family: ScenarioFamily,
+    *,
+    backend: str | None = None,
+    batch_size: int = 256,
+    tracer: Tracer = NULL_TRACER,
+) -> FamilyResult:
+    """Evaluate every member of ``family`` against a compiled design.
+
+    ``backend`` forces ``"numpy"`` / ``"python"`` (default: automatic
+    from the chunk size); ``batch_size`` bounds the scenarios — and the
+    sampled delay matrix — held in memory at once.  Returns the
+    aggregated :class:`~repro.scenarios.result.FamilyResult`.
+    """
+    if not isinstance(family, ScenarioFamily):
+        raise AnalysisError(
+            "analyze_family needs a ScenarioFamily "
+            f"(CornerSweep/ParametricSweep/MonteCarlo), "
+            f"got {type(family).__name__}"
+        )
+    if batch_size < 1:
+        raise AnalysisError(
+            f"batch_size must be >= 1, got {batch_size}"
+        )
+    plan = handle.plan
+    unknown = sorted(set(family.arrival) - set(handle.inputs))
+    if unknown:
+        raise AnalysisError(
+            f"family arrival names unknown input {unknown[0]!r} "
+            f"(design {plan.name!r})"
+        )
+    members = family.expand()
+    count = len(members)
+    # One backend for the whole run: sampling and execution must agree,
+    # and the choice must not flip when the last chunk is short.
+    chosen = pick_backend(min(batch_size, count), backend)
+    np = numpy_or_none() if chosen == "numpy" else None
+    outputs = handle.outputs
+    n_out = len(outputs)
+    detail = count <= DETAIL_LIMIT
+    worst = [NEG_INF] * n_out
+    critical_counts = [0] * n_out
+    results: list[MemberResult] = []
+    arrival = dict(family.arrival)
+    t0 = time.perf_counter()
+    for lo in range(0, count, batch_size):
+        hi = min(lo + batch_size, count)
+        delays = family.delay_rows(plan, lo, hi, np)
+        rows = handle.propagate_rows(
+            [arrival] * (hi - lo),
+            backend=chosen,
+            tracer=tracer,
+            nets=outputs,
+            delays=delays,
+        )
+        for member, row in zip(members[lo:hi], rows):
+            best = 0
+            for j in range(1, n_out):
+                if row[j] > row[best]:
+                    best = j
+            critical_counts[best] += 1
+            for j in range(n_out):
+                if row[j] > worst[j]:
+                    worst[j] = row[j]
+            results.append(
+                MemberResult(
+                    index=member.index,
+                    label=member.label,
+                    corner=member.corner,
+                    params=member.params,
+                    delay=row[best] if n_out else NEG_INF,
+                    critical=outputs[best] if n_out else "",
+                    arrivals=(
+                        tuple(zip(outputs, row)) if detail else ()
+                    ),
+                )
+            )
+    seconds = time.perf_counter() - t0
+    if tracer.enabled:
+        tracer.event(
+            "family-analyze",
+            seconds=seconds,
+            graph=plan.name,
+            family=family.family,
+            backend=chosen,
+            members=count,
+            throughput=(count / seconds if seconds > 0.0 else 0.0),
+        )
+        tracer.count("scenarios.families")
+        tracer.count("scenarios.members", count)
+        tracer.observe("scenarios.family_seconds", seconds)
+    return FamilyResult(
+        design=plan.name,
+        kind=family.family,
+        name=family.name,
+        count=count,
+        backend=chosen,
+        seconds=seconds,
+        outputs=tuple(outputs),
+        members=tuple(results),
+        worst=tuple(zip(outputs, worst)),
+        criticality=tuple(
+            (name, c / count if count else 0.0)
+            for name, c in zip(outputs, critical_counts)
+        ),
+    )
+
+
+__all__ = ["analyze_family"]

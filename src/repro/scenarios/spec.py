@@ -1,0 +1,226 @@
+"""First-class scenario specs: the front door of the scenario API.
+
+A *scenario* is one arrival-time assignment for the primary inputs; a
+*spec* is a declarative, JSON-serializable description of one or many
+of them.  Three concrete shapes share the :class:`ScenarioSpec`
+surface (``count()`` / ``expand()`` / ``to_json()`` / ``from_json()``):
+
+* :class:`Scenario` — one arrival vector;
+* :class:`ScenarioSet` — an explicit list of scenarios (what the
+  legacy ``list[dict]`` batch API expressed);
+* :class:`~repro.scenarios.families.ScenarioFamily` — a *generated*
+  batch (corner sweep, parametric sweep, Monte-Carlo sampling) that
+  varies edge **delays** rather than arrivals and expands to
+  thousands of kernel rows from a few lines of JSON.
+
+:func:`spec_from_json` is the single parser: it dispatches on shape
+(``family`` / ``arrival`` / ``scenarios`` keys, or a bare JSON list)
+and is what ``cli.load_scenarios`` and the server's ``POST /batch``
+route feed raw payloads through.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Mapping
+
+from repro.errors import ReproError
+
+
+def clean_arrival(arrival, source: str) -> dict[str, float]:
+    """Validate an arrival mapping into ``{input: float}``.
+
+    ``None`` means "all inputs at 0.0" and becomes ``{}``; anything
+    that is not a mapping of finite numbers raises
+    :class:`~repro.errors.ReproError` naming ``source``.
+    """
+    if arrival is None:
+        return {}
+    if not isinstance(arrival, Mapping):
+        raise ReproError(
+            f"{source}: 'arrival' must be an object (input -> time)"
+        )
+    out: dict[str, float] = {}
+    for name, value in arrival.items():
+        try:
+            time = float(value)
+        except (TypeError, ValueError):
+            raise ReproError(
+                f"{source}: arrival time for {name!r} is not a number"
+            ) from None
+        if math.isnan(time) or math.isinf(time):
+            raise ReproError(
+                f"{source}: arrival time for {name!r} must be finite"
+            )
+        out[str(name)] = time
+    return out
+
+
+class ScenarioSpec:
+    """Common surface of every scenario description.
+
+    Subclasses implement :meth:`count` (how many concrete scenarios
+    the spec stands for), :meth:`expand` (materialize them),
+    :meth:`to_json` (a JSON-ready dict that :func:`spec_from_json`
+    round-trips), and compare equal by serialized form.
+    """
+
+    #: Spec kind tag (``scenario`` / ``set`` / ``family``).
+    kind = "spec"
+
+    def count(self) -> int:
+        """Number of concrete scenarios this spec expands to."""
+        raise NotImplementedError
+
+    def expand(self):
+        """Materialize the spec (shape depends on the subclass)."""
+        raise NotImplementedError
+
+    def to_json(self) -> dict:
+        """JSON-ready dict; ``from_json`` round-trips it."""
+        raise NotImplementedError
+
+    @staticmethod
+    def from_json(data, source: str = "spec") -> "ScenarioSpec":
+        """Parse any spec shape (delegates to :func:`spec_from_json`)."""
+        return spec_from_json(data, source)
+
+    def dumps(self) -> str:
+        """The spec as a JSON string (stable key order)."""
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(other) is type(self)
+            and other.to_json() == self.to_json()
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.dumps())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(count={self.count()})"
+
+
+class Scenario(ScenarioSpec):
+    """One arrival vector (missing inputs default to 0.0)."""
+
+    kind = "scenario"
+
+    def __init__(self, arrival=None, name: str = ""):
+        self.arrival = clean_arrival(arrival, "scenario")
+        self.name = str(name)
+
+    def count(self) -> int:
+        return 1
+
+    def expand(self) -> list[dict[str, float]]:
+        """The single arrival mapping, as a one-element list."""
+        return [dict(self.arrival)]
+
+    def to_json(self) -> dict:
+        doc: dict = {"arrival": dict(self.arrival)}
+        if self.name:
+            doc["name"] = self.name
+        return doc
+
+
+class ScenarioSet(ScenarioSpec):
+    """An explicit, ordered list of scenarios.
+
+    The spec form of the legacy ``list[dict]`` batch; items may be
+    :class:`Scenario` objects or arrival mappings.
+    """
+
+    kind = "set"
+
+    def __init__(self, scenarios, name: str = ""):
+        if isinstance(scenarios, (Scenario, Mapping)):
+            scenarios = [scenarios]
+        items: list[Scenario] = []
+        for i, item in enumerate(scenarios):
+            if isinstance(item, Scenario):
+                items.append(item)
+            elif isinstance(item, Mapping):
+                if "arrival" in item and isinstance(
+                    item["arrival"], Mapping
+                ):
+                    items.append(
+                        Scenario(
+                            item["arrival"],
+                            name=str(item.get("name", "")),
+                        )
+                    )
+                else:
+                    items.append(Scenario(item))
+            else:
+                raise ReproError(
+                    f"scenario set: item {i} must be an object "
+                    "(input -> time)"
+                )
+        if not items:
+            raise ReproError("scenario set: scenario list is empty")
+        self.scenarios = tuple(items)
+        self.name = str(name)
+
+    def count(self) -> int:
+        return len(self.scenarios)
+
+    def expand(self) -> list[dict[str, float]]:
+        """The arrival mappings, in order."""
+        return [dict(s.arrival) for s in self.scenarios]
+
+    def to_json(self) -> dict:
+        doc: dict = {
+            "scenarios": [dict(s.arrival) for s in self.scenarios]
+        }
+        if self.name:
+            doc["name"] = self.name
+        return doc
+
+
+def spec_from_json(data, source: str = "spec") -> ScenarioSpec:
+    """Parse any scenario-spec shape from decoded JSON.
+
+    Dispatches on structure: an object with a ``family`` key parses as
+    a :class:`~repro.scenarios.families.ScenarioFamily`; an ``arrival``
+    key as a :class:`Scenario`; a ``scenarios`` key, or a bare JSON
+    list of arrival objects, as a :class:`ScenarioSet`.  An existing
+    spec passes through unchanged.  Everything else raises
+    :class:`~repro.errors.ReproError` naming ``source``.
+    """
+    if isinstance(data, ScenarioSpec):
+        return data
+    if isinstance(data, list):
+        return ScenarioSet(data)
+    if isinstance(data, Mapping):
+        if "family" in data:
+            from repro.scenarios.families import family_from_json
+
+            return family_from_json(data, source)
+        if "arrival" in data:
+            return Scenario(
+                data["arrival"], name=str(data.get("name", ""))
+            )
+        if "scenarios" in data:
+            return ScenarioSet(
+                data["scenarios"], name=str(data.get("name", ""))
+            )
+        raise ReproError(
+            f"{source}: scenario spec object needs a 'family', "
+            "'arrival', or 'scenarios' key"
+        )
+    raise ReproError(
+        f"{source}: expected a JSON list of scenarios or a scenario "
+        "spec object"
+    )
+
+
+__all__ = [
+    "Scenario",
+    "ScenarioSet",
+    "ScenarioSpec",
+    "clean_arrival",
+    "spec_from_json",
+]

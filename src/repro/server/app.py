@@ -77,6 +77,11 @@ class TimingServerApp:
         carry its own ``deadline`` field (``None`` = unlimited).
     trace_capacity:
         Ring-buffer size backing ``GET /trace``.
+    max_scenarios:
+        Upper bound on one ``/batch`` request's scenario count —
+        explicit lists and family expansions alike; larger requests are
+        rejected up front with a 413 ``too-many-scenarios`` error
+        instead of evaluating unbounded batches.
     """
 
     def __init__(
@@ -87,6 +92,7 @@ class TimingServerApp:
         coalesce: CoalesceConfig | None = None,
         default_deadline: float | None = None,
         trace_capacity: int = 4096,
+        max_scenarios: int = 4096,
     ):
         if registry is None:
             self.trace_sink = RingBufferSink(capacity=trace_capacity)
@@ -102,6 +108,11 @@ class TimingServerApp:
         if default_deadline is not None and default_deadline <= 0:
             raise ValueError("default_deadline must be > 0")
         self.default_deadline = default_deadline
+        if int(max_scenarios) < 1:
+            raise ValueError(
+                f"max_scenarios must be >= 1, got {max_scenarios}"
+            )
+        self.max_scenarios = int(max_scenarios)
         self.started_at = time.time()
         self._monotonic_start = time.monotonic()
         self._trace_ids = itertools.count(1)
@@ -292,12 +303,33 @@ class TimingServerApp:
 
     def _batch(self, payload, trace_id):
         entry = self._entry_of(payload)
+        family = payload.get("family")
         raw = payload.get("scenarios")
+        if (
+            family is None
+            and isinstance(raw, dict)
+            and "family" in raw
+        ):
+            family, raw = raw, None
+        if family is not None:
+            if raw is not None:
+                raise RequestError(
+                    "provide either 'scenarios' or 'family', not both"
+                )
+            return self._batch_family(entry, payload, family, trace_id)
         if raw is None:
-            raise RequestError("missing 'scenarios' (list of arrival vectors)")
+            raise RequestError(
+                "missing 'scenarios' (list of arrival vectors or a "
+                "scenario spec) or 'family' (a family spec)"
+            )
+        if isinstance(raw, dict):
+            from repro.scenarios.spec import spec_from_json
+
+            raw = spec_from_json(raw, source="scenarios")
         scenarios = coerce_scenarios(
             raw, list(entry.handle.inputs), source="scenarios"
         )
+        self._check_scenario_limit(len(scenarios))
         include = self._include_of(payload)
         deadline = self._deadline_of(payload)
         t0 = time.perf_counter()
@@ -351,6 +383,62 @@ class TimingServerApp:
                 d.as_dict() for d in entry.handle.degradations
             ]
         return 200, JSON, _dumps(doc)
+
+    def _batch_family(self, entry, payload, spec, trace_id):
+        """The family arm of ``POST /batch``: expand, bound, evaluate."""
+        from repro.scenarios import analyze_family
+        from repro.scenarios.families import family_from_json
+
+        family = family_from_json(spec, source="family")
+        self._check_scenario_limit(family.count())
+        deadline = self._deadline_of(payload)
+        t0 = time.perf_counter()
+        with self.tracer.span(
+            "server-family", phase="analysis", design=entry.name
+        ):
+            result = analyze_family(
+                entry.handle,
+                family,
+                batch_size=self.registry.options.batch_size,
+                tracer=self.tracer,
+            )
+        elapsed = time.perf_counter() - t0
+        if deadline is not None and deadline.expired():
+            outcome = Outcome(
+                ok=False,
+                error="deadline-exceeded",
+                detail=(
+                    f"family of {result.count} evaluated in "
+                    f"{elapsed * 1e3:.1f}ms, past its "
+                    f"{deadline.limit:g}s deadline"
+                ),
+            )
+            return self._outcome_error(outcome, trace_id)
+        entry.requests += result.count
+        doc = result.to_dict()
+        doc["family_name"] = doc.pop("name", "")
+        doc.update(
+            {
+                "trace_id": trace_id,
+                "design": entry.design_id,
+                "name": entry.name,
+                "elapsed_ms": round(elapsed * 1e3, 3),
+            }
+        )
+        if entry.handle.degradations:
+            doc["degradations"] = [
+                d.as_dict() for d in entry.handle.degradations
+            ]
+        return 200, JSON, _dumps(doc)
+
+    def _check_scenario_limit(self, count: int) -> None:
+        if count > self.max_scenarios:
+            raise RequestError(
+                f"batch of {count} scenarios exceeds this server's "
+                f"max_scenarios limit of {self.max_scenarios}",
+                status=413,
+                code="too-many-scenarios",
+            )
 
     def _forensics(self, payload, trace_id):
         entry = self._entry_of(payload)
