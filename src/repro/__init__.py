@@ -67,7 +67,7 @@ from repro.scenarios import (
 )
 from repro.seq.circuit import Flop, SequentialCircuit
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AnalysisOptions",

@@ -568,6 +568,10 @@ def preload_design(registry, spec: str):
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.resilience.breaker import BreakerConfig
     from repro.server import CoalesceConfig, TimingHTTPServer, TimingServerApp
 
     try:
@@ -575,6 +579,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_batch=1 if args.no_coalesce else args.max_batch,
             max_wait=args.max_wait_ms / 1e3,
             quiet_wait=args.quiet_wait_ms / 1e3,
+        )
+        breaker = BreakerConfig(
+            failure_threshold=args.breaker_failures,
+            reset_timeout=args.breaker_reset_ms / 1e3,
         )
     except ValueError as exc:
         raise ReproError(str(exc)) from None
@@ -585,6 +593,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
             coalesce=coalesce,
             default_deadline=args.request_deadline,
             max_scenarios=args.max_scenarios,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            max_body_bytes=args.max_body_bytes,
+            breaker=breaker,
         )
     except ValueError as exc:
         raise ReproError(str(exc)) from None
@@ -598,20 +610,67 @@ def cmd_serve(args: argparse.Namespace) -> int:
     server = TimingHTTPServer(
         app, args.host, args.port, verbose=args.verbose
     )
+    # Signal-driven graceful drain.  The accept loop runs on a
+    # background thread so the main thread is free to field SIGTERM /
+    # SIGINT, flip readiness, and wait out in-flight work — calling
+    # serve_forever() and shutdown() on the same thread deadlocks.
+    stop = threading.Event()
+    received: dict[str, int] = {}
+
+    def _on_signal(signum: int, _frame) -> None:
+        received.setdefault("signum", signum)
+        stop.set()
+
+    # handlers go in before the address is announced: a supervisor that
+    # signals the moment it sees the port must still get a clean drain
+    installed = []
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            installed.append((sig, signal.signal(sig, _on_signal)))
+        except (ValueError, OSError):  # not the main thread (tests)
+            pass
     # Parsed by tools/bench_server.py and humans alike; flushed so a
     # pipe sees the address before the first request.
     print(
         f"serving {len(app.registry)} design(s) on {server.url}",
         flush=True,
     )
+    accept = threading.Thread(
+        target=server.serve_forever,
+        name=f"serve-accept:{server.port}",
+        daemon=True,
+    )
+    accept.start()
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("shutting down", file=sys.stderr)
-    finally:
+        try:
+            stop.wait()
+        except KeyboardInterrupt:
+            # handler install failed (embedded use): honor Ctrl-C anyway
+            received.setdefault("signum", signal.SIGINT)
+        signum = received.get("signum", signal.SIGTERM)
+        print(
+            f"{signal.Signals(signum).name} received: draining "
+            f"(deadline {args.drain_deadline:g}s)",
+            file=sys.stderr,
+        )
+        # Drain order matters: readiness goes false and gated routes
+        # start shedding *while the socket still answers* (health
+        # checks, in-flight responses); only once admitted work has
+        # cleared does the accept loop stop.
+        clean = app.drain(args.drain_deadline)
+        if not clean:
+            print(
+                "drain deadline exceeded; closing with requests "
+                "still in flight",
+                file=sys.stderr,
+            )
         server.shutdown()
         server.server_close()
-    return 0
+        accept.join(timeout=5.0)
+        return 130 if signum == signal.SIGINT else 0
+    finally:
+        for sig, old in installed:
+            signal.signal(sig, old)
 
 
 def cmd_table1(_args: argparse.Namespace) -> int:
@@ -956,6 +1015,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-request deadline; requests queued or "
         "evaluated past it get a 504 with a degradation record "
         "(requests may override with their own 'deadline' field)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission control: at most N analysis requests evaluate "
+        "at once; excess queues briefly, then is shed with a 503 "
+        "'overloaded' + retry_after_ms (default: unbounded)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admitted-work queue depth behind --max-inflight; beyond "
+        "it requests are shed immediately (default %(default)s)",
+    )
+    serve.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=16 * 1024 * 1024,
+        metavar="N",
+        help="largest accepted request body; bigger gets a 413 "
+        "'body-too-large' before any bytes are buffered "
+        "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--drain-deadline",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="on SIGTERM/SIGINT, wait this long for in-flight "
+        "requests before closing (default %(default)s)",
+    )
+    serve.add_argument(
+        "--breaker-failures",
+        type=int,
+        default=5,
+        metavar="N",
+        help="consecutive kernel-evaluation failures that open a "
+        "design's circuit breaker; while open, requests get "
+        "conservative topological-bound answers (default %(default)s)",
+    )
+    serve.add_argument(
+        "--breaker-reset-ms",
+        type=float,
+        default=1000.0,
+        metavar="MS",
+        help="how long an open breaker waits before probing the "
+        "kernel path again (default %(default)s)",
+    )
+    serve.add_argument(
+        "--inject",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="arm a deterministic fault POINT:KIND[:TIMES[:K=V,...]] "
+        "at the server's chaos points (server.compile, "
+        "server.propagate, coalescer.flush); repeatable",
     )
     add_cache_opts(serve)
     serve.add_argument(

@@ -10,6 +10,11 @@ one value.  Registries are cheap enough to keep one per
 
 No locking: analysis runs are single-threaded per process, and worker
 processes report back through return values, not shared registries.
+The server's threaded handlers do share one registry; they tolerate the
+benign races on these plain floats (a lost ``inc`` under contention)
+because the instruments feed dashboards, not control flow — anything
+that gates behaviour (admission counts, breaker state) keeps its own
+lock-protected state and only mirrors into metrics.
 """
 
 from __future__ import annotations

@@ -20,7 +20,12 @@ infrastructure:
   locking for shared cache directories;
 * :mod:`repro.resilience.faultinject` — deterministic
   :class:`FaultPlan` injection (worker crashes, timeouts, exceptions,
-  cache corruption) so all of the above is testable.
+  cache corruption) so all of the above is testable;
+* :mod:`repro.resilience.breaker` — :class:`CircuitBreaker`, the
+  closed/open/half-open failure detector the server wraps around
+  kernel evaluation: while open, requests are answered from the
+  conservative topological-bound path instead of retrying a failing
+  backend.
 
 Typical use::
 
@@ -35,6 +40,11 @@ Typical use::
         print(d)
 """
 
+from repro.resilience.breaker import (
+    BreakerConfig,
+    BreakerOpen,
+    CircuitBreaker,
+)
 from repro.resilience.degradation import Degradation, DegradationLog
 from repro.resilience.executor import TaskOutcome, run_resilient
 from repro.resilience.faultinject import (
@@ -54,6 +64,9 @@ from repro.resilience.policy import (
 
 __all__ = [
     "DEFAULT_POLICY",
+    "BreakerConfig",
+    "BreakerOpen",
+    "CircuitBreaker",
     "Deadline",
     "DeadlineExceeded",
     "Degradation",

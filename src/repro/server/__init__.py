@@ -22,6 +22,15 @@ concurrency into kernel batch throughput.  This package is that daemon:
 * :class:`~repro.server.http.TimingHTTPServer` — the zero-dependency
   stdlib threaded HTTP shell.
 
+The app is overload-proof by construction: an
+:class:`~repro.server.app.AdmissionGate` bounds in-flight work and
+sheds the rest with structured 503s, a per-design
+:class:`~repro.resilience.breaker.CircuitBreaker` swaps a failing
+kernel path for the conservative topological bound (sound by
+Theorem 1, responses marked ``degraded``), and ``begin_drain`` /
+``drain`` give SIGTERM a clean exit path with readiness reported on
+``/healthz/ready``.
+
 Start one from the CLI (``repro-sta serve --preload design.v``), with
 ``python -m repro.server``, or in-process::
 
@@ -33,7 +42,7 @@ Start one from the CLI (``repro-sta serve --preload design.v``), with
     print(server.url)  # ... requests ... then: server.shutdown()
 """
 
-from repro.server.app import RequestError, TimingServerApp
+from repro.server.app import AdmissionGate, RequestError, TimingServerApp
 from repro.server.coalescer import (
     CoalesceConfig,
     Outcome,
@@ -46,6 +55,7 @@ from repro.server.http import (
     start_server,
 )
 from repro.server.registry import (
+    DegradedRow,
     DesignRegistry,
     RegisteredDesign,
     UnknownDesign,
@@ -53,9 +63,11 @@ from repro.server.registry import (
 )
 
 __all__ = [
+    "AdmissionGate",
     "CoalesceConfig",
     "DEFAULT_HOST",
     "DEFAULT_PORT",
+    "DegradedRow",
     "DesignRegistry",
     "Outcome",
     "RegisteredDesign",

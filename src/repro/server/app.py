@@ -7,25 +7,43 @@ leaves :mod:`repro.server.http` a thin adapter.
 
 Endpoints::
 
-    GET  /healthz    liveness + uptime + aggregate counters
-    GET  /metrics    Prometheus text exposition of the server registry
-    GET  /designs    registered designs (id, name, sizes, stats)
-    POST /designs    register a design {"source": "...verilog..."}
-    POST /analyze    one scenario, coalesced into kernel batches
-    POST /batch      many scenarios, one kernel call
-    POST /forensics  conservatism audit (topological vs refined)
-    GET  /trace      recent records as Chrome trace-event JSON
+    GET  /healthz        liveness + readiness + aggregate counters
+    GET  /healthz/live   process liveness only (always 200 while up)
+    GET  /healthz/ready  200 while accepting work, 503 while draining
+    GET  /metrics        Prometheus text exposition of the registry
+    GET  /designs        registered designs (id, name, sizes, stats)
+    POST /designs        register a design {"source": "...verilog..."}
+    POST /analyze        one scenario, coalesced into kernel batches
+    POST /batch          many scenarios, one kernel call
+    POST /forensics      conservatism audit (topological vs refined)
+    GET  /trace          recent records as Chrome trace-event JSON
 
 Error contract: every non-2xx response is
 ``{"error": {"code", "message"}, "trace_id"}``; a deadline rejection is
 status 504 with the request's ``degradations`` list attached — the same
 "every conservative fallback is visible" rule the analyzers follow.
+
+Overload contract: analysis POSTs pass an :class:`AdmissionGate`
+(bounded in-flight work plus a bounded accept queue).  Excess load is
+*shed* with a structured 503 ``overloaded`` response carrying a
+``retry_after_ms`` hint — before any JSON parsing or evaluation, so a
+drowning server spends its cycles on the requests it admitted.  A
+draining server (``begin_drain``) sheds everything analysis-shaped with
+503 ``draining`` while ``/healthz/ready`` reports 503, letting a load
+balancer pull it from rotation before the process exits.
+
+Degradation contract: a kernel evaluation failure — or an open
+per-design circuit breaker — never becomes a 500.  The registry
+answers from the topological-bound path instead (sound by Theorem 1)
+and the response is a 200 with ``degraded: true`` plus the
+``Degradation`` records explaining the precision loss.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import threading
 import time
 from typing import TYPE_CHECKING, Sequence
 
@@ -36,19 +54,140 @@ from repro.obs.sinks import RingBufferSink
 from repro.obs.trace import Tracer
 from repro.server.coalescer import CoalesceConfig, Outcome
 from repro.server.registry import (
+    DegradedRow,
     DesignRegistry,
     RegisteredDesign,
     UnknownDesign,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    pass
+    from repro.resilience.breaker import BreakerConfig
+    from repro.resilience.faultinject import FaultPlan
 
 JSON = "application/json"
 PROM = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Fields a request may ask to ``include`` in its response.
 INCLUDABLE = ("outputs", "nets")
+
+#: Routes that carry analysis work and therefore pass the admission
+#: gate; health, metrics, and trace reads must stay answerable even
+#: when the server is saturated — they are how operators see it.
+GATED_ROUTES = frozenset(
+    [
+        ("POST", "/analyze"),
+        ("POST", "/batch"),
+        ("POST", "/forensics"),
+        ("POST", "/designs"),
+    ]
+)
+
+
+class AdmissionGate:
+    """Bounded in-flight gate plus bounded accept queue.
+
+    ``max_inflight`` requests may hold the gate at once; up to
+    ``max_queue`` more wait (FIFO-ish, condition-variable fairness) for
+    at most ``queue_timeout`` seconds.  Anything beyond that is shed
+    immediately — the caller turns a False into a structured 503.
+    ``max_inflight=None`` disables gating entirely (every ``try_enter``
+    admits), preserving the ungated behavior for embedded use.
+
+    The gate is transport-agnostic on purpose: it bounds *admitted
+    work*, not sockets, so the same numbers govern the HTTP shell and
+    direct ``app.handle`` callers (tests, benchmarks).
+    """
+
+    def __init__(
+        self,
+        max_inflight: int | None = None,
+        max_queue: int = 0,
+        queue_timeout: float = 5.0,
+        clock=time.monotonic,
+    ):
+        if max_inflight is not None and int(max_inflight) < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1 or None, got {max_inflight}"
+            )
+        if int(max_queue) < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        if queue_timeout <= 0:
+            raise ValueError("queue_timeout must be > 0")
+        self.max_inflight = None if max_inflight is None else int(max_inflight)
+        self.max_queue = int(max_queue)
+        self.queue_timeout = float(queue_timeout)
+        self._clock = clock
+        self._cond = threading.Condition()
+        #: Requests currently holding the gate.
+        self.inflight = 0
+        #: Requests currently waiting for a slot.
+        self.queued = 0
+        #: Requests shed (queue full or queue-wait timed out).
+        self.shed = 0
+
+    def try_enter(self) -> tuple[bool, float]:
+        """Claim a slot; returns ``(admitted, seconds_queued)``.
+
+        Every True **must** be paired with a :meth:`leave`.
+        """
+        with self._cond:
+            if self.max_inflight is None:
+                self.inflight += 1
+                return True, 0.0
+            if self.inflight < self.max_inflight:
+                self.inflight += 1
+                return True, 0.0
+            if self.queued >= self.max_queue:
+                self.shed += 1
+                return False, 0.0
+            t0 = self._clock()
+            deadline = t0 + self.queue_timeout
+            self.queued += 1
+            try:
+                while self.inflight >= self.max_inflight:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        self.shed += 1
+                        return False, self._clock() - t0
+                    self._cond.wait(remaining)
+                self.inflight += 1
+                return True, self._clock() - t0
+            finally:
+                self.queued -= 1
+                self._cond.notify()
+
+    def leave(self) -> None:
+        """Release a previously claimed slot."""
+        with self._cond:
+            self.inflight = max(0, self.inflight - 1)
+            self._cond.notify()
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until no request is in flight or queued (drain step).
+
+        Returns True when the gate emptied within ``timeout``.
+        """
+        deadline = self._clock() + max(0.0, timeout)
+        with self._cond:
+            while self.inflight > 0 or self.queued > 0:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    return False
+                # cap the wait: queued waiters that give up time out
+                # without notifying, so poll rather than sleep forever
+                self._cond.wait(min(remaining, 0.05))
+            return True
+
+    def snapshot(self) -> dict:
+        """JSON-ready gate state (``/healthz`` admission block)."""
+        with self._cond:
+            return {
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "inflight": self.inflight,
+                "queued": self.queued,
+                "shed": self.shed,
+            }
 
 
 class RequestError(ReproError):
@@ -82,6 +221,19 @@ class TimingServerApp:
         explicit lists and family expansions alike; larger requests are
         rejected up front with a 413 ``too-many-scenarios`` error
         instead of evaluating unbounded batches.
+    max_inflight / max_queue / queue_timeout:
+        Admission control (see :class:`AdmissionGate`).  ``None``
+        in-flight bound keeps the app ungated.
+    max_body_bytes:
+        Largest request body the app will parse; larger bodies get a
+        413 ``body-too-large`` before any JSON decoding.  ``None``
+        disables the app-level check (the HTTP shell has its own).
+    breaker:
+        Per-design circuit-breaker tuning forwarded to the registry
+        (ignored when an explicit ``registry`` is passed).
+    fault_plan:
+        Deterministic fault injection forwarded to the registry
+        (ignored when an explicit ``registry`` is passed).
     """
 
     def __init__(
@@ -93,12 +245,22 @@ class TimingServerApp:
         default_deadline: float | None = None,
         trace_capacity: int = 4096,
         max_scenarios: int = 4096,
+        max_inflight: int | None = None,
+        max_queue: int = 64,
+        queue_timeout: float = 5.0,
+        max_body_bytes: int | None = None,
+        breaker: "BreakerConfig | None" = None,
+        fault_plan: "FaultPlan | None" = None,
     ):
         if registry is None:
             self.trace_sink = RingBufferSink(capacity=trace_capacity)
             tracer = Tracer(sinks=[self.trace_sink])
             registry = DesignRegistry(
-                options, coalesce=coalesce, tracer=tracer
+                options,
+                coalesce=coalesce,
+                tracer=tracer,
+                breaker=breaker,
+                fault_plan=fault_plan,
             )
         else:
             self.trace_sink = RingBufferSink(capacity=trace_capacity)
@@ -113,11 +275,30 @@ class TimingServerApp:
                 f"max_scenarios must be >= 1, got {max_scenarios}"
             )
         self.max_scenarios = int(max_scenarios)
+        if max_body_bytes is not None and int(max_body_bytes) < 1:
+            raise ValueError(
+                f"max_body_bytes must be >= 1 or None, got {max_body_bytes}"
+            )
+        self.max_body_bytes = (
+            None if max_body_bytes is None else int(max_body_bytes)
+        )
+        self.admission = AdmissionGate(
+            max_inflight=max_inflight,
+            max_queue=max_queue,
+            queue_timeout=queue_timeout,
+        )
+        self._draining = threading.Event()
+        # EWMA of admitted-request service time, feeding the 503
+        # retry_after_ms hint: "come back after roughly one request's
+        # worth of work has cleared".
+        self._ewma_seconds = 0.0
         self.started_at = time.time()
         self._monotonic_start = time.monotonic()
         self._trace_ids = itertools.count(1)
         self._routes = {
             ("GET", "/healthz"): self._healthz,
+            ("GET", "/healthz/live"): self._healthz_live,
+            ("GET", "/healthz/ready"): self._healthz_ready,
             ("GET", "/metrics"): self._metrics,
             ("GET", "/designs"): self._designs_get,
             ("POST", "/designs"): self._designs_post,
@@ -139,7 +320,38 @@ class TimingServerApp:
         trace_id = f"req-{next(self._trace_ids):08d}"
         path = path.split("?", 1)[0].rstrip("/") or "/"
         t0 = time.perf_counter()
+        gated = (method, path) in GATED_ROUTES
+        admitted = False
         try:
+            # Cheap rejections first: oversized bodies and shed load
+            # are answered before a single byte of JSON is parsed.
+            if (
+                self.max_body_bytes is not None
+                and len(body) > self.max_body_bytes
+            ):
+                raise RequestError(
+                    f"request body of {len(body)} bytes exceeds this "
+                    f"server's max_body_bytes limit of "
+                    f"{self.max_body_bytes}",
+                    status=413,
+                    code="body-too-large",
+                )
+            if gated:
+                if self._draining.is_set():
+                    raise RequestError(
+                        "server is draining and no longer accepts "
+                        "analysis requests",
+                        status=503,
+                        code="draining",
+                    )
+                admitted, waited = self.admission.try_enter()
+                if self.tracer.enabled and waited > 0:
+                    self.tracer.observe(
+                        "server.admission.queue_seconds", waited
+                    )
+                if not admitted:
+                    status, ctype, out = self._shed(trace_id)
+                    return self._finish(status, ctype, out, t0, gated=False)
             handler = self._routes.get((method, path))
             if handler is None:
                 known_paths = {p for _, p in self._routes}
@@ -175,13 +387,54 @@ class TimingServerApp:
                 f"{type(exc).__name__}: {exc}",
                 trace_id,
             )
+        finally:
+            if admitted:
+                self.admission.leave()
+        return self._finish(status, ctype, out, t0, gated=gated)
+
+    def _finish(
+        self, status: int, ctype: str, out: bytes, t0: float, *, gated: bool
+    ) -> tuple[int, str, bytes]:
+        """Common response bookkeeping: metrics and the service-time
+        EWMA behind ``retry_after_ms``."""
+        elapsed = time.perf_counter() - t0
+        if gated:
+            # unsynchronized EWMA update: a lost race skews the hint by
+            # one sample, which is fine for an advisory number
+            prev = self._ewma_seconds
+            self._ewma_seconds = (
+                elapsed if prev == 0.0 else 0.2 * elapsed + 0.8 * prev
+            )
         if self.tracer.enabled:
             self.tracer.count("server.requests")
             self.tracer.count(f"server.responses.{status}")
-            self.tracer.observe(
-                "server.request_seconds", time.perf_counter() - t0
-            )
+            self.tracer.observe("server.request_seconds", elapsed)
+            gate = self.admission
+            self.tracer.gauge("server.admission.inflight", gate.inflight)
+            self.tracer.gauge("server.admission.queued", gate.queued)
         return status, ctype, out
+
+    def _shed(self, trace_id: str) -> tuple[int, str, bytes]:
+        """Structured 503 for load shed at the admission gate."""
+        if self.tracer.enabled:
+            self.tracer.count("server.admission.shed")
+        return self._error(
+            503,
+            "overloaded",
+            (
+                "server is at capacity "
+                f"(max_inflight={self.admission.max_inflight}, "
+                f"max_queue={self.admission.max_queue}); retry later"
+            ),
+            trace_id,
+            retry_after_ms=self._retry_after_ms(),
+        )
+
+    def _retry_after_ms(self) -> int:
+        """Advisory backoff hint: roughly one queued request's worth of
+        service time, clamped to a sane band."""
+        hint = self._ewma_seconds * (1 + self.admission.queued)
+        return max(10, min(30_000, int(hint * 1e3) or 50))
 
     @staticmethod
     def _parse_body(method: str, body: bytes) -> dict:
@@ -192,9 +445,13 @@ class TimingServerApp:
         try:
             payload = json.loads(body)
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            raise RequestError(f"request body is not valid JSON: {exc}")
+            raise RequestError(
+                f"request body is not valid JSON: {exc}", code="bad-json"
+            )
         if not isinstance(payload, dict):
-            raise RequestError("request body must be a JSON object")
+            raise RequestError(
+                "request body must be a JSON object", code="bad-json"
+            )
         return payload
 
     def _error(
@@ -210,16 +467,36 @@ class TimingServerApp:
     # ---------------------------------------------------------------- handlers
     def _healthz(self, _payload, trace_id):
         entries = self.registry.list()
+        ready = not self._draining.is_set()
         doc = {
-            "status": "ok",
+            "status": "ok" if ready else "draining",
+            "live": True,
+            "ready": ready,
             "uptime_seconds": time.monotonic() - self._monotonic_start,
             "designs": len(entries),
             "requests": int(
                 self.tracer.metrics.counter("server.requests").value
             ),
+            "admission": self.admission.snapshot(),
+            "breakers": {
+                e.name: e.breaker.snapshot()
+                for e in self.registry.entries()
+            },
             "trace_id": trace_id,
         }
         return 200, JSON, _dumps(doc)
+
+    def _healthz_live(self, _payload, trace_id):
+        """Process liveness: 200 for as long as the app can answer at
+        all — restarts are an orchestrator decision, not a drain one."""
+        return 200, JSON, _dumps({"live": True, "trace_id": trace_id})
+
+    def _healthz_ready(self, _payload, trace_id):
+        """Readiness: 503 once draining so load balancers stop routing
+        new work here while in-flight requests finish."""
+        ready = not self._draining.is_set()
+        doc = {"ready": ready, "trace_id": trace_id}
+        return (200 if ready else 503), JSON, _dumps(doc)
 
     def _metrics(self, _payload, _trace_id):
         text = render_prometheus(self.tracer.metrics)
@@ -281,6 +558,25 @@ class TimingServerApp:
             outcome = entry.coalescer.submit(
                 arrival, deadline=deadline, label=trace_id
             )
+            if not outcome.ok and outcome.error == "evaluation-error":
+                # last line of defense: an evaluation failure that got
+                # past the registry's breaker guard (e.g. a fault
+                # injected at the coalescer flush itself) still has a
+                # sound answer — take the topological bound directly
+                entry.breaker.record_failure()
+                value = entry.degraded_rows(
+                    [arrival],
+                    batch_size=self.registry.options.batch_size,
+                    tracer=self.tracer,
+                    kind="evaluation-error",
+                    detail=outcome.detail,
+                )[0]
+                outcome = Outcome(
+                    ok=True,
+                    value=value,
+                    batch_size=max(1, outcome.batch_size),
+                    queue_seconds=outcome.queue_seconds,
+                )
             if outcome.ok:
                 doc = self._row_doc(entry, outcome.value, include)
         if not outcome.ok:
@@ -295,10 +591,7 @@ class TimingServerApp:
                 "queue_ms": round(outcome.queue_seconds * 1e3, 3),
             }
         )
-        if entry.handle.degradations:
-            doc["degradations"] = [
-                d.as_dict() for d in entry.handle.degradations
-            ]
+        self._attach_degradations(doc, entry, outcome.value)
         return 200, JSON, _dumps(doc)
 
     def _batch(self, payload, trace_id):
@@ -340,11 +633,11 @@ class TimingServerApp:
                 tracer=self.tracer,
             )
         else:
-            rows = entry.handle.propagate_rows(
+            rows = entry.evaluate_rows(
                 scenarios,
                 batch_size=self.registry.options.batch_size,
                 tracer=self.tracer,
-                nets=entry.handle.outputs,
+                fault_plan=self.registry.fault_plan,
             )
         elapsed = time.perf_counter() - t0
         if deadline is not None and deadline.expired():
@@ -378,10 +671,7 @@ class TimingServerApp:
         }
         if include:
             doc["scenarios"] = docs
-        if entry.handle.degradations:
-            doc["degradations"] = [
-                d.as_dict() for d in entry.handle.degradations
-            ]
+        self._attach_degradations(doc, entry, rows)
         return 200, JSON, _dumps(doc)
 
     def _batch_family(self, entry, payload, spec, trace_id):
@@ -524,14 +814,40 @@ class TimingServerApp:
     @staticmethod
     def _row_doc(
         entry: RegisteredDesign,
-        row: Sequence[float],
+        row: "Sequence[float] | DegradedRow",
         include: tuple[str, ...],
     ) -> dict:
         """Response body from a raw output-times row (the hot path)."""
-        doc: dict = {"delay": max(row) if row else None}
+        doc: dict = {}
+        if isinstance(row, DegradedRow):
+            doc["degraded"] = True  # records via _attach_degradations
+            row = row.row
+        doc["delay"] = max(row) if row else None
         if "outputs" in include:
             doc["outputs"] = dict(zip(entry.handle.outputs, row))
         return doc
+
+    @staticmethod
+    def _attach_degradations(doc: dict, entry: RegisteredDesign, value):
+        """Merge compile-time and per-row degradation records onto the
+        response; flag it ``degraded`` when any row came from the
+        topological-bound fallback."""
+        records = list(entry.handle.degradations)
+        rows = value if isinstance(value, list) else [value]
+        degraded = False
+        seen = set()
+        for row in rows:
+            if isinstance(row, DegradedRow):
+                degraded = True
+                for d in row.degradations:
+                    key = (d.kind, d.subject, d.detail)
+                    if key not in seen:
+                        seen.add(key)
+                        records.append(d)
+        if degraded:
+            doc["degraded"] = True
+        if records:
+            doc["degradations"] = [d.as_dict() for d in records]
 
     @staticmethod
     def _net_doc(
@@ -565,6 +881,43 @@ class TimingServerApp:
         )
 
     # --------------------------------------------------------------- lifecycle
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def begin_drain(self) -> None:
+        """Stop accepting analysis work; idempotent, non-blocking.
+
+        Flips ``/healthz/ready`` to 503 and makes every gated route
+        answer 503 ``draining``.  In-flight and queued requests are
+        unaffected — they finish normally.
+        """
+        if self._draining.is_set():
+            return
+        self._draining.set()
+        if self.tracer.enabled:
+            self.tracer.gauge("server.ready", 0)
+            self.tracer.event("server-drain-begin", phase="server")
+
+    def drain(self, deadline: float = 10.0) -> bool:
+        """Graceful shutdown: stop accepting, finish what was admitted,
+        then drain coalescers.  Returns True when everything in flight
+        completed within ``deadline`` seconds.
+
+        Safe to call more than once; later calls just re-drain.
+        """
+        self.begin_drain()
+        idle = self.admission.wait_idle(deadline)
+        # registry.close drains each coalescer's pending batch; any
+        # request still stuck past the deadline gets a structured 503
+        # from its coalescer rather than a hung socket
+        self.registry.close()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "server-drain-end", phase="server", clean=idle
+            )
+        return idle
+
     def close(self) -> None:
         """Drain every design's coalescer (used at daemon shutdown)."""
         self.registry.close()
@@ -595,4 +948,9 @@ def _definite(value):
     return value
 
 
-__all__ = ["TimingServerApp", "RequestError", "INCLUDABLE"]
+__all__ = [
+    "AdmissionGate",
+    "INCLUDABLE",
+    "RequestError",
+    "TimingServerApp",
+]

@@ -132,6 +132,10 @@ class RequestCoalescer:
         Receives ``server.coalescer.*`` counters and histograms.
     name:
         Label for trace records (usually the design name).
+    fault_plan:
+        Optional chaos plan; its ``coalescer.flush`` trace point fires
+        at the top of every batch flush (so injected crashes/timeouts
+        exercise the whole-batch error path, not just the kernel).
     """
 
     def __init__(
@@ -142,11 +146,13 @@ class RequestCoalescer:
         tracer: Tracer | None = None,
         name: str = "",
         clock=time.monotonic,
+        fault_plan=None,
     ):
         self.evaluate = evaluate
         self.config = config or CoalesceConfig()
         self.tracer = ensure_tracer(tracer)
         self.name = name
+        self.fault_plan = fault_plan
         self._clock = clock
         self._cond = threading.Condition()
         self._pending: list[_Pending] = []
@@ -162,6 +168,12 @@ class RequestCoalescer:
         #: Size of the last flushed batch: > 1 means a concurrent
         #: regime, where the quiet-wait debounce is worth paying.
         self._last_batch = 0
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued, not yet dispatched (approximate —
+        read without the lock; feeds the ``/metrics`` queue gauge)."""
+        return len(self._pending)
 
     # ------------------------------------------------------------- client side
     def submit(
@@ -258,6 +270,10 @@ class RequestCoalescer:
         if not live:
             return
         try:
+            if self.fault_plan is not None:
+                self.fault_plan.fire(
+                    "coalescer.flush", design=self.name, batch=len(live)
+                )
             values = list(self.evaluate([p.scenario for p in live]))
         except Exception as exc:
             for pending in live:

@@ -20,11 +20,17 @@ JSON service, tuned for request-per-millisecond round trips:
 
 Every parseable request is answered, even on handler bugs (the app
 converts them to structured 500s); the shell only swallows client
-disconnects.
+disconnects.  Transport-level rejections (bad request line, bad or
+oversized ``Content-Length``) carry the same structured JSON error
+body as app-level ones — a client never has to parse two error
+dialects.  Oversized bodies are refused from the ``Content-Length``
+header *before* any body bytes are buffered, then the connection is
+closed (the unread body makes it unframeable).
 """
 
 from __future__ import annotations
 
+import json
 import socket
 import socketserver
 import threading
@@ -63,7 +69,11 @@ class _Handler(socketserver.BaseRequestHandler):
                 lines = head.split(b"\r\n")
                 parts = lines[0].split(b" ")
                 if len(parts) != 3:
-                    sock.sendall(_plain_response(400, b"bad request line"))
+                    sock.sendall(
+                        _error_response(
+                            400, "bad-request-line", "malformed request line"
+                        )
+                    )
                     return
                 method, target, version = parts
                 keep_alive = version != b"HTTP/1.0"
@@ -76,7 +86,11 @@ class _Handler(socketserver.BaseRequestHandler):
                             length = int(value)
                         except ValueError:
                             sock.sendall(
-                                _plain_response(400, b"bad content-length")
+                                _error_response(
+                                    400,
+                                    "bad-content-length",
+                                    "Content-Length is not an integer",
+                                )
                             )
                             return
                     elif name == b"connection":
@@ -85,8 +99,18 @@ class _Handler(socketserver.BaseRequestHandler):
                             keep_alive = False
                         elif token == b"keep-alive":
                             keep_alive = True
-                if length < 0 or length > MAX_REQUEST_BYTES:
-                    sock.sendall(_plain_response(413, b"body too large"))
+                max_body = self.server.max_body_bytes
+                if length < 0 or length > max_body:
+                    # refuse from the header alone — never buffer a
+                    # body the app would reject anyway
+                    sock.sendall(
+                        _error_response(
+                            413,
+                            "body-too-large",
+                            f"request body of {length} bytes exceeds "
+                            f"this server's limit of {max_body} bytes",
+                        )
+                    )
                     return
                 # -------- request body
                 while len(buf) < length:
@@ -127,14 +151,23 @@ class _Handler(socketserver.BaseRequestHandler):
             pass  # client went away; nothing to answer
 
 
-def _plain_response(status: int, detail: bytes) -> bytes:
+def _error_response(status: int, code: str, message: str) -> bytes:
+    """A transport-level rejection in the app's error-body dialect.
+
+    Always ``Connection: close``: these rejections leave the stream
+    unframeable (unread body, garbled head), so the connection cannot
+    be reused.
+    """
     reason = _REASONS.get(status, "Unknown")
+    payload = json.dumps(
+        {"error": {"code": code, "message": message}, "trace_id": None}
+    ).encode()
     return (
         f"HTTP/1.1 {status} {reason}\r\n"
-        f"Content-Type: text/plain\r\n"
-        f"Content-Length: {len(detail)}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
         f"Connection: close\r\n\r\n"
-    ).encode("latin-1") + detail
+    ).encode("latin-1") + payload
 
 
 class TimingHTTPServer(socketserver.ThreadingTCPServer):
@@ -151,9 +184,23 @@ class TimingHTTPServer(socketserver.ThreadingTCPServer):
         port: int = DEFAULT_PORT,
         *,
         verbose: bool = False,
+        max_body_bytes: int | None = None,
     ):
         self.app = app
         self.verbose = verbose
+        if max_body_bytes is None:
+            # follow the app's cap when it has one, so the shell never
+            # buffers a body the app is going to 413 anyway
+            max_body_bytes = (
+                app.max_body_bytes
+                if app.max_body_bytes is not None
+                else MAX_REQUEST_BYTES
+            )
+        if max_body_bytes < 1:
+            raise ValueError(
+                f"max_body_bytes must be >= 1, got {max_body_bytes}"
+            )
+        self.max_body_bytes = int(max_body_bytes)
         super().__init__((host, port), _Handler)
 
     @property
@@ -177,13 +224,16 @@ def start_server(
     port: int = 0,
     *,
     verbose: bool = False,
+    max_body_bytes: int | None = None,
 ) -> tuple[TimingHTTPServer, threading.Thread]:
     """Bind and serve on a background thread (tests, benchmarks).
 
     Returns the server (already accepting connections) and its thread;
     call ``server.shutdown()`` to stop both.
     """
-    server = TimingHTTPServer(app, host, port, verbose=verbose)
+    server = TimingHTTPServer(
+        app, host, port, verbose=verbose, max_body_bytes=max_body_bytes
+    )
     thread = threading.Thread(
         target=server.serve_forever,
         name=f"timing-server:{server.port}",

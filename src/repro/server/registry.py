@@ -9,10 +9,19 @@ handle.  :class:`DesignRegistry` owns that cache:
   the identity, so re-registering byte-identical source is free and two
   clients posting the same netlist share one compiled handle;
 * each entry bundles the :class:`~repro.api.AnalysisSession` (for
-  forensics and any non-kernel analysis), the compiled handle, and the
-  per-design :class:`~repro.server.coalescer.RequestCoalescer`;
+  forensics and any non-kernel analysis), the compiled handle, the
+  per-design :class:`~repro.server.coalescer.RequestCoalescer`, and a
+  :class:`~repro.resilience.breaker.CircuitBreaker` guarding the
+  kernel evaluation path;
+* every entry can also answer from the **topological-bound path**: a
+  second compiled plan built from purely topological module models.
+  Theorem 1 makes that answer conservative (never optimistic), so a
+  crashing kernel call — or an open breaker — degrades to a sound 200
+  with :class:`~repro.resilience.degradation.Degradation` records
+  instead of becoming a 500;
 * lookups touch an LRU clock; past ``max_designs`` the least recently
-  used entry is evicted and its coalescer drained.
+  used entry is evicted and its coalescer drained (outside the
+  registry lock, so a slow drain cannot stall registrations).
 
 Registration and eviction hold the registry lock; per-design
 compilation holds a per-entry lock so two concurrent registrations of
@@ -27,16 +36,35 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.api import AnalysisOptions, AnalysisSession
 from repro.errors import AnalysisError, ParseError, ReproError
 from repro.netlist.hierarchy import HierDesign
 from repro.obs.trace import NULL_TRACER, Tracer, ensure_tracer
+from repro.resilience.breaker import BreakerConfig, CircuitBreaker
+from repro.resilience.degradation import Degradation, DegradationLog
 from repro.server.coalescer import CoalesceConfig, RequestCoalescer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kernel.design import CompiledDesign
+    from repro.kernel.plan import CompiledGraph
+    from repro.resilience.faultinject import FaultPlan
+
+
+@dataclass(frozen=True)
+class DegradedRow:
+    """One scenario's conservative (topological-bound) output row.
+
+    Yielded in place of a plain row when the kernel path failed or its
+    breaker is open.  The values are sound upper bounds by Theorem 1;
+    ``degradations`` says why the exact path was not used.
+    """
+
+    #: Output stable times, aligned with ``handle.outputs``.
+    row: list
+    #: Why this scenario was answered conservatively.
+    degradations: tuple[Degradation, ...] = ()
 
 
 class UnknownDesign(ReproError):
@@ -66,16 +94,30 @@ class RegisteredDesign:
     session: AnalysisSession
     #: The frozen propagation handle every request evaluates against.
     handle: "CompiledDesign"
-    #: The per-design request coalescer (single-scenario requests).
-    coalescer: RequestCoalescer
+    #: The per-design request coalescer (single-scenario requests);
+    #: wired right after construction (its evaluate closure needs the
+    #: entry itself for breaker-guarded evaluation).
+    coalescer: RequestCoalescer | None
     #: Wall-clock seconds spent characterizing + compiling at register.
     compile_seconds: float
+    #: Breaker guarding this design's kernel evaluation path.
+    breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
     #: Unix time of registration.
     registered_at: float = field(default_factory=time.time)
     #: Monotonic LRU clock (registry-managed).
     last_used: float = field(default_factory=time.monotonic)
     #: Requests answered against this entry (analyze + batch scenarios).
     requests: int = 0
+    #: Requests answered from the topological-bound path.
+    degraded_requests: int = 0
+    #: Lazily compiled topological-bound plan (+ output indices).
+    _topo: "tuple[CompiledGraph, list[int]] | None" = field(
+        default=None, repr=False, compare=False
+    )
+    #: Executor cache of the topological plan (mirrors the handle's).
+    _topo_executors: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def design(self) -> HierDesign:
@@ -94,8 +136,140 @@ class RegisteredDesign:
             "compile_seconds": self.compile_seconds,
             "registered_at": self.registered_at,
             "requests": self.requests,
+            "degraded_requests": self.degraded_requests,
+            "breaker": self.breaker.state,
             "degradations": len(self.handle.degradations),
         }
+
+    # --------------------------------------------------- guarded evaluation
+    def evaluate_rows(
+        self,
+        scenarios: Sequence,
+        *,
+        batch_size: int | None = None,
+        tracer: Tracer = NULL_TRACER,
+        fault_plan: "FaultPlan | None" = None,
+    ) -> list:
+        """Output rows for ``scenarios``, degrading instead of raising.
+
+        The hot path: one batched kernel call against :attr:`handle`,
+        guarded by :attr:`breaker`.  When the breaker is open the
+        kernel is not attempted at all; when it is closed but the call
+        fails, the failure is recorded and the same scenarios are
+        answered conservatively.  Either way every scenario gets a
+        result — failed/skipped ones as :class:`DegradedRow` values
+        whose times are sound upper bounds (Theorem 1).
+        """
+        if not self.breaker.allow():
+            return self.degraded_rows(
+                scenarios,
+                batch_size=batch_size,
+                tracer=tracer,
+                kind="breaker-open",
+                detail=(
+                    "kernel path suspended after repeated evaluation "
+                    "failures (circuit breaker open)"
+                ),
+            )
+        try:
+            if fault_plan is not None:
+                fault_plan.fire("server.propagate", design=self.name)
+            rows = self.handle.propagate_rows(
+                scenarios,
+                batch_size=batch_size,
+                tracer=tracer,
+                nets=self.handle.outputs,
+            )
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            self.breaker.record_failure()
+            return self.degraded_rows(
+                scenarios,
+                batch_size=batch_size,
+                tracer=tracer,
+                kind="evaluation-error",
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+        self.breaker.record_success()
+        return rows
+
+    def degraded_rows(
+        self,
+        scenarios: Sequence,
+        *,
+        batch_size: int | None = None,
+        tracer: Tracer = NULL_TRACER,
+        kind: str = "breaker-open",
+        detail: str = "",
+    ) -> list[DegradedRow]:
+        """Conservative output rows from the topological-bound plan."""
+        plan, out_idx = self._topo_plan()
+        from repro.kernel.execute import propagate_batch
+
+        inputs = plan.nets[: plan.n_inputs]
+        index = {name: i for i, name in enumerate(inputs)}
+        rows_in = []
+        for scenario in scenarios:
+            row = [0.0] * len(inputs)
+            for name, value in scenario.items():
+                i = index.get(name)
+                if i is not None:
+                    row[i] = float(value)
+            rows_in.append(row)
+        values = propagate_batch(
+            plan,
+            rows_in,
+            batch_size=batch_size,
+            cache=self._topo_executors,
+            tracer=tracer,
+        )
+        log = DegradationLog(tracer)
+        log.record(
+            kind=kind,
+            subject=self.name,
+            detail=detail or "kernel evaluation path unavailable",
+            fallback=(
+                "topological-bound evaluation "
+                "(conservative by Theorem 1)"
+            ),
+        )
+        degradations = log.snapshot()
+        self.degraded_requests += len(values)
+        if tracer.enabled:
+            tracer.count("server.degraded_scenarios", len(values))
+        return [
+            DegradedRow([row[i] for i in out_idx], degradations)
+            for row in values
+        ]
+
+    def _topo_plan(self) -> "tuple[CompiledGraph, list[int]]":
+        """The topological-bound plan, compiled on first use.
+
+        Built from purely topological module models
+        (:func:`~repro.core.hier.topological_models`) — the baseline
+        the paper refines, and the sound answer of last resort.  Races
+        are benign: concurrent builders produce identical plans.
+        """
+        topo = self._topo
+        if topo is None:
+            from repro.core.hier import topological_models
+            from repro.kernel.plan import compile_design
+
+            design = self.design
+            models = {
+                name: topological_models(module.network)
+                for name, module in design.modules.items()
+            }
+            plan = compile_design(
+                design,
+                lambda inst: models[design.instances[inst].module_name],
+            )
+            net_index = {n: i for i, n in enumerate(plan.nets)}
+            out_idx = [net_index[o] for o in self.handle.outputs]
+            topo = (plan, out_idx)
+            self._topo = topo
+        return topo
 
 
 class DesignRegistry:
@@ -115,6 +289,14 @@ class DesignRegistry:
         used entry (and drains its coalescer).
     tracer:
         Server-lifetime tracer; counters/histograms back ``/metrics``.
+    breaker:
+        Tuning for each design's evaluation-path
+        :class:`~repro.resilience.breaker.CircuitBreaker`.
+    fault_plan:
+        Deterministic chaos plan (``serve --inject``); consulted at the
+        ``server.compile`` and ``server.propagate`` trace points here
+        and threaded into each coalescer's ``coalescer.flush`` point.
+        Defaults to ``options.fault_plan``.
     """
 
     def __init__(
@@ -124,6 +306,8 @@ class DesignRegistry:
         coalesce: CoalesceConfig | None = None,
         max_designs: int = 32,
         tracer: Tracer | None = None,
+        breaker: BreakerConfig | None = None,
+        fault_plan: "FaultPlan | None" = None,
     ):
         if max_designs < 1:
             raise ValueError(f"max_designs must be >= 1, got {max_designs}")
@@ -134,6 +318,10 @@ class DesignRegistry:
         self.options = base
         self.coalesce = coalesce or CoalesceConfig()
         self.max_designs = max_designs
+        self.breaker_config = breaker or BreakerConfig()
+        self.fault_plan = (
+            fault_plan if fault_plan is not None else base.fault_plan
+        )
         self._lock = threading.RLock()
         self._entries: dict[str, RegisteredDesign] = {}
         self._by_name: dict[str, str] = {}
@@ -167,7 +355,12 @@ class DesignRegistry:
             self._entries[design_id] = entry
             self._by_name[entry.name] = design_id
             self._touch(entry)
-            self._evict_over_capacity()
+            evicted = self._evict_over_capacity()
+        # Drain evicted coalescers outside the registry lock: a drain
+        # waits for in-flight batches, and holding the lock across that
+        # wait would stall every concurrent lookup and registration.
+        for victim in evicted:
+            victim.coalescer.close()
         if self.tracer.enabled:
             self.tracer.count("server.designs.registered")
             self.tracer.gauge("server.designs", len(self._entries))
@@ -234,39 +427,98 @@ class DesignRegistry:
     ) -> RegisteredDesign:
         t0 = time.perf_counter()
         session = AnalysisSession(circuit, options=self.options)
-        with self.tracer.span(
-            "server-register", phase="compile", design=circuit.name
-        ):
-            handle = session.compile()
+        try:
+            if self.fault_plan is not None:
+                self.fault_plan.fire("server.compile", design=circuit.name)
+            with self.tracer.span(
+                "server-register", phase="compile", design=circuit.name
+            ):
+                handle = session.compile()
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            handle = self._topological_handle(circuit, exc, t0)
         compile_seconds = time.perf_counter() - t0
         entry = RegisteredDesign(
             design_id=design_id,
             name=circuit.name,
             session=session,
             handle=handle,
-            coalescer=self._make_coalescer(handle),
+            coalescer=None,  # wired below; needs the entry itself
             compile_seconds=compile_seconds,
+            breaker=CircuitBreaker(
+                name=circuit.name,
+                config=self.breaker_config,
+                tracer=self.tracer,
+            ),
         )
+        entry.coalescer = self._make_coalescer(entry)
         return entry
 
-    def _make_coalescer(self, handle: "CompiledDesign") -> RequestCoalescer:
+    def _topological_handle(
+        self, circuit: HierDesign, exc: Exception, t0: float
+    ) -> "CompiledDesign":
+        """Sound registration of last resort: compile with topological
+        models when the functional compile path fails.
+
+        Characterization faults already degrade *inside*
+        ``session.compile`` (per-module topological substitution); this
+        catches faults of the compile path itself — and the
+        ``server.compile`` chaos point — so registration sheds model
+        precision rather than availability.
+        """
+        from repro.core.hier import topological_models
+        from repro.kernel.design import CompiledDesign
+        from repro.kernel.plan import compile_design
+
+        models = {
+            name: topological_models(module.network)
+            for name, module in circuit.modules.items()
+        }
+        plan = compile_design(
+            circuit,
+            lambda inst: models[circuit.instances[inst].module_name],
+            tracer=self.tracer,
+        )
+        log = DegradationLog(self.tracer)
+        log.record(
+            kind="compile-error",
+            subject=circuit.name,
+            detail=f"{type(exc).__name__}: {exc}",
+            fallback=(
+                "design compiled with topological models "
+                "(conservative by Theorem 1)"
+            ),
+        )
+        return CompiledDesign(
+            plan=plan,
+            outputs=tuple(circuit.outputs),
+            degradations=log.snapshot(),
+            compile_seconds=time.perf_counter() - t0,
+        )
+
+    def _make_coalescer(self, entry: RegisteredDesign) -> RequestCoalescer:
         # raw output-time rows, aligned with handle.outputs: name-keyed
         # dicts cost more per scenario than the batched kernel on large
         # designs, and the coalesced path only ever reads primary
-        # outputs (requests that want every net bypass the coalescer)
-        def evaluate(scenarios: list[dict]) -> list[list[float]]:
-            return handle.propagate_rows(
+        # outputs (requests that want every net bypass the coalescer).
+        # evaluate_rows never raises on kernel faults — it degrades to
+        # the topological-bound path, so a bad batch becomes a batch of
+        # conservative answers rather than a batch of 500s.
+        def evaluate(scenarios: list[dict]) -> list:
+            return entry.evaluate_rows(
                 scenarios,
                 batch_size=self.options.batch_size,
                 tracer=self.tracer,
-                nets=handle.outputs,
+                fault_plan=self.fault_plan,
             )
 
         return RequestCoalescer(
             evaluate,
             config=self.coalesce,
             tracer=self.tracer,
-            name=handle.plan.name,
+            name=entry.name,
+            fault_plan=self.fault_plan,
         )
 
     # ----------------------------------------------------------------- lookups
@@ -293,6 +545,11 @@ class DesignRegistry:
             )
             return [e.describe() for e in entries]
 
+    def entries(self) -> list[RegisteredDesign]:
+        """Live entries, unordered — no LRU touch (diagnostics)."""
+        with self._lock:
+            return list(self._entries.values())
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -304,20 +561,24 @@ class DesignRegistry:
     def _touch(self, entry: RegisteredDesign) -> None:
         entry.last_used = time.monotonic()
 
-    def _evict_over_capacity(self) -> None:
+    def _evict_over_capacity(self) -> list[RegisteredDesign]:
+        """Unlink LRU entries past capacity; caller drains them
+        (coalescer close) after releasing the registry lock."""
+        victims: list[RegisteredDesign] = []
         while len(self._entries) > self.max_designs:
             victim = min(
                 self._entries.values(), key=lambda e: e.last_used
             )
             self._remove(victim)
+            victims.append(victim)
             if self.tracer.enabled:
                 self.tracer.count("server.designs.evicted")
+        return victims
 
     def _remove(self, entry: RegisteredDesign) -> None:
         self._entries.pop(entry.design_id, None)
         if self._by_name.get(entry.name) == entry.design_id:
             self._by_name.pop(entry.name, None)
-        entry.coalescer.close()
 
     def close(self) -> None:
         """Drain every coalescer (pending requests fail with 503)."""
@@ -330,6 +591,7 @@ class DesignRegistry:
 
 
 __all__ = [
+    "DegradedRow",
     "DesignRegistry",
     "RegisteredDesign",
     "UnknownDesign",

@@ -19,14 +19,31 @@ is gated by ``tools/bench_compare.py``: the tracked metric is
 ``coalescing_speedup`` (req/s ratio at the highest concurrency level);
 absolute rates and percentiles are machine-dependent and untracked.
 
+The **overload phase** (``--phase overload`` or part of ``all``)
+measures admission control instead of raw speed: the server runs with
+a small ``max_inflight``/``max_queue``, first under exactly-capacity
+load, then under many times that.  Tracked metrics
+(``benchmarks/results/server_overload.json``):
+
+``goodput_throughput``
+    accepted req/s under overload ÷ accepted req/s at capacity — the
+    fraction of its own capacity the server still *delivers* while
+    drowning.  Without admission control this collapses; with it the
+    excess is shed up front and goodput holds.
+``wellformed_throughput``
+    fraction of ALL overload responses (accepted and shed alike) that
+    parsed as structured JSON — the "never a hung socket, never a raw
+    500" contract as a number.
+
 Usage::
 
-    python tools/bench_server.py            # default gen:csa1024.8 sweep
+    python tools/bench_server.py            # default gen:csa2048.8 sweep
     python tools/bench_server.py --design gen:csa256.8 --duration 1 \
         --concurrency 1,32
+    python tools/bench_server.py --phase overload
     python tools/bench_compare.py \
-        --baseline benchmarks/baselines/server_throughput.json \
-        benchmarks/results/server_throughput.json
+        --baseline benchmarks/baselines/server_overload.json \
+        benchmarks/results/server_overload.json
 """
 
 from __future__ import annotations
@@ -56,12 +73,22 @@ def _percentile(sorted_values: list[float], q: float) -> float:
 
 
 class _Client(threading.Thread):
-    """One closed-loop client: send request, read reply, repeat."""
+    """One closed-loop client: send request, read reply, repeat.
 
-    def __init__(self, host: str, port: int, request: bytes):
+    With ``check_json`` each response body is parsed and a per-request
+    ``(latency, status, wellformed)`` sample recorded — the overload
+    phase's mode.  Shed responses (503) trigger a tiny backoff so the
+    shed loop does not degenerate into a pure spin.
+    """
+
+    def __init__(
+        self, host: str, port: int, request: bytes, check_json: bool = False
+    ):
         super().__init__(daemon=True)
         self.host, self.port, self.request = host, port, request
+        self.check_json = check_json
         self.latencies: list[float] = []
+        self.samples: list[tuple[float, int, bool]] = []
         self.errors = 0
         self.stop = threading.Event()
 
@@ -90,10 +117,27 @@ class _Client(threading.Thread):
                     if not chunk:
                         return
                     buf += chunk
-                buf = buf[length:]
-                self.latencies.append(time.perf_counter() - t0)
+                body, buf = buf[:length], buf[length:]
+                elapsed = time.perf_counter() - t0
+                self.latencies.append(elapsed)
                 if status != 200:
                     self.errors += 1
+                if self.check_json:
+                    try:
+                        doc = json.loads(body)
+                        ok = ("delay" in doc) or ("error" in doc)
+                    except ValueError:
+                        doc, ok = {}, False
+                    self.samples.append((elapsed, status, ok))
+                    if status == 503:
+                        # honor the server's backoff hint (capped so a
+                        # long hint cannot idle the whole bench)
+                        hint = doc.get("retry_after_ms", 2)
+                        try:
+                            pause = min(50.0, max(2.0, float(hint))) / 1e3
+                        except (TypeError, ValueError):
+                            pause = 0.002
+                        time.sleep(pause)
         finally:
             sock.close()
 
@@ -186,6 +230,124 @@ def run_mode(
     return stats, results
 
 
+def run_overload_level(
+    host: str,
+    port: int,
+    request: bytes,
+    concurrency: int,
+    duration: float,
+    warmup: float,
+) -> dict:
+    """One overload-phase load level: JSON-checked, shed-tolerant."""
+    clients = [
+        _Client(host, port, request, check_json=True)
+        for _ in range(concurrency)
+    ]
+    for c in clients:
+        c.start()
+    time.sleep(warmup)
+    skip = [len(c.samples) for c in clients]
+    t0 = time.perf_counter()
+    time.sleep(duration)
+    for c in clients:
+        c.stop.set()
+    for c in clients:
+        c.join(timeout=30)
+    window = time.perf_counter() - t0
+    samples = [
+        s for c, n in zip(clients, skip) for s in c.samples[n:]
+    ]
+    accepted = sorted(lat for lat, status, _ in samples if status == 200)
+    shed = sum(1 for _, status, _ in samples if status == 503)
+    other = sum(1 for _, status, _ in samples if status not in (200, 503))
+    wellformed = sum(1 for _, _, ok in samples if ok)
+    return {
+        "concurrency": concurrency,
+        "responses": len(samples),
+        "accepted": len(accepted),
+        "shed": shed,
+        "other_status": other,
+        "wellformed": wellformed,
+        "accepted_per_second": round(len(accepted) / window, 1),
+        "shed_fraction": (
+            round(shed / len(samples), 4) if samples else 0.0
+        ),
+        "accepted_p50_ms": round(_percentile(accepted, 0.50) * 1e3, 3),
+        "accepted_p99_ms": round(_percentile(accepted, 0.99) * 1e3, 3),
+    }
+
+
+def run_overload(
+    design: str,
+    max_inflight: int,
+    max_queue: int,
+    overload_clients: int,
+    duration: float,
+    warmup: float,
+    batch_size: int,
+) -> dict:
+    """Capacity run, then an overload run against the same gate.
+
+    Capacity = closed-loop clients exactly filling ``max_inflight``
+    (nothing sheds); overload = ``overload_clients`` against the same
+    server.  Goodput is the accepted-rate ratio between the two.
+    """
+    from repro.api import AnalysisOptions
+
+    app = TimingServerApp(
+        options=AnalysisOptions(batch_size=batch_size),
+        coalesce=CoalesceConfig(max_batch=64),
+        max_inflight=max_inflight,
+        max_queue=max_queue,
+        queue_timeout=0.2,
+    )
+    entry = preload_design(app.registry, design)
+    server, thread = start_server(app, port=0)
+    body = json.dumps({"design": entry.name, "arrival": {}}).encode()
+    request = (
+        f"POST /analyze HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode() + body
+    try:
+        capacity = run_overload_level(
+            "127.0.0.1", server.port, request, max_inflight, duration, warmup
+        )
+        overload = run_overload_level(
+            "127.0.0.1",
+            server.port,
+            request,
+            overload_clients,
+            duration,
+            warmup,
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+    goodput = (
+        overload["accepted_per_second"] / capacity["accepted_per_second"]
+        if capacity["accepted_per_second"]
+        else 0.0
+    )
+    total = overload["responses"]
+    wellformed = overload["wellformed"] / total if total else 0.0
+    return {
+        "bench": "server_overload",
+        "design": design,
+        "max_inflight": max_inflight,
+        "max_queue": max_queue,
+        "overload_clients": overload_clients,
+        "duration_per_level_seconds": duration,
+        "capacity": capacity,
+        "overload": overload,
+        # gated: fraction of capacity still delivered while drowning
+        "goodput_throughput": round(goodput, 3),
+        # gated: structured-response contract under overload
+        "wellformed_throughput": round(wellformed, 4),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="bench_server",
@@ -218,12 +380,80 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quiet-wait-ms", type=float, default=2.0)
     parser.add_argument("--batch-size", type=int, default=256)
     parser.add_argument(
+        "--phase",
+        choices=("all", "throughput", "overload"),
+        default="all",
+        help="which benchmark phases to run (default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        help="overload phase: server admission bound (default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=4,
+        help="overload phase: server accept queue (default %(default)s)",
+    )
+    parser.add_argument(
+        "--overload-clients",
+        type=int,
+        default=32,
+        help="overload phase: closed-loop clients offered "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
         "-o",
         "--out",
         type=Path,
         default=Path("benchmarks/results/server_throughput.json"),
     )
+    parser.add_argument(
+        "--overload-out",
+        type=Path,
+        default=Path("benchmarks/results/server_overload.json"),
+    )
     args = parser.parse_args(argv)
+
+    if args.phase in ("all", "overload"):
+        print(
+            f"bench_server overload: {args.design}, "
+            f"max_inflight={args.max_inflight}, max_queue={args.max_queue}, "
+            f"clients={args.overload_clients}",
+            flush=True,
+        )
+        doc = run_overload(
+            args.design,
+            args.max_inflight,
+            args.max_queue,
+            args.overload_clients,
+            args.duration,
+            args.warmup,
+            args.batch_size,
+        )
+        cap, over = doc["capacity"], doc["overload"]
+        print(
+            f"  capacity  (c={cap['concurrency']:3d}): "
+            f"{cap['accepted_per_second']:8.1f} req/s  "
+            f"p99 {cap['accepted_p99_ms']:.1f}ms"
+        )
+        print(
+            f"  overload  (c={over['concurrency']:3d}): "
+            f"{over['accepted_per_second']:8.1f} req/s accepted  "
+            f"shed {over['shed_fraction'] * 100:.1f}%  "
+            f"p99 {over['accepted_p99_ms']:.1f}ms"
+        )
+        print(
+            f"  goodput_throughput {doc['goodput_throughput']:.3f}  "
+            f"wellformed_throughput {doc['wellformed_throughput']:.4f}"
+        )
+        args.overload_out.parent.mkdir(parents=True, exist_ok=True)
+        args.overload_out.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"bench_server: overload results -> {args.overload_out}")
+        if args.phase == "overload":
+            return 0
 
     levels = sorted({int(c) for c in args.concurrency.split(",")})
     coalesced_cfg = CoalesceConfig(
