@@ -43,14 +43,14 @@ def main() -> None:
     first = analyzer.analyze()
     cold = time.perf_counter() - t0
     print(f"cold analysis:      delay {first.delay:g}  ({cold * 1e3:.1f} ms, "
-          f"characterized {list(first.characterized)})")
+          f"characterized {list(first.characterized_modules)})")
 
     # -- new arrival condition: models are reused wholesale -----------------
     t0 = time.perf_counter()
     shifted = analyzer.analyze({"c_in": 10.0})
     warm = time.perf_counter() - t0
     print(f"new arrival times:  delay {shifted.delay:g}  ({warm * 1e3:.1f} ms, "
-          f"characterized {list(shifted.characterized)})")
+          f"characterized {list(shifted.characterized_modules)})")
 
     # -- ECO on the leaf module: only it is re-characterized ----------------
     analyzer.replace_module("csa_block2", slow_block_variant())
@@ -58,7 +58,7 @@ def main() -> None:
     eco = analyzer.analyze()
     eco_time = time.perf_counter() - t0
     print(f"after module ECO:   delay {eco.delay:g}  ({eco_time * 1e3:.1f} ms, "
-          f"characterized {list(eco.characterized)})")
+          f"characterized {list(eco.characterized_modules)})")
     print(f"re-characterization counts: {analyzer.recharacterizations}")
 
     # -- the flat alternative re-analyzes 16 expanded instances every time --

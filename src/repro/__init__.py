@@ -15,7 +15,8 @@ The public API re-exports the main types; subpackages hold the substrates:
 
 * :mod:`repro.netlist`  — gates, networks, hierarchy
 * :mod:`repro.parsers`  — ISCAS .bench and BLIF
-* :mod:`repro.sat`      — CDCL solver + Tseitin encoding
+* :mod:`repro.sat`      — CDCL solver, incremental sessions + Tseitin
+  encoding
 * :mod:`repro.bdd`      — ROBDD package
 * :mod:`repro.sim`      — logic & timed (XBD0 oracle) simulation
 * :mod:`repro.sta`      — topological STA + path-length machinery
@@ -53,6 +54,7 @@ from repro.netlist.hierarchy import HierDesign, Instance, Module
 from repro.netlist.network import Gate, GateType, Network
 from repro.obs import Metrics, Tracer
 from repro.resilience import Degradation, FaultPlan, ResiliencePolicy
+from repro.sat import IncrementalSolver
 from repro.scenarios import (
     Corner,
     CornerSweep,
@@ -67,7 +69,7 @@ from repro.scenarios import (
 )
 from repro.seq.circuit import Flop, SequentialCircuit
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AnalysisOptions",
@@ -87,6 +89,7 @@ __all__ = [
     "HierDesign",
     "HierarchicalAnalyzer",
     "IncrementalAnalyzer",
+    "IncrementalSolver",
     "Instance",
     "Metrics",
     "ModelLibrary",

@@ -31,7 +31,6 @@ Example::
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping
@@ -61,6 +60,12 @@ ENGINES = ("sat", "bdd", "brute")
 #: Propagation execution engines: ``auto`` picks the interpreter for
 #: single-scenario calls and the compiled kernel for batches.
 EXEC_ENGINES = ("auto", "interpreted", "compiled")
+
+#: Stability-check SAT strategies (persistent session vs per-check).
+SAT_MODES = ("incremental", "oneshot")
+
+#: Candidate orders of the demand-driven refinement loop.
+REFINE_ORDERS = ("scan", "movement")
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -112,6 +117,25 @@ class AnalysisOptions:
     batch_size:
         Scenario chunk size for compiled batch evaluation (bounds the
         working-set matrix to ``batch_size × nets`` floats).
+    sat_mode:
+        Stability-check SAT strategy: ``incremental`` (default) keeps a
+        persistent solver session per cone with cached sub-encodings;
+        ``oneshot`` re-encodes and builds a fresh solver per check (the
+        reference path).  Both decide every check identically.
+    refine_order:
+        Candidate order of the demand-driven refinement loop: ``scan``
+        (the paper's literal edge order) or ``movement`` (pin pairs by
+        descending cumulative slack movement their past refinements
+        produced, scan order breaking ties).
+    portfolio_jobs:
+        Worker processes for the speculative refinement-check portfolio
+        (1 = fully serial, the default).  Results are bit-identical for
+        any value on timeout-free runs; checks that blow
+        ``check_timeout`` are skipped soundly.
+    check_timeout:
+        Per-check deadline (seconds) for portfolio workers; a check
+        that exceeds it is abandoned and its pin pair keeps the current
+        conservative weight (``None`` = no per-check limit).
     """
 
     engine: str = "sat"
@@ -128,6 +152,10 @@ class AnalysisOptions:
     fault_plan: object | None = field(default=None, repr=False)
     exec_engine: str = "auto"
     batch_size: int = 256
+    sat_mode: str = "incremental"
+    refine_order: str = "scan"
+    portfolio_jobs: int = 1
+    check_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -170,6 +198,26 @@ class AnalysisOptions:
                     f"refine_budget must be >= 0, got {budget}"
                 )
             object.__setattr__(self, "refine_budget", budget)
+        if self.sat_mode not in SAT_MODES:
+            raise ValueError(
+                f"unknown sat_mode {self.sat_mode!r}; "
+                f"expected one of {SAT_MODES}"
+            )
+        if self.refine_order not in REFINE_ORDERS:
+            raise ValueError(
+                f"unknown refine_order {self.refine_order!r}; "
+                f"expected one of {REFINE_ORDERS}"
+            )
+        object.__setattr__(
+            self, "portfolio_jobs", max(1, int(self.portfolio_jobs))
+        )
+        if self.check_timeout is not None:
+            timeout = float(self.check_timeout)
+            if timeout <= 0:
+                raise ValueError(
+                    f"check_timeout must be > 0, got {timeout}"
+                )
+            object.__setattr__(self, "check_timeout", timeout)
 
     def with_changes(self, **changes) -> "AnalysisOptions":
         """A copy with the given fields replaced (re-validated)."""
@@ -205,18 +253,13 @@ class AnalysisOptions:
         )
 
 
-#: Message of the legacy ``list[dict]``-batch deprecation shim.
-SCENARIO_LIST_DEPRECATION = (
-    "bare scenario lists are deprecated; pass a ScenarioSpec "
-    "(repro.scenarios.Scenario, ScenarioSet, or a scenario family)"
+#: Message of the removed legacy ``list[dict]``-batch form (the shim
+#: warned for several releases and now hard-errors with this hint).
+SCENARIO_LIST_REMOVED = (
+    "bare scenario lists are no longer accepted by analyze_batch; pass "
+    "a ScenarioSpec (repro.scenarios.Scenario, ScenarioSet, or a "
+    "scenario family) — e.g. ScenarioSet.of(*scenarios)"
 )
-
-
-def warn_scenario_list() -> None:
-    """Emit the legacy ``list[dict]`` batch :class:`DeprecationWarning`."""
-    warnings.warn(
-        SCENARIO_LIST_DEPRECATION, DeprecationWarning, stacklevel=3
-    )
 
 
 def coerce_scenarios(
@@ -474,9 +517,13 @@ class AnalysisSession:
     ):
         """Analyze a batch of arrival scenarios in one call.
 
-        ``scenarios`` is a :class:`~repro.scenarios.ScenarioSpec` or,
-        legacy form (deprecated, still working), a bare sequence of
-        arrival-time mappings (missing inputs default to 0.0).
+        ``scenarios`` is a :class:`~repro.scenarios.ScenarioSpec`
+        (:class:`~repro.scenarios.Scenario`,
+        :class:`~repro.scenarios.ScenarioSet`, or a scenario family).
+        The legacy bare-``list[dict]`` form warned as deprecated for
+        several releases and now raises :class:`AnalysisError` with a
+        migration hint (JSON boundaries — CLI and server — still accept
+        raw lists via :func:`coerce_scenarios`).
         ``method`` selects the analysis: ``"hierarchical"`` (Section 3
         two-step) or ``"demand"`` (Section 5 demand-driven, refinements
         shared across the batch).  The execution engine follows
@@ -495,7 +542,7 @@ class AnalysisSession:
         if isinstance(scenarios, ScenarioSpec):
             scenarios = scenarios.expand()
         else:
-            warn_scenario_list()
+            raise AnalysisError(SCENARIO_LIST_REMOVED)
         if method == "hierarchical":
             from repro.core.hier import HierarchicalAnalyzer
 

@@ -5,6 +5,12 @@ faulty circuits disagree at some output — a satisfying assignment of the
 good/faulty miter.  UNSAT means the fault is **untestable**, i.e. the
 logic it feeds is redundant; on circuits with MUX-guarded false paths this
 is where the timing and testability stories meet (paper reference [7]).
+
+Test generation runs on one :class:`~repro.sat.IncrementalSolver`
+session per circuit: the good network is encoded once as permanent
+clauses, and each fault's miter half lives in a push/pop frame — the
+per-fault encoding retracts after the query while learned clauses about
+the good circuit accumulate across the whole fault list.
 """
 
 from __future__ import annotations
@@ -13,7 +19,8 @@ from dataclasses import dataclass
 
 from repro.atpg.faults import StuckAtFault, enumerate_faults, inject_fault
 from repro.netlist.network import Network
-from repro.sat.solver import Solver, SolveResult
+from repro.sat.incremental import IncrementalSolver
+from repro.sat.solver import SolveResult
 from repro.sat.tseitin import NetworkEncoder, encode_equal, encode_or, encode_xor2
 
 
@@ -30,31 +37,57 @@ class TestResult:
         return self.vector is not None
 
 
+class MiterSession:
+    """Incremental test generation over one circuit.
+
+    Encodes the good network once into a persistent session; each
+    :meth:`test` call encodes only the faulty copy and the miter glue
+    inside a retractable frame.
+    """
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.session = IncrementalSolver()
+        self._encoder = NetworkEncoder(self.session)
+        self._good_map = self._encoder.encode(network)
+
+    def test(self, fault: StuckAtFault) -> TestResult:
+        """Find a detecting vector for ``fault`` (or prove none exists)."""
+        network = self.network
+        faulty = inject_fault(network, fault)
+        session = self.session
+        session.push()
+        try:
+            bad_map = self._encoder.encode(faulty)
+            for x in network.inputs:
+                # the faulty copy keeps every port; tying the dangling
+                # one is a harmless no-op
+                encode_equal(session, self._good_map[x], bad_map[x])
+            diffs = []
+            for good_out, bad_out in zip(network.outputs, faulty.outputs):
+                d = session.new_var()
+                encode_xor2(
+                    session, d, self._good_map[good_out], bad_map[bad_out]
+                )
+                diffs.append(d)
+            top = session.new_var()
+            encode_or(session, top, diffs)
+            if session.solve((top,)) is SolveResult.UNSAT:
+                return TestResult(fault, None)
+            model = session.model()
+            vector = {x: model[self._good_map[x]] for x in network.inputs}
+            return TestResult(fault, vector)
+        finally:
+            session.pop()
+
+
 def generate_test(network: Network, fault: StuckAtFault) -> TestResult:
-    """Find a detecting vector via the good/faulty miter (or prove none)."""
-    faulty = inject_fault(network, fault)
-    enc = NetworkEncoder()
-    good_map = enc.encode(network)
-    bad_map = enc.encode(faulty)
-    cnf = enc.cnf
-    for x in network.inputs:
-        # the faulty copy keeps every port; tying the dangling one is a
-        # harmless no-op
-        encode_equal(cnf, good_map[x], bad_map[x])
-    diffs = []
-    for good_out, bad_out in zip(network.outputs, faulty.outputs):
-        d = cnf.new_var()
-        encode_xor2(cnf, d, good_map[good_out], bad_map[bad_out])
-        diffs.append(d)
-    top = cnf.new_var()
-    encode_or(cnf, top, diffs)
-    cnf.add_clause((top,))
-    solver = Solver(cnf)
-    if solver.solve() is SolveResult.UNSAT:
-        return TestResult(fault, None)
-    model = solver.model()
-    vector = {x: model[good_map[x]] for x in network.inputs}
-    return TestResult(fault, vector)
+    """Find a detecting vector via the good/faulty miter (or prove none).
+
+    One-shot convenience; callers testing many faults on one circuit
+    should hold a :class:`MiterSession` (as the bulk helpers below do).
+    """
+    return MiterSession(network).test(fault)
 
 
 def untestable_faults(
@@ -62,9 +95,8 @@ def untestable_faults(
 ) -> list[StuckAtFault]:
     """All untestable (redundant) faults in the list (default: all)."""
     faults = faults if faults is not None else enumerate_faults(network)
-    return [
-        f for f in faults if not generate_test(network, f).testable
-    ]
+    session = MiterSession(network)
+    return [f for f in faults if not session.test(f).testable]
 
 
 def generate_test_set(
@@ -80,11 +112,12 @@ def generate_test_set(
     remaining = list(
         faults if faults is not None else enumerate_faults(network)
     )
+    session = MiterSession(network)
     tests: list[dict[str, bool]] = []
     untestable: list[StuckAtFault] = []
     while remaining:
         fault = remaining.pop(0)
-        result = generate_test(network, fault)
+        result = session.test(fault)
         if result.vector is None:
             untestable.append(fault)
             continue

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
 from repro.core.required import characterize_network
-from repro.core.result import AnalysisResultMixin, deprecated_alias
+from repro.core.result import AnalysisResultMixin, removed_alias
 from repro.core.timing_model import NEG_INF, POS_INF, TimingModel
 from repro.core.xbd0 import Engine
 from repro.errors import AnalysisError, NetlistError
@@ -96,8 +96,8 @@ class HierResult(AnalysisResultMixin):
     #: run); each entry is a :class:`~repro.resilience.Degradation`.
     degradations: tuple[Degradation, ...] = ()
 
-    #: Deprecated spelling of :attr:`characterized_modules`.
-    characterized = deprecated_alias("characterized", "characterized_modules")
+    #: Removed spelling of :attr:`characterized_modules` (raises).
+    characterized = removed_alias("characterized", "characterized_modules")
 
     @property
     def degraded(self) -> bool:

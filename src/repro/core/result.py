@@ -18,8 +18,10 @@ the per-class dataclass fields; :class:`AnalysisResult` is the
 ``Protocol`` consumers should type against.
 
 Renamed accessors from earlier revisions (``HierResult.characterized``,
-``DemandDrivenResult.seconds``, ``SubFlatResult.seconds``) keep working
-through :func:`deprecated_alias` shims that emit ``DeprecationWarning``.
+``DemandDrivenResult.seconds``, ``SubFlatResult.seconds``) warned as
+deprecated for several releases and are now **removed**: reading them
+raises :class:`AttributeError` with the migration hint, via
+:func:`removed_alias`.
 """
 
 from __future__ import annotations
@@ -43,13 +45,37 @@ def warn_renamed(old: str, new: str) -> None:
 
 
 def deprecated_alias(old: str, new: str) -> property:
-    """A read-only property forwarding ``old`` to the renamed ``new``."""
+    """A read-only property forwarding ``old`` to the renamed ``new``.
+
+    First stage of the deprecation policy; once an alias has warned for
+    several releases it escalates to :func:`removed_alias`.
+    """
 
     def getter(self):
         warn_renamed(f"{type(self).__name__}.{old}", new)
         return getattr(self, new)
 
     getter.__doc__ = f"Deprecated alias of :attr:`{new}`."
+    return property(getter)
+
+
+def removed_alias(old: str, new: str) -> property:
+    """A property that hard-errors with the migration hint for ``old``.
+
+    Terminal stage of the deprecation policy.  Raising
+    :class:`AttributeError` (rather than silently vanishing) keeps the
+    failure mode identical to a missing attribute — ``hasattr`` and
+    ``getattr`` defaults behave normally — while the message tells the
+    caller exactly what to rename.
+    """
+
+    def getter(self):
+        raise AttributeError(
+            f"{type(self).__name__}.{old} was removed; "
+            f"use {new} instead"
+        )
+
+    getter.__doc__ = f"Removed alias of :attr:`{new}` (raises)."
     return property(getter)
 
 

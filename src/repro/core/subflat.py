@@ -23,7 +23,7 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
-from repro.core.result import AnalysisResultMixin, deprecated_alias
+from repro.core.result import AnalysisResultMixin, removed_alias
 from repro.core.xbd0 import Engine, StabilityAnalyzer
 from repro.errors import AnalysisError
 from repro.netlist.hierarchy import HierDesign
@@ -49,8 +49,8 @@ class SubFlatResult(AnalysisResultMixin):
     #: can assign the field.
     elapsed_seconds: float = 0.0
 
-    #: Deprecated spelling of :attr:`elapsed_seconds`.
-    seconds = deprecated_alias("seconds", "elapsed_seconds")
+    #: Removed spelling of :attr:`elapsed_seconds` (raises with a hint).
+    seconds = removed_alias("seconds", "elapsed_seconds")
 
     def _to_dict_extra(self) -> dict:
         return {"module_analyses": self.module_analyses}

@@ -37,6 +37,7 @@ from repro.netlist.gates import gate_primes
 from repro.netlist.network import Network
 from repro.obs.trace import Tracer, ensure_tracer
 from repro.sat.cnf import CNF
+from repro.sat.incremental import IncrementalSolver
 from repro.sat.solver import Solver, SolveResult
 from repro.sta.paths import event_time_candidates
 from repro.sta.topological import arrival_times
@@ -164,6 +165,41 @@ class _ExprManager:
         return memo[node]
 
 
+class StabilityContext:
+    """Shared incremental-SAT state for stability checks on one cone.
+
+    Bundles the structurally-hashed expression manager, one persistent
+    :class:`~repro.sat.incremental.IncrementalSolver` session, and the
+    cache mapping stability-DAG nodes to their CNF literals.  Analyzers
+    sharing a context may differ in *arrival condition*: arrivals decide
+    which expression nodes a query builds, but the definitional Tseitin
+    clauses of a node depend only on the DAG structure, so encodings and
+    learned clauses stay valid across every query the context serves.
+
+    The demand-driven analyzer keeps one context per (module, output)
+    cone so successive refinement checks reuse sub-encodings instead of
+    re-Tseitin-encoding the cone from scratch.
+    """
+
+    def __init__(self) -> None:
+        self.exprs = _ExprManager()
+        self.session = IncrementalSolver()
+        #: PI name → session variable (shared by all polarities/queries).
+        self.pi_vars: dict[str, int] = {}
+        #: Expression node → session literal of its definitional encoding.
+        self.node_lits: dict[int, int] = {}
+        #: id() of the care network whose image constraint was encoded.
+        self._care_for: int | None = None
+        self.nodes_encoded = 0
+        self.nodes_reused = 0
+
+    @property
+    def reuse_rate(self) -> float:
+        """Fraction of requested sub-encodings served from cache."""
+        total = self.nodes_encoded + self.nodes_reused
+        return self.nodes_reused / total if total else 0.0
+
+
 class StabilityAnalyzer:
     """Timed characteristic functions for one network + arrival condition.
 
@@ -180,6 +216,16 @@ class StabilityAnalyzer:
         Optional :class:`~repro.obs.trace.Tracer`; every SAT call and
         stability check is counted (and timed, for SAT) against it.
         ``None`` (the default) disables instrumentation entirely.
+    sat_mode:
+        ``"incremental"`` (default) answers tautology queries through a
+        persistent session with cached sub-encodings; ``"oneshot"``
+        re-encodes the cone and builds a fresh solver per check — kept
+        as the reference path for benchmarking and bisection.
+    context:
+        Optional :class:`StabilityContext` to share expression manager,
+        session, and encodings with other analyzers over the *same*
+        network structure (e.g. refinement checks under different
+        arrival conditions).  Implies the incremental path.
     """
 
     def __init__(
@@ -189,9 +235,17 @@ class StabilityAnalyzer:
         engine: Engine = "sat",
         care: Network | None = None,
         tracer: Tracer | None = None,
+        sat_mode: str = "incremental",
+        context: StabilityContext | None = None,
     ):
         if engine not in ("sat", "bdd", "brute"):
             raise AnalysisError(f"unknown engine {engine!r}")
+        if sat_mode not in ("incremental", "oneshot"):
+            raise AnalysisError(f"unknown sat_mode {sat_mode!r}")
+        if context is not None and sat_mode != "incremental":
+            raise AnalysisError(
+                "a shared StabilityContext requires sat_mode='incremental'"
+            )
         if care is not None and engine == "bdd":
             raise AnalysisError(
                 "care-set constraints are supported by the sat and brute "
@@ -217,11 +271,24 @@ class StabilityAnalyzer:
                 raise AnalysisError(
                     f"care outputs {missing!r} are not PIs of the network"
                 )
-        self._exprs = _ExprManager()
+        self.sat_mode = sat_mode
+        self._context = context
+        if context is None and engine == "sat" and sat_mode == "incremental":
+            self._context = StabilityContext()
+        self._exprs = (
+            self._context.exprs if self._context is not None
+            else _ExprManager()
+        )
         self._memo: dict[tuple[str, float], tuple[int, int]] = {}
+        self._stable_memo: dict[tuple[str, float], bool] = {}
         self._bdd: BDDManager | None = None
         self._bdd_memo: dict[int, int] = {}
-        self.stats = {"stability_checks": 0, "sat_calls": 0}
+        self.stats = {
+            "stability_checks": 0,
+            "checks_cached": 0,
+            "sat_calls": 0,
+            "encodings_reused": 0,
+        }
         self.tracer = ensure_tracer(tracer)
 
     # -------------------------------------------------- stability functions
@@ -289,7 +356,129 @@ class StabilityAnalyzer:
         return self._memo[root_key]
 
     # ------------------------------------------------------ tautology engines
+    def _encode_node(self, node: int) -> int:
+        """Session literal of ``node``, encoding missing sub-DAG parts.
+
+        Nodes already defined in the shared session (from an earlier
+        query — possibly by a different analyzer on the same context)
+        are reused as-is; only the frontier below ``node`` that has no
+        encoding yet gets fresh Tseitin clauses.  Definitional clauses
+        are arrival-independent, so they are permanently valid.
+        """
+        ctx = self._context
+        assert ctx is not None
+        exprs = self._exprs
+        node_lits = ctx.node_lits
+        session = ctx.session
+        fresh: list[int] = []
+        reused = 0
+        seen: set[int] = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            if n in node_lits:
+                reused += 1
+                continue
+            fresh.append(n)
+            if exprs.kind[n] in ("and", "or"):
+                stack.extend(exprs.data[n])  # type: ignore[arg-type]
+        # Manager node ids are topological (children are interned before
+        # parents), so ascending id order defines children first.
+        for n in sorted(fresh):
+            kind = exprs.kind[n]
+            if kind == "lit":
+                pi, pos = exprs.data[n]  # type: ignore[misc]
+                var = ctx.pi_vars.get(pi)
+                if var is None:
+                    var = ctx.pi_vars[pi] = session.new_var()
+                node_lits[n] = var if pos else -var
+            else:
+                children = [node_lits[c] for c in exprs.data[n]]  # type: ignore[union-attr]
+                v = session.new_var()
+                if kind == "and":
+                    for lit in children:
+                        session.add_clause((-v, lit))
+                    session.add_clause((v, *(-l for l in children)))
+                else:
+                    for lit in children:
+                        session.add_clause((v, -lit))
+                    session.add_clause((-v, *children))
+                node_lits[n] = v
+        ctx.nodes_encoded += len(fresh)
+        ctx.nodes_reused += reused
+        self.stats["encodings_reused"] += reused
+        if self.tracer.enabled:
+            if fresh:
+                self.tracer.count("xbd0.encodings_new", len(fresh))
+            if reused:
+                self.tracer.count("xbd0.encodings_reused", reused)
+            self.tracer.gauge("xbd0.encoding_reuse_rate", ctx.reuse_rate)
+        return node_lits[node]
+
+    def _ensure_care_session(self) -> None:
+        """Encode the care-image constraint into the shared session once.
+
+        The constraint ties same-named PI variables to the care network's
+        outputs; it is identical for every query, so it lives with the
+        permanent clauses.  A context serves exactly one care network.
+        """
+        ctx = self._context
+        assert ctx is not None and self.care is not None
+        if ctx._care_for is not None:
+            if ctx._care_for != id(self.care):
+                raise AnalysisError(
+                    "StabilityContext is bound to a different care network"
+                )
+            return
+        from repro.sat.tseitin import NetworkEncoder, encode_equal
+
+        session = ctx.session
+        encoder = NetworkEncoder(session)
+        care_map = encoder.encode(self.care)
+        for out in self.care.outputs:
+            var = ctx.pi_vars.get(out)
+            if var is None:
+                var = ctx.pi_vars[out] = session.new_var()
+            encode_equal(session, var, care_map[out])
+        ctx._care_for = id(self.care)
+
+    def _tautology_sat_incremental(self, node: int) -> bool:
+        """Tautology via the persistent session: UNSAT under ``¬node``.
+
+        No clause asserts the query — the negated node literal rides in
+        as an assumption, so the session is never poisoned and learned
+        clauses remain sound for every later query.
+        """
+        lit = self._encode_node(node)
+        if self.care is not None:
+            self._ensure_care_session()
+        session = self._context.session  # type: ignore[union-attr]
+        self.stats["sat_calls"] += 1
+        tracer = self.tracer
+        if not tracer.enabled:
+            return session.solve((-lit,)) is SolveResult.UNSAT
+        t0 = time.perf_counter()
+        unsat = session.solve((-lit,)) is SolveResult.UNSAT
+        tracer.count("xbd0.sat_calls")
+        tracer.gauge("xbd0.expr_nodes", len(self._exprs.kind))
+        tracer.event(
+            "sat-call",
+            seconds=time.perf_counter() - t0,
+            variables=session.num_vars,
+            unsat=unsat,
+            incremental=True,
+        )
+        return unsat
+
     def _tautology_sat(self, node: int) -> bool:
+        if self._context is not None:
+            return self._tautology_sat_incremental(node)
+        return self._tautology_sat_oneshot(node)
+
+    def _tautology_sat_oneshot(self, node: int) -> bool:
         exprs = self._exprs
         cnf = CNF()
         pi_vars: dict[str, int] = {}
@@ -443,12 +632,28 @@ class StabilityAnalyzer:
 
     # --------------------------------------------------------------- queries
     def stable_at(self, output: str, t: float) -> bool:
-        """True iff ``output`` is stable by ``t`` for every input vector."""
+        """True iff ``output`` is stable by ``t`` for every input vector.
+
+        Results are memoized per ``(output, t)``: ``stability_checks``
+        counts every query, ``checks_cached`` the memo-served ones, and
+        ``sat_calls`` only the checks that actually reached a solver —
+        the three stay consistent (`sat_calls <= checks - cached`).
+        """
+        key = (output, self._tkey(t))
         self.stats["stability_checks"] += 1
-        if self.tracer.enabled:
-            self.tracer.count("xbd0.stability_checks")
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.count("xbd0.stability_checks")
+        cached = self._stable_memo.get(key)
+        if cached is not None:
+            self.stats["checks_cached"] += 1
+            if tracer.enabled:
+                tracer.count("xbd0.checks_cached")
+            return cached
         s0, s1 = self.stability_pair(output, t)
-        return self._is_tautology(self._exprs.disj([s0, s1]))
+        stable = self._is_tautology(self._exprs.disj([s0, s1]))
+        self._stable_memo[key] = stable
+        return stable
 
     def unstable_witness(
         self, output: str, t: float
@@ -498,6 +703,33 @@ class StabilityAnalyzer:
 
     def _sat_witness(self, node: int) -> dict[str, bool] | None:
         """SAT model of ¬(S0+S1) (∧ care), mapped back to PI names."""
+        if self._context is not None:
+            return self._sat_witness_incremental(node)
+        return self._sat_witness_oneshot(node)
+
+    def _sat_witness_incremental(self, node: int) -> dict[str, bool] | None:
+        ctx = self._context
+        assert ctx is not None
+        exprs = self._exprs
+        if exprs.kind[node] == "const":
+            if exprs.data[node]:
+                return None  # TRUE has no counterexample
+            # FALSE fails on every vector; the witness must still come
+            # from the care image, so solve under the care constraint
+            # alone (no assumption) when one is attached.
+            assumptions: tuple[int, ...] = ()
+        else:
+            assumptions = (-self._encode_node(node),)
+        if self.care is not None:
+            self._ensure_care_session()
+        elif not assumptions:
+            return {}
+        if ctx.session.solve(assumptions) is SolveResult.UNSAT:
+            return None
+        model = ctx.session.model()
+        return {pi: model[var] for pi, var in ctx.pi_vars.items()}
+
+    def _sat_witness_oneshot(self, node: int) -> dict[str, bool] | None:
         exprs = self._exprs
         cnf = CNF()
         pi_vars: dict[str, int] = {}

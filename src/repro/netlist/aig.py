@@ -16,8 +16,8 @@ from __future__ import annotations
 from repro.errors import NetlistError
 from repro.netlist.gates import GateType
 from repro.netlist.network import Network
-from repro.sat.cnf import CNF
-from repro.sat.solver import Solver, SolveResult
+from repro.sat.incremental import IncrementalSolver
+from repro.sat.solver import SolveResult
 
 #: Constant edges.
 FALSE_EDGE = 0
@@ -37,6 +37,9 @@ class AIG:
         self._nodes: list[tuple[int, int] | None] = [None]
         self._strash: dict[tuple[int, int], int] = {}
         self._inputs: dict[str, int] = {}
+        # lazy persistent SAT session: node id -> solver variable
+        self._sat: IncrementalSolver | None = None
+        self._sat_vars: dict[int, int] = {}
 
     # ------------------------------------------------------------------ build
     def input_edge(self, name: str) -> int:
@@ -115,61 +118,72 @@ class AIG:
         return bool(memo[edge >> 1] ^ (edge & 1))
 
     # ------------------------------------------------------------------- SAT
+    def _sat_encode(self, roots: tuple[int, ...]) -> None:
+        """Permanently encode the cone of ``roots`` into the session.
+
+        Node definitions are arrival-independent Tseitin clauses, so they
+        go in as permanent clauses and are shared by every later query on
+        this AIG; only nodes not yet in the variable map are encoded.
+        Fanins always have smaller ids than their AND node, so ascending
+        id order is a topological order.
+        """
+        session = self._sat
+        assert session is not None
+        fresh: list[int] = []
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if node in self._sat_vars:
+                continue
+            self._sat_vars[node] = 0  # reserve; real var assigned below
+            fresh.append(node)
+            fan = self._nodes[node] if node else None
+            if fan is not None:
+                stack.extend(e >> 1 for e in fan)
+        for node in sorted(fresh):
+            v = session.new_var()
+            self._sat_vars[node] = v
+            if node == 0:
+                session.add_clause((-v,))  # constant FALSE
+                continue
+            fan = self._nodes[node]
+            if fan is None:
+                continue  # free input variable
+            a, b = fan
+            session.add_clause((-v, self._sat_lit(a)))
+            session.add_clause((-v, self._sat_lit(b)))
+            session.add_clause((v, -self._sat_lit(a), -self._sat_lit(b)))
+
+    def _sat_lit(self, edge: int) -> int:
+        v = self._sat_vars[edge >> 1]
+        return -v if edge & 1 else v
+
     def edge_equal_sat(self, left: int, right: int) -> bool:
-        """SAT-prove two edges compute the same function."""
+        """SAT-prove two edges compute the same function.
+
+        Queries run on one persistent :class:`IncrementalSolver` session
+        per AIG: cone encodings are permanent and shared across calls,
+        while the XOR miter of each query lives in a push/pop frame that
+        retracts afterwards.
+        """
         if left == right:
             return True
         if left == edge_not(right):
             return self._constant_space()
-        cnf = CNF()
-        node_vars: dict[int, int] = {}
-
-        def var_of(node: int) -> int:
-            v = node_vars.get(node)
-            if v is None:
-                v = cnf.new_var()
-                node_vars[node] = v
-            return v
-
-        def lit_of(edge: int) -> int:
-            v = var_of(edge >> 1)
-            return -v if edge & 1 else v
-
-        # collect the cone
-        seen: set[int] = set()
-        stack = [left >> 1, right >> 1]
-        order: list[int] = []
-        while stack:
-            node = stack.pop()
-            if node in seen or node == 0:
-                continue
-            seen.add(node)
-            order.append(node)
-            fan = self._nodes[node]
-            if fan is not None:
-                stack.extend(e >> 1 for e in fan)
-        for node in order:
-            fan = self._nodes[node]
-            if fan is None:
-                var_of(node)  # free input variable
-                continue
-            a, b = fan
-            v = var_of(node)
-            cnf.add_clause((-v, lit_of(a)))
-            cnf.add_clause((-v, lit_of(b)))
-            cnf.add_clause((v, -lit_of(a), -lit_of(b)))
-        if 0 in {left >> 1, right >> 1}:
-            v0 = var_of(0)
-            cnf.add_clause((-v0,))
-        # XOR of the two roots must be unsatisfiable
-        l, r = lit_of(left), lit_of(right)
-        d = cnf.new_var()
-        cnf.add_clause((-d, l, r))
-        cnf.add_clause((-d, -l, -r))
-        cnf.add_clause((d, l, -r))
-        cnf.add_clause((d, -l, r))
-        cnf.add_clause((d,))
-        return Solver(cnf).solve() is SolveResult.UNSAT
+        if self._sat is None:
+            self._sat = IncrementalSolver()
+        session = self._sat
+        self._sat_encode((left >> 1, right >> 1))
+        l, r = self._sat_lit(left), self._sat_lit(right)
+        session.push()
+        try:
+            # assume d with d -> (l xor r); UNSAT means the edges agree
+            d = session.new_var()
+            session.add_clause((-d, l, r))
+            session.add_clause((-d, -l, -r))
+            return session.solve((d,)) is SolveResult.UNSAT
+        finally:
+            session.pop()
 
     @staticmethod
     def _constant_space() -> bool:

@@ -74,6 +74,7 @@ def run_resilient(
     point: str = "scheduler.task",
     serial_point: str = "scheduler.serial",
     sleep: Callable[[float], None] = time.sleep,
+    serial_fallback: bool = True,
 ) -> list[TaskOutcome]:
     """Map ``task`` over ``payloads``, surviving crashes and timeouts.
 
@@ -84,6 +85,14 @@ def run_resilient(
 
     ``subject_of(payload)`` names the payload for degradation records
     and fault-rule matching (e.g. ``{"module": name}``).
+
+    ``serial_fallback=False`` skips the in-process recovery phase:
+    whatever the pool could not finish comes back ``ok=False`` and the
+    caller decides.  The demand-driven portfolio uses this for its
+    speculative checks — a check that blew its per-check deadline must
+    be *skipped* (sound degradation), not ground out serially.
+    Outcomes with ``failures == 0`` were never attempted (e.g. the pool
+    could not be built) and may safely be retried in-process.
     """
     deadline = deadline if deadline is not None else UNLIMITED
     dlog = dlog if dlog is not None else DegradationLog()
@@ -105,6 +114,8 @@ def run_resilient(
 
     # Serial phase: first attempt of a serial run, or the in-process
     # fallback for everything the pool could not finish.
+    if not serial_fallback:
+        return outcomes
     for i in pending:
         outcome = outcomes[i]
         if deadline.expired():

@@ -1,7 +1,14 @@
-"""SAT substrate: CNF, CDCL solver, Tseitin encoding, DIMACS I/O."""
+"""SAT substrate: incremental sessions, CDCL solver, Tseitin, DIMACS I/O.
+
+:class:`IncrementalSolver` is the blessed entry point — a persistent
+session with assumption-based queries and push/pop frames.  The one-shot
+helpers (``solve_cnf``, ``Solver(cnf).solve()``) remain as thin wrappers
+for single-query callers.
+"""
 
 from repro.sat.cnf import CNF, Clause, Literal
 from repro.sat.dimacs import dumps_dimacs, loads_dimacs, read_dimacs, write_dimacs
+from repro.sat.incremental import IncrementalSolver
 from repro.sat.solver import Solver, SolveResult, luby, solve_cnf
 from repro.sat.tseitin import (
     NetworkEncoder,
@@ -16,6 +23,7 @@ from repro.sat.tseitin import (
 __all__ = [
     "CNF",
     "Clause",
+    "IncrementalSolver",
     "Literal",
     "NetworkEncoder",
     "SolveResult",

@@ -1,0 +1,164 @@
+"""Incremental SAT sessions: persistent clause database, push/pop frames.
+
+:class:`IncrementalSolver` is the blessed entry point of ``repro.sat``.
+It wraps one long-lived CDCL :class:`~repro.sat.solver.Solver` and adds
+the two ingredients every incremental client needs:
+
+* **assumption-based queries** — :meth:`solve` decides satisfiability
+  under per-call assumption literals without resetting solver state, so
+  learned clauses, variable activities, and saved phases carry over to
+  the next (usually closely related) query;
+* **retractable frames** — :meth:`push` opens a frame guarded by a fresh
+  *activation literal* ``a``: every clause ``C`` added while the frame
+  is open is stored as ``C ∨ ¬a`` and only takes effect while ``a`` is
+  assumed.  :meth:`pop` retires the frame by asserting ``¬a`` as a
+  permanent unit and purging the now-satisfied clauses from the
+  database, so retracted encodings cost nothing afterwards.
+
+Soundness of the frame discipline rests on the standard activation
+argument: any clause the solver *learns* from a tagged clause keeps
+``¬a`` in the resolvent (the only clauses mentioning ``a`` positively
+are never added), so learned clauses that survive a pop were derived
+from permanent clauses alone.  DB reduction in the core solver is
+likewise safe — it only ever forgets learned clauses, never originals.
+
+Typical use::
+
+    session = IncrementalSolver()
+    session.add_cnf(base_encoding)          # permanent clauses
+    session.push()                          # retractable cone encoding
+    session.add_clause([x, -y])
+    if session.solve(assumptions=[q]) is SolveResult.SAT:
+        model = session.model()
+    session.pop()                           # retract, keep learnings
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import SolverError
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver, SolveResult
+
+__all__ = ["IncrementalSolver"]
+
+
+class IncrementalSolver:
+    """One persistent SAT session over the CDCL core.
+
+    The session owns the variable space: allocate query variables with
+    :meth:`new_var` (or load a prepared :class:`~repro.sat.cnf.CNF`
+    via :meth:`add_cnf`, which reserves its variables).  Activation
+    variables for frames come out of the same space, so callers must
+    not invent variable numbers beyond what the session handed out.
+    """
+
+    def __init__(self, *, reduce_base: int = 4000):
+        self._solver = Solver(reduce_base=reduce_base)
+        #: Activation variable of each open frame, outermost first.
+        self._frames: list[int] = []
+        self.stats = {
+            "solve_calls": 0,
+            "clauses_added": 0,
+            "frames_pushed": 0,
+            "frames_popped": 0,
+            "clauses_retired": 0,
+        }
+
+    # ------------------------------------------------------------- variables
+    @property
+    def num_vars(self) -> int:
+        """Variables allocated so far (frame activation vars included)."""
+        return self._solver.num_vars
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open frames."""
+        return len(self._frames)
+
+    def new_var(self) -> int:
+        """Allocate one fresh variable."""
+        return self._solver.new_var()
+
+    # --------------------------------------------------------------- clauses
+    def add_cnf(self, cnf: CNF) -> None:
+        """Load every clause of ``cnf``, reserving its variable range.
+
+        Inside an open frame the clauses are tagged like any other
+        :meth:`add_clause` call and retract on :meth:`pop`.
+        """
+        while self._solver.num_vars < cnf.num_vars:
+            self._solver.new_var()
+        for clause in cnf:
+            self.add_clause(clause)
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add one clause of DIMACS literals.
+
+        With an open frame the clause is stored as ``C ∨ ¬a`` for the
+        innermost activation literal ``a`` — active only while the
+        frame lives.  Frames are strictly nested (LIFO), so tagging
+        with the innermost literal alone is sufficient.
+        """
+        lits = list(literals)
+        if self._frames:
+            lits.append(-self._frames[-1])
+        self._solver.cancel()
+        self._solver.add_clause(lits)
+        self.stats["clauses_added"] += 1
+
+    # ---------------------------------------------------------------- frames
+    def push(self) -> int:
+        """Open a retractable frame; returns its activation variable."""
+        act = self._solver.new_var()
+        self._frames.append(act)
+        self.stats["frames_pushed"] += 1
+        return act
+
+    def pop(self) -> None:
+        """Retire the innermost frame.
+
+        Asserts the frame's ``¬a`` as a permanent unit and purges every
+        clause the literal now satisfies — the frame's own clauses and
+        any learned clause derived from them.  Learned clauses that
+        survive were derived from permanent clauses alone and remain
+        valid for future queries.
+        """
+        if not self._frames:
+            raise SolverError("pop without a matching push")
+        act = self._frames.pop()
+        self._solver.cancel()
+        self._solver.add_clause((-act,))
+        self.stats["frames_popped"] += 1
+        if self._solver.ok:
+            self.stats["clauses_retired"] += self._solver.purge_satisfied(
+                -act
+            )
+
+    # ----------------------------------------------------------------- solve
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: int | None = None,
+    ) -> SolveResult:
+        """Decide satisfiability under the open frames and ``assumptions``.
+
+        The activation literals of every open frame are assumed
+        automatically (outermost first) ahead of the caller's
+        assumptions.  UNSAT under assumptions does not poison the
+        session: drop or change the assumptions and solve again.
+        """
+        self.stats["solve_calls"] += 1
+        assume = list(self._frames)
+        assume.extend(assumptions)
+        return self._solver.solve(assume, conflict_limit)
+
+    def model(self) -> dict[int, bool]:
+        """Assignment after a SAT answer (var → bool)."""
+        return self._solver.model()
+
+    @property
+    def solver_stats(self) -> dict:
+        """Statistics of the underlying CDCL core."""
+        return self._solver.stats

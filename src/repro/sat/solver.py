@@ -90,6 +90,21 @@ class Solver:
             self.add_cnf(cnf)
 
     # ----------------------------------------------------------- construction
+    @property
+    def num_vars(self) -> int:
+        """Number of variables the solver currently knows about."""
+        return self._nvars
+
+    @property
+    def ok(self) -> bool:
+        """False once the clause database is known unsatisfiable."""
+        return not self._empty_clause
+
+    def new_var(self) -> int:
+        """Allocate (and return) one fresh variable."""
+        self._ensure_vars(self._nvars + 1)
+        return self._nvars
+
     def _ensure_vars(self, nvars: int) -> None:
         while self._nvars < nvars:
             self._nvars += 1
@@ -144,6 +159,51 @@ class Solver:
         self._watches[lits[0]].append(idx)
         self._watches[lits[1]].append(idx)
         return idx
+
+    def cancel(self) -> None:
+        """Return to decision level 0 (keeps learned clauses and phases).
+
+        The incremental session calls this before adding clauses so a
+        prior :meth:`solve` cannot leave the solver mid-search.
+        """
+        self._backtrack(0)
+
+    def purge_satisfied(self, ext: int) -> int:
+        """Detach every clause containing ``ext``; returns how many.
+
+        ``ext`` must be true at level 0 — the caller just added it as a
+        unit (e.g. the negated activation literal of a popped frame), so
+        every clause containing it is permanently satisfied dead weight.
+        Level-0 trail entries whose reason clause is purged have the
+        reason pointer cleared; conflict analysis never dereferences
+        level-0 reasons, so this only keeps the bookkeeping honest.
+        """
+        if self._trail_lim:
+            raise SolverError("cannot purge clauses mid-search")
+        lit = self._to_internal(ext)
+        if self._value(lit) != 1:
+            raise SolverError("purge literal must be true at level 0")
+        purged: set[int] = set()
+        for idx, clause in enumerate(self._clauses):
+            if not clause or lit not in clause:
+                continue
+            for watched in clause[:2]:
+                try:
+                    self._watches[watched].remove(idx)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+            self._clauses[idx] = []
+            purged.add(idx)
+            self.stats["deleted"] += 1
+        if purged:
+            for trail_lit in self._trail:
+                var = trail_lit >> 1
+                if self._reason[var] in purged:
+                    self._reason[var] = -1
+            self._learned_idxs = [
+                idx for idx in self._learned_idxs if idx not in purged
+            ]
+        return len(purged)
 
     # -------------------------------------------------------------- encoding
     @staticmethod
@@ -445,9 +505,18 @@ class Solver:
 def solve_cnf(
     cnf: CNF, assumptions: Sequence[int] = ()
 ) -> tuple[SolveResult, dict[int, bool] | None]:
-    """One-shot convenience wrapper: returns ``(result, model_or_None)``."""
-    solver = Solver(cnf)
-    result = solver.solve(assumptions)
+    """One-shot convenience wrapper: returns ``(result, model_or_None)``.
+
+    Thin veneer over :class:`repro.sat.incremental.IncrementalSolver` —
+    the blessed entry point.  Callers issuing more than one query over
+    related formulas should hold a session instead, so learned clauses
+    and encodings carry over between calls.
+    """
+    from repro.sat.incremental import IncrementalSolver
+
+    session = IncrementalSolver()
+    session.add_cnf(cnf)
+    result = session.solve(assumptions)
     if result is SolveResult.SAT:
-        return result, solver.model()
+        return result, session.model()
     return result, None

@@ -164,6 +164,15 @@ class ScenarioSet(ScenarioSpec):
         self.scenarios = tuple(items)
         self.name = str(name)
 
+    @classmethod
+    def of(cls, *scenarios, name: str = "") -> "ScenarioSet":
+        """Variadic constructor: ``ScenarioSet.of({}, {"c_in": 2.0})``.
+
+        The drop-in migration for legacy bare-``list[dict]`` batches —
+        ``analyze_batch(ScenarioSet.of(*scenarios))``.
+        """
+        return cls(scenarios, name=name)
+
     def count(self) -> int:
         return len(self.scenarios)
 

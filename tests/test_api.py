@@ -208,21 +208,27 @@ class TestResultProtocol:
             assert snapshot["elapsed_seconds"] >= 0.0
 
 
-class TestDeprecationShims:
-    def test_hier_characterized(self, csa4_design):
+class TestRemovedShims:
+    """The PR-2 rename shims escalated from warning to hard error."""
+
+    def test_hier_characterized_removed(self, csa4_design):
         result = HierarchicalAnalyzer(csa4_design).analyze()
-        with pytest.warns(DeprecationWarning, match="characterized_modules"):
-            assert result.characterized == result.characterized_modules
+        with pytest.raises(AttributeError, match="characterized_modules"):
+            result.characterized
+        assert not hasattr(result, "characterized")
+        assert result.characterized_modules
 
-    def test_demand_seconds(self, csa4_design):
+    def test_demand_seconds_removed(self, csa4_design):
         result = DemandDrivenAnalyzer(csa4_design).analyze()
-        with pytest.warns(DeprecationWarning, match="elapsed_seconds"):
-            assert result.seconds == result.elapsed_seconds
+        with pytest.raises(AttributeError, match="elapsed_seconds"):
+            result.seconds
+        assert result.elapsed_seconds >= 0.0
 
-    def test_subflat_seconds(self, csa4_design):
+    def test_subflat_seconds_removed(self, csa4_design):
         result = SubcircuitFlatAnalyzer(csa4_design).analyze()
-        with pytest.warns(DeprecationWarning, match="elapsed_seconds"):
-            assert result.seconds == result.elapsed_seconds
+        with pytest.raises(AttributeError, match="elapsed_seconds"):
+            result.seconds
+        assert result.elapsed_seconds >= 0.0
 
 
 class TestLegacyConstructors:

@@ -105,7 +105,9 @@ class TestCompiledHandleThreadSafety:
         _hammer(worker)
 
     def test_analyze_batch_matches_handle(self, session, scenarios):
-        result = session.analyze_batch(scenarios)
+        from repro.scenarios import ScenarioSet
+
+        result = session.analyze_batch(ScenarioSet.of(*scenarios))
         handle = session.compile()
         rows = handle.propagate_rows(scenarios, nets=handle.outputs)
         assert len(result) == len(rows)

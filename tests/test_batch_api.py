@@ -22,6 +22,7 @@ from repro.core.subflat import SubcircuitFlatAnalyzer
 from repro.errors import AnalysisError, ReproError
 from repro.kernel import CompiledDesign
 from repro.parsers.verilog import dumps_verilog
+from repro.scenarios import ScenarioSet
 
 POS_INF = float("inf")
 
@@ -81,7 +82,7 @@ class TestSession:
     def test_analyze_batch_hierarchical(self, design):
         session = AnalysisSession(design)
         scenarios = [{}, {"a7": 20.0}]
-        batch = session.analyze_batch(scenarios)
+        batch = session.analyze_batch(ScenarioSet.of(*scenarios))
         assert isinstance(batch, BatchResult)
         assert len(batch) == 2
         assert batch.method == "hierarchical"
@@ -96,7 +97,9 @@ class TestSession:
 
     def test_analyze_batch_demand(self, design):
         session = AnalysisSession(design)
-        batch = session.analyze_batch([{}, {"c_in": 3.0}], method="demand")
+        batch = session.analyze_batch(
+            ScenarioSet.of({}, {"c_in": 3.0}), method="demand"
+        )
         assert batch.method == "demand"
         assert len(batch) == 2
         assert batch.stats["refinements"] >= 1
@@ -105,25 +108,29 @@ class TestSession:
 
     def test_analyze_batch_unknown_method(self, design):
         with pytest.raises(AnalysisError, match="unknown batch method"):
-            AnalysisSession(design).analyze_batch([{}], method="exact")
+            AnalysisSession(design).analyze_batch(
+                ScenarioSet.of({}), method="exact"
+            )
 
     def test_batch_result_json_round_trip(self, design):
-        batch = AnalysisSession(design).analyze_batch([{}])
+        batch = AnalysisSession(design).analyze_batch(ScenarioSet.of({}))
         snapshot = json.loads(json.dumps(batch.to_dict()))
         assert snapshot["kind"] == "BatchResult"
         assert snapshot["method"] == "hierarchical"
         assert len(snapshot["scenarios"]) == 1
 
-    def test_empty_batch(self, design):
-        batch = AnalysisSession(design).analyze_batch([])
-        assert len(batch) == 0
-        assert batch.worst_scenario() == -1
+    def test_bare_list_removed(self, design):
+        session = AnalysisSession(design)
+        with pytest.raises(AnalysisError, match="ScenarioSet"):
+            session.analyze_batch([])
+        with pytest.raises(AnalysisError, match="ScenarioSet.of"):
+            session.analyze_batch([{}, {"c_in": 1.0}])
 
     def test_interpreted_engine_forced(self, design):
         session = AnalysisSession(
             design, options=AnalysisOptions(exec_engine="interpreted")
         )
-        batch = session.analyze_batch([{}, {"c_in": 1.0}])
+        batch = session.analyze_batch(ScenarioSet.of({}, {"c_in": 1.0}))
         assert batch.exec_engine == "interpreted"
 
 

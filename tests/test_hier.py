@@ -45,9 +45,9 @@ class TestHierarchicalAnalysis:
     def test_characterization_cached_across_analyses(self, csa4_design):
         analyzer = HierarchicalAnalyzer(csa4_design)
         first = analyzer.analyze()
-        assert first.characterized == ("csa_block2",)
+        assert first.characterized_modules == ("csa_block2",)
         second = analyzer.analyze({"c_in": 3.0})
-        assert second.characterized == ()
+        assert second.characterized_modules == ()
 
     def test_different_arrivals_reuse_models(self, csa4_design):
         analyzer = HierarchicalAnalyzer(csa4_design)

@@ -118,7 +118,7 @@ class TestBlackBoxAnalysis:
         analyzer = HierarchicalAnalyzer(design)
         analyzer.preload_models("bb", models2)
         result = analyzer.analyze({"c_in": 6.0})
-        assert result.characterized == ()
+        assert result.characterized_modules == ()
         # skip false path honoured through the abstraction
         assert result.output_times["c_out_o"] == 8.0
 

@@ -92,5 +92,5 @@ class TestAnalyzeLazy:
         analyzer = HierarchicalAnalyzer(design)
         analyzer.preload_models("blk", models)
         result = analyzer.analyze_lazy()
-        assert result.characterized == ()
+        assert result.characterized_modules == ()
         assert result.delay == 14.0

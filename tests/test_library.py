@@ -309,7 +309,7 @@ class TestAnalyzerIntegration:
         assert warm.stats.characterizations == 0
         assert warm.stats.hits == 1
         # a hit still counts as freshly installed models for this run
-        assert second.characterized == ("csa_block2",)
+        assert second.characterized_modules == ("csa_block2",)
         assert second.net_times == first.net_times == baseline.net_times
 
     def test_corrupted_cache_degrades_gracefully(self, tmp_path):
@@ -346,7 +346,7 @@ class TestAnalyzerIntegration:
             multi_module_design(), jobs=4
         ).analyze()
         assert parallel.net_times == serial.net_times
-        assert set(parallel.characterized) == set(serial.characterized)
+        assert set(parallel.characterized_modules) == set(serial.characterized_modules)
 
     def test_topological_mode_skips_library(self, tmp_path):
         lib = ModelLibrary(tmp_path / "cache")

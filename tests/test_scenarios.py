@@ -91,6 +91,13 @@ class TestScenarioSpec:
         assert spec.expand() == [{"a": 1.0}, {"b": 2.0}]
         assert spec.scenarios[1].name == "x"
 
+    def test_set_of_variadic(self):
+        spec = ScenarioSet.of({"a": 1.0}, {"b": 2.0}, name="pair")
+        assert spec.expand() == [{"a": 1.0}, {"b": 2.0}]
+        assert spec.name == "pair"
+        with pytest.raises(ReproError, match="empty"):
+            ScenarioSet.of()
+
     def test_set_rejects_empty(self):
         with pytest.raises(ReproError, match="empty"):
             ScenarioSet([])
@@ -469,11 +476,10 @@ class TestSessionSurface:
             )
         assert len(batch.scenarios) == 2
 
-    def test_bare_list_warns_deprecation(self, design):
+    def test_bare_list_rejected(self, design):
         session = AnalysisSession(design)
-        with pytest.warns(DeprecationWarning, match="ScenarioSpec"):
-            batch = session.analyze_batch([{"a0": 1.0}])
-        assert len(batch.scenarios) == 1
+        with pytest.raises(ReproError, match="ScenarioSet"):
+            session.analyze_batch([{"a0": 1.0}])
 
     def test_coerce_scenarios_expands_specs(self, design):
         out = coerce_scenarios(
