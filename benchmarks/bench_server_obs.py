@@ -1,0 +1,154 @@
+"""Served-path observability overhead guard.
+
+The acceptance bar: with request tracing, trace-context propagation,
+and the flight recorder all **on** (the server's default
+configuration), serving a concurrent coalesced workload must cost
+< 5% more wall-clock than the same workload on a stripped server
+(NULL tracer, flight recorder disabled).  The sampling profiler is
+default-off and therefore not part of the measured configuration.
+
+The guarded regime is the *concurrent* one — that is how the server
+runs in production, and it is where the coalescer amortizes the
+per-batch span cost across the requests that shared the kernel call.
+The single-client sequential regime is also measured and reported in
+the JSON payload, but only informationally: there every request pays
+the full batch-of-one flusher round trip, so the fixed ~10-20
+microseconds of tracing shows up as a large *fraction* of an ~90
+microsecond request while being negligible in absolute terms.
+
+Methodology mirrors ``bench_incremental.test_traced_overhead_guard``:
+paired min-of-N measurements, alternating obs-off and obs-on rounds so
+clock drift and thermal effects hit both sides equally, plus an
+absolute noise floor because one scheduler blip exceeds 5% of a
+millisecond-scale round on its own.
+
+Emits ``benchmarks/results/server_obs_overhead.json`` for trajectory
+tracking (compare against ``benchmarks/baselines/`` with
+``tools/bench_compare.py``).
+
+Run: pytest benchmarks/bench_server_obs.py -q
+"""
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.circuits.adders import cascade_adder
+from repro.server import CoalesceConfig, TimingServerApp
+from repro.server.registry import DesignRegistry
+
+REQUEST = json.dumps(
+    {"design": "csa8_2", "arrival": {"a0": 1.0, "b0": 2.0}}
+).encode()
+
+CLIENTS = 4
+REQUESTS_PER_CLIENT = 50
+
+
+def make_obs_on():
+    """The default serving configuration: tracer + flight recorder."""
+    app = TimingServerApp(coalesce=CoalesceConfig(max_batch=8))
+    app.registry.register_design(cascade_adder(8, 2))
+    return app
+
+
+def make_obs_off():
+    """Same server with every observability surface stripped."""
+    registry = DesignRegistry(coalesce=CoalesceConfig(max_batch=8))
+    app = TimingServerApp(registry, flight_capacity=0)
+    app.registry.register_design(cascade_adder(8, 2))
+    return app
+
+
+def concurrent_round(app) -> float:
+    """Wall-clock seconds for CLIENTS threads serving their requests."""
+
+    def client():
+        for _ in range(REQUESTS_PER_CLIENT):
+            status, _, _ = app.handle("POST", "/analyze", REQUEST)
+            assert status == 200
+
+    threads = [threading.Thread(target=client) for _ in range(CLIENTS)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - t0
+
+
+def sequential_round(app, requests: int = 40) -> float:
+    """Seconds to serve ``requests`` back-to-back single requests."""
+    t0 = time.perf_counter()
+    for _ in range(requests):
+        status, _, _ = app.handle("POST", "/analyze", REQUEST)
+        assert status == 200
+    return time.perf_counter() - t0
+
+
+def test_served_path_obs_overhead_guard():
+    budget = 0.05
+    noise_floor = 5e-3  # seconds per ~130ms round; absolute slack
+    rounds = 5
+
+    on = make_obs_on()
+    off = make_obs_off()
+    try:
+        # warmup both servers: model characterization, allocator, caches
+        sequential_round(on, 10)
+        sequential_round(off, 10)
+
+        off_times: list[float] = []
+        on_times: list[float] = []
+        seq_off_times: list[float] = []
+        seq_on_times: list[float] = []
+        for _ in range(rounds):
+            off_times.append(concurrent_round(off))
+            on_times.append(concurrent_round(on))
+            seq_off_times.append(sequential_round(off))
+            seq_on_times.append(sequential_round(on))
+    finally:
+        on.close()
+        off.close()
+
+    off_seconds = min(off_times)
+    on_seconds = min(on_times)
+    overhead = on_seconds / off_seconds - 1.0
+    total = CLIENTS * REQUESTS_PER_CLIENT
+    seq_off = min(seq_off_times)
+    seq_on = min(seq_on_times)
+
+    payload = {
+        "design": "csa8.2",
+        "rounds": rounds,
+        "clients": CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "obs_off_seconds": off_seconds,
+        "obs_on_seconds": on_seconds,
+        "overhead_fraction": overhead,
+        "budget_fraction": budget,
+        "noise_floor_seconds": noise_floor,
+        "per_request_us_on": on_seconds / total * 1e6,
+        "per_request_us_off": off_seconds / total * 1e6,
+        "sequential": {
+            "requests": 40,
+            "obs_off_seconds": seq_off,
+            "obs_on_seconds": seq_on,
+            # deliberately NOT named overhead_fraction: this regime is
+            # informational only and must not gate bench_compare
+            "informational_overhead": seq_on / seq_off - 1.0,
+            "per_request_us_overhead": (seq_on - seq_off) / 40 * 1e6,
+            "guarded": False,
+        },
+    }
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    out = results_dir / "server_obs_overhead.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert on_seconds <= off_seconds * (1 + budget) + noise_floor, (
+        f"served-path observability overhead {overhead:.1%} exceeds "
+        f"{budget:.0%} (obs-off {off_seconds:.4f}s, obs-on "
+        f"{on_seconds:.4f}s per {total}-request concurrent round)"
+    )

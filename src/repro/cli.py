@@ -575,6 +575,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
 
+    from repro.obs.profiler import SamplingProfiler
+    from repro.obs.slo import parse_slo_spec
     from repro.resilience.breaker import BreakerConfig
     from repro.server import CoalesceConfig, TimingHTTPServer, TimingServerApp
 
@@ -587,6 +589,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         breaker = BreakerConfig(
             failure_threshold=args.breaker_failures,
             reset_timeout=args.breaker_reset_ms / 1e3,
+        )
+        slo = tuple(
+            parse_slo_spec(spec, target=args.slo_target)
+            for spec in args.slo
+        )
+        profiler = (
+            SamplingProfiler(hz=args.sample_hz)
+            if args.sample_hz > 0
+            else None
         )
     except ValueError as exc:
         raise ReproError(str(exc)) from None
@@ -601,9 +612,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_queue=args.max_queue,
             max_body_bytes=args.max_body_bytes,
             breaker=breaker,
+            flight_capacity=args.flight_capacity,
+            slow_threshold=args.slow_ms / 1e3,
+            slo=slo,
+            profiler=profiler,
         )
     except ValueError as exc:
         raise ReproError(str(exc)) from None
+    if profiler is not None:
+        profiler.start()
+        print(
+            f"sampling profiler on at {args.sample_hz:g} Hz "
+            "(GET /debug/profile)",
+            file=sys.stderr,
+        )
     for spec in args.preload:
         entry = preload_design(app.registry, spec)
         print(
@@ -662,6 +684,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         # checks, in-flight responses); only once admitted work has
         # cleared does the accept loop stop.
         clean = app.drain(args.drain_deadline)
+        if profiler is not None:
+            profiler.stop()
         if not clean:
             print(
                 "drain deadline exceeded; closing with requests "
@@ -1122,6 +1146,49 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="scenario chunk size for the compiled kernel "
         "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--slo",
+        action="append",
+        default=[],
+        metavar="ROUTE=MS",
+        help="track a latency SLO for a route (e.g. /analyze=250): "
+        "multi-window burn rates on /metrics, verdicts on "
+        "GET /healthz/slo (repeatable)",
+    )
+    serve.add_argument(
+        "--slo-target",
+        type=float,
+        default=0.999,
+        metavar="FRACTION",
+        help="good-request fraction the --slo objectives promise "
+        "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=512,
+        metavar="N",
+        help="per-request flight-recorder ring size behind "
+        "GET /debug/requests; 0 disables recording "
+        "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=100.0,
+        metavar="MS",
+        help="latency past which a request also enters the "
+        "GET /debug/slow ring (default %(default)s)",
+    )
+    serve.add_argument(
+        "--sample-hz",
+        type=float,
+        default=0.0,
+        metavar="HZ",
+        help="run the sampling profiler at HZ samples/second; "
+        "flamegraph-ready collapsed stacks at GET /debug/profile "
+        "(default: off)",
     )
     serve.add_argument(
         "--verbose",

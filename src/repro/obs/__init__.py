@@ -21,6 +21,15 @@ conservatism audit (:class:`ForensicsReport`), which attributes the
 topological-vs-refined arrival gap per primary output to the ordered
 refinements that closed it.
 
+The production-serving layer adds three more pieces: the flight
+recorder (:class:`FlightRecorder` — bounded per-request history behind
+``GET /debug/requests``), SLO burn-rate tracking (:class:`SloTracker`
+— multi-window error-budget math behind ``GET /healthz/slo``), and a
+sampling profiler (:class:`SamplingProfiler` — collapsed-stack
+flamegraph output behind ``GET /debug/profile``).  All three, like the
+tracer and metrics registry, are safe to share across the server's
+handler threads.
+
 Typical use::
 
     from repro.obs import Tracer, RingBufferSink
@@ -38,12 +47,21 @@ from repro.obs.export import (
     write_chrome_trace,
     write_prometheus,
 )
+from repro.obs.flight import FlightRecord, FlightRecorder, RequestContext
 from repro.obs.forensics import (
     ForensicsReport,
     OutputForensics,
     RefinementEvent,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, Metrics
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+)
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.slo import SloObjective, SloTracker, parse_slo_spec
 from repro.obs.sinks import (
     JsonlRecords,
     JsonlSink,
@@ -60,7 +78,10 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "Counter",
+    "FlightRecord",
+    "FlightRecorder",
     "ForensicsReport",
     "Gauge",
     "Histogram",
@@ -71,12 +92,17 @@ __all__ = [
     "OutputForensics",
     "PHASES",
     "RefinementEvent",
+    "RequestContext",
     "RingBufferSink",
+    "SamplingProfiler",
+    "SloObjective",
+    "SloTracker",
     "SummarySink",
     "TraceRecord",
     "Tracer",
     "chrome_trace_events",
     "ensure_tracer",
+    "parse_slo_spec",
     "prometheus_name",
     "read_jsonl",
     "render_prometheus",

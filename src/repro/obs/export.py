@@ -12,8 +12,11 @@ without any repo-specific viewer:
   timed.  Record attributes ride along in ``args``.
 * :func:`render_prometheus` / :func:`write_prometheus` — the Prometheus
   text exposition format for a :class:`~repro.obs.metrics.Metrics`
-  registry: counters and gauges one sample each, histograms as
-  ``summary`` pairs (``_count``/``_sum``) plus ``_min``/``_max`` gauges.
+  registry: counters and gauges one sample each, histograms as proper
+  ``histogram`` families with cumulative ``le`` buckets (the fixed
+  log-spaced :data:`~repro.obs.metrics.BUCKET_BOUNDS`) plus ``_sum``,
+  ``_count``, and ``_min``/``_max`` gauges — scrapeable latency
+  quantiles, not just averages.
 
 Both are fed from what the tracer already collects — a
 :class:`~repro.obs.sinks.RingBufferSink`, a list of
@@ -100,6 +103,12 @@ def chrome_trace_events(source) -> list[dict]:
         args["depth"] = record.depth
         if record.phase is not None:
             args["phase"] = record.phase
+        if record.span_id:
+            args["span_id"] = record.span_id
+        if record.parent_id:
+            args["parent_id"] = record.parent_id
+        if record.trace_id:
+            args["trace_id"] = record.trace_id
         event["args"] = args
         events.append(event)
     events.sort(key=lambda e: e["ts"])
@@ -143,25 +152,31 @@ def render_prometheus(metrics: Metrics) -> str:
     """The registry in Prometheus text exposition format (version 0.0.4).
 
     Deterministically ordered: counters, then gauges, then histograms,
-    each sorted by name.  Histograms render as ``summary`` families
-    (``_count`` and ``_sum`` samples) plus ``_min``/``_max`` gauges when
-    they have observations.
+    each sorted by name.  Histograms render as ``histogram`` families —
+    cumulative ``_bucket{le="..."}`` samples over the fixed log-spaced
+    :data:`~repro.obs.metrics.BUCKET_BOUNDS` ending at ``+Inf``, plus
+    ``_sum`` and ``_count`` — with ``_min``/``_max`` gauges when they
+    have observations.  Snapshots are taken under the registry lock, so
+    scraping during concurrent updates is safe.
     """
+    counters, gauges, histograms = metrics.snapshot()
     lines: list[str] = []
-    for name in sorted(metrics.counters):
-        prom = prometheus_name(name)
+    for c in counters:
+        prom = prometheus_name(c.name)
         lines.append(f"# TYPE {prom} counter")
-        lines.append(f"{prom} {metrics.counters[name].value:g}")
-    for name in sorted(metrics.gauges):
-        prom = prometheus_name(name)
+        lines.append(f"{prom} {c.value:g}")
+    for g in gauges:
+        prom = prometheus_name(g.name)
         lines.append(f"# TYPE {prom} gauge")
-        lines.append(f"{prom} {metrics.gauges[name].value:g}")
-    for name in sorted(metrics.histograms):
-        h = metrics.histograms[name]
-        prom = prometheus_name(name)
-        lines.append(f"# TYPE {prom} summary")
-        lines.append(f"{prom}_count {h.count}")
+        lines.append(f"{prom} {g.value:g}")
+    for h in histograms:
+        prom = prometheus_name(h.name)
+        lines.append(f"# TYPE {prom} histogram")
+        for bound, cumulative in h.cumulative_buckets():
+            le = "+Inf" if bound == POS_INF else f"{bound:g}"
+            lines.append(f'{prom}_bucket{{le="{le}"}} {cumulative}')
         lines.append(f"{prom}_sum {h.total:g}")
+        lines.append(f"{prom}_count {h.count}")
         if h.count and h.minimum != POS_INF and h.maximum != NEG_INF:
             lines.append(f"# TYPE {prom}_min gauge")
             lines.append(f"{prom}_min {h.minimum:g}")

@@ -8,53 +8,95 @@ one value.  Registries are cheap enough to keep one per
 :class:`~repro.obs.trace.Tracer` and one per
 :class:`~repro.library.stats.LibraryStats`.
 
-No locking: analysis runs are single-threaded per process, and worker
-processes report back through return values, not shared registries.
-The server's threaded handlers do share one registry; they tolerate the
-benign races on these plain floats (a lost ``inc`` under contention)
-because the instruments feed dashboards, not control flow — anything
-that gates behaviour (admission counts, breaker state) keeps its own
-lock-protected state and only mirrors into metrics.
+**Thread safety.**  The analysis server shares one registry across
+every handler thread (and scrapes it from ``GET /metrics`` while
+requests are in flight), so the registry locks instrument creation and
+snapshotting, and every instrument locks its own updates: increments
+are never lost, histogram min/max/total/bucket fields stay mutually
+consistent, and a scrape never observes a dictionary mid-resize.
+Worker *processes* still report back through return values — the locks
+are dropped on pickling and recreated on unpickling, so instruments
+remain portable across process pools.
+
+**Histogram buckets.**  Histograms count samples into fixed log-spaced
+cumulative buckets (:data:`BUCKET_BOUNDS`, half-decade steps from 1e-6
+to 1e4) in addition to count/total/min/max, which is what makes the
+Prometheus exposition (:func:`~repro.obs.export.render_prometheus`)
+render real ``histogram`` families with ``le`` buckets — scrapeable
+latency quantiles, not just averages.
 """
 
 from __future__ import annotations
 
+import threading
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 NEG_INF = float("-inf")
 POS_INF = float("inf")
 
+#: Fixed log-spaced histogram bucket upper bounds (half-decade steps,
+#: 1e-6 .. 1e4).  Wide enough for microsecond latencies and
+#: thousand-element batch sizes alike; the overflow bucket is +Inf.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    10.0 ** (e / 2.0) for e in range(-12, 9)
+)
+
+
+class _LockMixin:
+    """Per-instrument lock that survives pickling (recreated empty)."""
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
 
 @dataclass
-class Counter:
+class Counter(_LockMixin):
     """Monotonically growing count (fractional increments allowed)."""
 
     name: str
     value: float = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def inc(self, n: float = 1) -> None:
         """Add ``n`` (default 1) to the counter."""
-        self.value += n
+        with self._lock:
+            self.value += n
 
 
 @dataclass
-class Gauge:
+class Gauge(_LockMixin):
     """Last-write-wins instantaneous value (e.g. live expression nodes)."""
 
     name: str
     value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def set(self, value: float) -> None:
         """Record the current level."""
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
 
 @dataclass
-class Histogram:
-    """Streaming summary of observed samples (count/total/min/max).
+class Histogram(_LockMixin):
+    """Streaming summary of observed samples.
 
-    Deliberately bucket-free: the analysis workloads need "how many,
-    how long in total, and the extremes", not quantile sketches.
+    Tracks count/total/min/max plus fixed log-spaced buckets
+    (:data:`BUCKET_BOUNDS`); ``bucket_counts[i]`` is the number of
+    samples ``<= BUCKET_BOUNDS[i]`` exclusive of earlier buckets
+    (non-cumulative; :meth:`cumulative_buckets` folds them), with one
+    overflow slot at the end for samples past the last bound.
     """
 
     name: str
@@ -62,91 +104,136 @@ class Histogram:
     total: float = 0.0
     minimum: float = POS_INF
     maximum: float = NEG_INF
+    bucket_counts: list[int] = field(
+        default_factory=lambda: [0] * (len(BUCKET_BOUNDS) + 1),
+        repr=False,
+        compare=False,
+    )
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def observe(self, value: float) -> None:
         """Record one sample."""
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self.minimum:
-            self.minimum = value
-        if value > self.maximum:
-            self.maximum = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
+            self.bucket_counts[bisect_left(BUCKET_BOUNDS, value)] += 1
 
     @property
     def mean(self) -> float:
         """Average of the observed samples (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at +Inf.
+
+        The Prometheus ``le`` convention: each entry counts every
+        sample less than or equal to its bound, so the +Inf entry
+        equals :attr:`count`.
+        """
+        with self._lock:
+            counts = list(self.bucket_counts)
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(BUCKET_BOUNDS, counts):
+            running += n
+            pairs.append((bound, running))
+        pairs.append((POS_INF, running + counts[-1]))
+        return pairs
+
 
 @dataclass
-class Metrics:
+class Metrics(_LockMixin):
     """Name-addressed registry of counters, gauges, and histograms."""
 
     counters: dict[str, Counter] = field(default_factory=dict)
     gauges: dict[str, Gauge] = field(default_factory=dict)
     histograms: dict[str, Histogram] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def counter(self, name: str) -> Counter:
         """The counter registered under ``name`` (created on first use)."""
         instrument = self.counters.get(name)
         if instrument is None:
-            instrument = self.counters[name] = Counter(name)
+            with self._lock:
+                instrument = self.counters.get(name)
+                if instrument is None:
+                    instrument = self.counters[name] = Counter(name)
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         """The gauge registered under ``name`` (created on first use)."""
         instrument = self.gauges.get(name)
         if instrument is None:
-            instrument = self.gauges[name] = Gauge(name)
+            with self._lock:
+                instrument = self.gauges.get(name)
+                if instrument is None:
+                    instrument = self.gauges[name] = Gauge(name)
         return instrument
 
     def histogram(self, name: str) -> Histogram:
         """The histogram registered under ``name`` (created on first use)."""
         instrument = self.histograms.get(name)
         if instrument is None:
-            instrument = self.histograms[name] = Histogram(name)
+            with self._lock:
+                instrument = self.histograms.get(name)
+                if instrument is None:
+                    instrument = self.histograms[name] = Histogram(name)
         return instrument
+
+    def snapshot(self) -> "tuple[list[Counter], list[Gauge], list[Histogram]]":
+        """Name-sorted instrument lists, taken under the registry lock
+        (safe against concurrent first-use registrations)."""
+        with self._lock:
+            return (
+                [c for _, c in sorted(self.counters.items())],
+                [g for _, g in sorted(self.gauges.items())],
+                [h for _, h in sorted(self.histograms.items())],
+            )
 
     def as_dict(self) -> dict:
         """JSON-serializable snapshot of every instrument."""
+        counters, gauges, histograms = self.snapshot()
         return {
-            "counters": {n: c.value for n, c in sorted(self.counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "counters": {c.name: c.value for c in counters},
+            "gauges": {g.name: g.value for g in gauges},
             "histograms": {
-                n: {
+                h.name: {
                     "count": h.count,
                     "total": h.total,
                     "mean": h.mean,
                     "min": None if h.count == 0 else h.minimum,
                     "max": None if h.count == 0 else h.maximum,
                 }
-                for n, h in sorted(self.histograms.items())
+                for h in histograms
             },
         }
 
     def render(self, indent: str = "  ") -> str:
         """Human-readable block listing every non-empty instrument."""
+        counters, gauges, histograms = self.snapshot()
         lines: list[str] = []
-        if self.counters:
-            width = max(len(n) for n in self.counters)
-            for name in sorted(self.counters):
-                lines.append(
-                    f"{indent}{name:<{width}} : "
-                    f"{self.counters[name].value:g}"
-                )
-        if self.gauges:
-            width = max(len(n) for n in self.gauges)
-            for name in sorted(self.gauges):
-                lines.append(
-                    f"{indent}{name:<{width}} : {self.gauges[name].value:g}"
-                )
-        for name in sorted(self.histograms):
-            h = self.histograms[name]
+        if counters:
+            width = max(len(c.name) for c in counters)
+            for c in counters:
+                lines.append(f"{indent}{c.name:<{width}} : {c.value:g}")
+        if gauges:
+            width = max(len(g.name) for g in gauges)
+            for g in gauges:
+                lines.append(f"{indent}{g.name:<{width}} : {g.value:g}")
+        for h in histograms:
             if h.count == 0:
                 continue
             lines.append(
-                f"{indent}{name} : n={h.count} total={h.total:.3f} "
+                f"{indent}{h.name} : n={h.count} total={h.total:.3f} "
                 f"min={h.minimum:.3f} max={h.maximum:.3f}"
             )
         return "\n".join(lines)

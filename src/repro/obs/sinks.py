@@ -19,6 +19,7 @@ from __future__ import annotations
 import io
 import json
 import os
+import threading
 from collections import deque
 from pathlib import Path
 from typing import TextIO
@@ -27,30 +28,38 @@ from repro.obs.trace import TraceRecord
 
 
 class RingBufferSink:
-    """Keep the most recent ``capacity`` records in memory."""
+    """Keep the most recent ``capacity`` records in memory.
+
+    Thread-safe: the server emits from many handler threads while
+    ``GET /trace`` snapshots, so reads copy under a lock rather than
+    iterating a deque another thread is appending to.
+    """
 
     def __init__(self, capacity: int = 4096):
         self.capacity = max(1, int(capacity))
         self._records: deque[TraceRecord] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
         #: Total records seen (including any dropped by the bound).
         self.emitted = 0
 
     def emit(self, record: TraceRecord) -> None:
         """Append one record, evicting the oldest beyond capacity."""
-        self.emitted += 1
-        self._records.append(record)
+        with self._lock:
+            self.emitted += 1
+            self._records.append(record)
 
     def records(self) -> tuple[TraceRecord, ...]:
         """The retained records, oldest first."""
-        return tuple(self._records)
+        with self._lock:
+            return tuple(self._records)
 
     def by_name(self, name: str) -> tuple[TraceRecord, ...]:
         """Retained records with the given name."""
-        return tuple(r for r in self._records if r.name == name)
+        return tuple(r for r in self.records() if r.name == name)
 
     def names(self) -> set[str]:
         """Distinct record names currently retained."""
-        return {r.name for r in self._records}
+        return {r.name for r in self.records()}
 
     def __len__(self) -> int:
         return len(self._records)
@@ -105,7 +114,9 @@ class JsonlRecords(list):
 
 
 def read_jsonl(
-    source: str | os.PathLike | TextIO, strict: bool = False
+    source: str | os.PathLike | TextIO,
+    strict: bool = False,
+    metrics=None,
 ) -> JsonlRecords:
     """Parse a JSONL trace back into :class:`TraceRecord` objects.
 
@@ -113,7 +124,11 @@ def read_jsonl(
     mid-write — are skipped and counted on the returned list's
     ``skipped`` attribute, so a damaged trace still yields every
     readable record.  Pass ``strict=True`` to re-raise on the first
-    bad line instead.
+    bad line instead.  When a :class:`~repro.obs.metrics.Metrics`
+    registry is given, the skip count is also added to its
+    ``obs.jsonl_malformed`` counter, so silent trace corruption shows
+    up on ``/metrics`` and in trace summaries instead of only on the
+    returned list.
     """
     if isinstance(source, (str, os.PathLike)):
         text = Path(source).read_text()
@@ -135,12 +150,17 @@ def read_jsonl(
                     phase=raw["phase"],
                     depth=raw["depth"],
                     attrs=raw.get("attrs", {}),
+                    span_id=raw.get("span_id", 0),
+                    parent_id=raw.get("parent_id", 0),
+                    trace_id=raw.get("trace_id", ""),
                 )
             )
         except (json.JSONDecodeError, KeyError, TypeError):
             if strict:
                 raise
             records.skipped += 1
+    if metrics is not None and records.skipped:
+        metrics.counter("obs.jsonl_malformed").inc(records.skipped)
     return records
 
 

@@ -23,6 +23,22 @@ library).  Instrumentation follows one rule: a record carries a phase
 serial phase totals never double-count and always sum to at most the
 tracer's elapsed time.
 
+**Thread safety.**  One tracer may be shared by many threads (the
+analysis server traces every handler thread through a single
+registry-lifetime tracer).  Aggregation and sink fan-out are guarded by
+a lock; span nesting, depth, and the bound trace context are
+*thread-local*, so concurrent requests never corrupt each other's span
+stacks.
+
+**Trace context.**  Each span gets a process-unique ``span_id`` and the
+``parent_id`` of the span it nests under on the same thread.  A caller
+may additionally *bind* a request-scoped trace id (``with
+tracer.context("req-00000042"): ...``); every record emitted on that
+thread while the binding is active carries it in ``trace_id``.  That is
+how the server stitches an HTTP request to the kernel work that served
+it, across the coalescer's thread hop (see
+:mod:`repro.server.coalescer`).
+
 **Disabled tracing is free.**  The module-level :data:`NULL_TRACER`
 (the default everywhere) short-circuits every call before any payload
 is built; analyzer results are identical with and without it.
@@ -30,6 +46,8 @@ is built; analyzer results are identical with and without it.
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping
@@ -41,12 +59,21 @@ from repro.obs.metrics import Metrics
 PHASES = ("characterization", "propagation", "refinement", "cache")
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class TraceRecord:
     """One span or event, as delivered to sinks.
 
     ``t`` is seconds since the tracer started; ``seconds`` is the
     record's own duration (span length, or a measured event cost).
+    ``span_id``/``parent_id`` encode same-thread nesting (0 = none);
+    ``trace_id`` is the request-scoped context bound when the record
+    was emitted ("" = none).
+
+    Treat records as immutable.  The class is deliberately not
+    ``frozen``: record construction sits on the served request path
+    (two per kernel batch) and a frozen dataclass pays an
+    ``object.__setattr__`` per field — 3x the init cost for a class
+    nothing mutates.
     """
 
     kind: str  # "span" | "event"
@@ -56,10 +83,13 @@ class TraceRecord:
     phase: str | None = None
     depth: int = 0
     attrs: Mapping[str, Any] = field(default_factory=dict)
+    span_id: int = 0
+    parent_id: int = 0
+    trace_id: str = ""
 
     def as_dict(self) -> dict:
         """JSON-serializable form (the JSONL sink's line payload)."""
-        return {
+        doc = {
             "kind": self.kind,
             "name": self.name,
             "t": self.t,
@@ -68,12 +98,29 @@ class TraceRecord:
             "depth": self.depth,
             "attrs": dict(self.attrs),
         }
+        if self.span_id:
+            doc["span_id"] = self.span_id
+        if self.parent_id:
+            doc["parent_id"] = self.parent_id
+        if self.trace_id:
+            doc["trace_id"] = self.trace_id
+        return doc
+
+
+class _ThreadContext(threading.local):
+    """Per-thread span stack, depth, and bound trace-id stack."""
+
+    def __init__(self):
+        self.depth = 0
+        self.spans: list[int] = []
+        self.traces: list[str] = []
 
 
 class _Span:
     """Context manager recording one span on exit."""
 
-    __slots__ = ("_tracer", "name", "phase", "attrs", "_start")
+    __slots__ = ("_tracer", "name", "phase", "attrs", "_start", "_span_id",
+                 "_parent_id")
 
     def __init__(self, tracer: "Tracer", name: str, phase: str | None,
                  attrs: dict):
@@ -82,17 +129,26 @@ class _Span:
         self.phase = phase
         self.attrs = attrs
         self._start = 0.0
+        self._span_id = 0
+        self._parent_id = 0
 
     def __enter__(self) -> "_Span":
         tracer = self._tracer
-        tracer._depth += 1
+        ctx = tracer._ctx
+        self._span_id = next(tracer._span_ids)
+        self._parent_id = ctx.spans[-1] if ctx.spans else 0
+        ctx.spans.append(self._span_id)
+        ctx.depth += 1
         self._start = tracer._clock()
         return self
 
     def __exit__(self, *exc) -> None:
         tracer = self._tracer
         end = tracer._clock()
-        tracer._depth -= 1
+        ctx = tracer._ctx
+        ctx.depth -= 1
+        if ctx.spans and ctx.spans[-1] == self._span_id:
+            ctx.spans.pop()
         tracer._record(
             TraceRecord(
                 kind="span",
@@ -100,8 +156,11 @@ class _Span:
                 t=self._start - tracer._t0,
                 seconds=end - self._start,
                 phase=self.phase,
-                depth=tracer._depth,
+                depth=ctx.depth,
                 attrs=self.attrs,
+                span_id=self._span_id,
+                parent_id=self._parent_id,
+                trace_id=ctx.traces[-1] if ctx.traces else "",
             )
         )
 
@@ -121,8 +180,30 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+class _TraceContext:
+    """Context manager binding a trace id to the current thread."""
+
+    __slots__ = ("_tracer", "_trace_id")
+
+    def __init__(self, tracer: "Tracer", trace_id: str):
+        self._tracer = tracer
+        self._trace_id = trace_id
+
+    def __enter__(self) -> "_TraceContext":
+        self._tracer._ctx.traces.append(self._trace_id)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        traces = self._tracer._ctx.traces
+        if traces and traces[-1] == self._trace_id:
+            traces.pop()
+
+
 class Tracer:
     """Collects spans, events, and metrics for one analysis run.
+
+    Safe to share across threads: aggregation is lock-protected and
+    span nesting / bound trace ids are thread-local.
 
     Parameters
     ----------
@@ -139,7 +220,9 @@ class Tracer:
         self._clock = clock
         self._t0 = clock()
         self._sinks = list(sinks)
-        self._depth = 0
+        self._lock = threading.Lock()
+        self._ctx = _ThreadContext()
+        self._span_ids = itertools.count(1)
         self.metrics = Metrics()
         #: Aggregated seconds per phase (only exclusive-owner records).
         self.phase_seconds: dict[str, float] = {}
@@ -151,11 +234,27 @@ class Tracer:
     # ----------------------------------------------------------- recording
     def add_sink(self, sink) -> None:
         """Attach a sink; it receives every subsequent record."""
-        self._sinks.append(sink)
+        with self._lock:
+            self._sinks.append(sink)
 
     def span(self, name: str, phase: str | None = None, **attrs):
         """Context manager timing one nested interval."""
         return _Span(self, name, phase, attrs)
+
+    def context(self, trace_id: str):
+        """Bind ``trace_id`` to every record this thread emits inside
+        the ``with`` block (request-scoped trace propagation)."""
+        return _TraceContext(self, trace_id)
+
+    def current_trace_id(self) -> str:
+        """The trace id bound to this thread, or ``""``."""
+        traces = self._ctx.traces
+        return traces[-1] if traces else ""
+
+    def current_span_id(self) -> int:
+        """The innermost open span id on this thread, or 0."""
+        spans = self._ctx.spans
+        return spans[-1] if spans else 0
 
     def event(
         self,
@@ -165,6 +264,7 @@ class Tracer:
         **attrs,
     ) -> None:
         """Record one point event (``seconds`` for measured costs)."""
+        ctx = self._ctx
         self._record(
             TraceRecord(
                 kind="event",
@@ -172,8 +272,10 @@ class Tracer:
                 t=self._clock() - self._t0,
                 seconds=seconds,
                 phase=phase,
-                depth=self._depth,
+                depth=ctx.depth,
                 attrs=attrs,
+                parent_id=ctx.spans[-1] if ctx.spans else 0,
+                trace_id=ctx.traces[-1] if ctx.traces else "",
             )
         )
 
@@ -190,18 +292,21 @@ class Tracer:
         self.metrics.histogram(name).observe(value)
 
     def _record(self, record: TraceRecord) -> None:
-        self.name_counts[record.name] = (
-            self.name_counts.get(record.name, 0) + 1
-        )
-        if record.phase is not None:
-            self.phase_seconds[record.phase] = (
-                self.phase_seconds.get(record.phase, 0.0) + record.seconds
+        with self._lock:
+            self.name_counts[record.name] = (
+                self.name_counts.get(record.name, 0) + 1
             )
-            self.phase_events[record.phase] = (
-                self.phase_events.get(record.phase, 0) + 1
-            )
-        for sink in self._sinks:
-            sink.emit(record)
+            if record.phase is not None:
+                self.phase_seconds[record.phase] = (
+                    self.phase_seconds.get(record.phase, 0.0)
+                    + record.seconds
+                )
+                self.phase_events[record.phase] = (
+                    self.phase_events.get(record.phase, 0) + 1
+                )
+            sinks = self._sinks
+            for sink in sinks:
+                sink.emit(record)
 
     # ----------------------------------------------------------- reporting
     def elapsed_seconds(self) -> float:
@@ -211,12 +316,13 @@ class Tracer:
     def phase_totals(self) -> dict[str, float]:
         """Seconds per phase; the canonical four are always present."""
         totals = {phase: 0.0 for phase in PHASES}
-        totals.update(self.phase_seconds)
+        with self._lock:
+            totals.update(self.phase_seconds)
         return totals
 
     def close(self) -> None:
         """Close every sink that supports closing."""
-        for sink in self._sinks:
+        for sink in list(self._sinks):
             close = getattr(sink, "close", None)
             if close is not None:
                 close()
@@ -229,6 +335,9 @@ class Tracer:
         types, and every metrics counter.
         """
         totals = self.phase_totals()
+        with self._lock:
+            phase_events = dict(self.phase_events)
+            name_counts = dict(self.name_counts)
         lines = [
             "trace summary",
             f"{indent}elapsed: {self.elapsed_seconds():.3f}s",
@@ -242,14 +351,14 @@ class Tracer:
         for phase in ordered:
             lines.append(
                 f"{indent}{phase:<18} {totals[phase]:>9.3f} "
-                f"{self.phase_events.get(phase, 0):>8}"
+                f"{phase_events.get(phase, 0):>8}"
             )
-        if self.name_counts:
+        if name_counts:
             lines.append("")
             lines.append(f"{indent}records by type:")
-            for name in sorted(self.name_counts):
+            for name in sorted(name_counts):
                 lines.append(
-                    f"{indent}  {name:<24} {self.name_counts[name]:>7}"
+                    f"{indent}  {name:<24} {name_counts[name]:>7}"
                 )
         metrics_block = self.metrics.render(indent + "  ")
         if metrics_block:
@@ -270,6 +379,9 @@ class _NullTracer(Tracer):
         )
 
     def span(self, name: str, phase: str | None = None, **attrs):
+        return _NULL_SPAN
+
+    def context(self, trace_id: str):
         return _NULL_SPAN
 
     def event(self, name, phase=None, seconds=0.0, **attrs) -> None:

@@ -7,21 +7,37 @@ leaves :mod:`repro.server.http` a thin adapter.
 
 Endpoints::
 
-    GET  /healthz        liveness + readiness + aggregate counters
-    GET  /healthz/live   process liveness only (always 200 while up)
-    GET  /healthz/ready  200 while accepting work, 503 while draining
-    GET  /metrics        Prometheus text exposition of the registry
-    GET  /designs        registered designs (id, name, sizes, stats)
-    POST /designs        register a design {"source": "...verilog..."}
-    POST /analyze        one scenario, coalesced into kernel batches
-    POST /batch          many scenarios, one kernel call
-    POST /forensics      conservatism audit (topological vs refined)
-    GET  /trace          recent records as Chrome trace-event JSON
+    GET  /healthz         liveness + readiness + aggregate counters
+    GET  /healthz/live    process liveness only (always 200 while up)
+    GET  /healthz/ready   200 while accepting work, 503 while draining
+    GET  /healthz/slo     per-route SLO burn rates and verdicts
+    GET  /metrics         Prometheus text exposition of the registry
+    GET  /designs         registered designs (id, name, sizes, stats)
+    POST /designs         register a design {"source": "...verilog..."}
+    POST /analyze         one scenario, coalesced into kernel batches
+    POST /batch           many scenarios, one kernel call
+    POST /forensics       conservatism audit (topological vs refined)
+    GET  /trace           recent records as Chrome trace-event JSON
+    GET  /debug/requests  flight recorder: recent/error requests, or
+                          one record by ?trace_id=
+    GET  /debug/slow      flight recorder: slow-request ring
+    GET  /debug/profile   sampling profiler (collapsed stacks; ?format=json)
 
 Error contract: every non-2xx response is
 ``{"error": {"code", "message"}, "trace_id"}``; a deadline rejection is
 status 504 with the request's ``degradations`` list attached — the same
 "every conservative fallback is visible" rule the analyzers follow.
+
+Attribution contract: every request runs under
+``tracer.context(trace_id)``, so spans emitted on its handler thread
+carry its trace id; coalesced requests additionally get the
+``batch_id`` of the kernel batch that served them, both in the response
+body and in their flight-recorder record.  Resolving a response's
+``trace_id`` via ``GET /debug/requests?trace_id=...`` therefore leads
+to the batch, and the batch id leads (as ``trace_id`` on kernel spans
+and ``batch_id`` on the ``coalescer.flush`` span, whose ``requests``
+attribute lists the request ids it served) to the exact kernel work —
+end-to-end, across the coalescer's thread hop.
 
 Overload contract: analysis POSTs pass an :class:`AdmissionGate`
 (bounded in-flight work plus a bounded accept queue).  Excess load is
@@ -46,11 +62,14 @@ import json
 import threading
 import time
 from typing import TYPE_CHECKING, Sequence
+from urllib.parse import parse_qsl
 
 from repro.api import AnalysisOptions, coerce_scenarios
 from repro.errors import ReproError
 from repro.obs.export import chrome_trace_events, render_prometheus
+from repro.obs.flight import FlightRecord, FlightRecorder, RequestContext
 from repro.obs.sinks import RingBufferSink
+from repro.obs.slo import SloObjective, SloTracker
 from repro.obs.trace import Tracer
 from repro.server.coalescer import CoalesceConfig, Outcome
 from repro.server.registry import (
@@ -61,6 +80,7 @@ from repro.server.registry import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profiler import SamplingProfiler
     from repro.resilience.breaker import BreakerConfig
     from repro.resilience.faultinject import FaultPlan
 
@@ -234,6 +254,18 @@ class TimingServerApp:
     fault_plan:
         Deterministic fault injection forwarded to the registry
         (ignored when an explicit ``registry`` is passed).
+    flight_capacity / slow_threshold:
+        Flight-recorder sizing: records retained per ring and the
+        latency (seconds) past which a request lands in the slow ring.
+        ``flight_capacity=0`` disables per-request recording.
+    slo:
+        :class:`~repro.obs.slo.SloObjective` list to track (empty =
+        SLO tracking off; ``/healthz/slo`` reports ``untracked``).
+    profiler:
+        An optional (not yet started)
+        :class:`~repro.obs.profiler.SamplingProfiler` backing
+        ``GET /debug/profile``; ``None`` keeps the endpoint a 404 and
+        costs nothing.
     """
 
     def __init__(
@@ -251,6 +283,10 @@ class TimingServerApp:
         max_body_bytes: int | None = None,
         breaker: "BreakerConfig | None" = None,
         fault_plan: "FaultPlan | None" = None,
+        flight_capacity: int = 512,
+        slow_threshold: float = 0.1,
+        slo: "Sequence[SloObjective]" = (),
+        profiler: "SamplingProfiler | None" = None,
     ):
         if registry is None:
             self.trace_sink = RingBufferSink(capacity=trace_capacity)
@@ -264,9 +300,15 @@ class TimingServerApp:
             )
         else:
             self.trace_sink = RingBufferSink(capacity=trace_capacity)
-            registry.tracer.add_sink(self.trace_sink)
+            if registry.tracer.enabled:
+                registry.tracer.add_sink(self.trace_sink)
         self.registry = registry
         self.tracer = registry.tracer
+        self.flight = FlightRecorder(
+            capacity=flight_capacity, slow_threshold=slow_threshold
+        )
+        self.slo = SloTracker(tuple(slo))
+        self.profiler = profiler
         if default_deadline is not None and default_deadline <= 0:
             raise ValueError("default_deadline must be > 0")
         self.default_deadline = default_deadline
@@ -295,10 +337,27 @@ class TimingServerApp:
         self.started_at = time.time()
         self._monotonic_start = time.monotonic()
         self._trace_ids = itertools.count(1)
+        self._local = threading.local()
+        # Per-request instruments, resolved once: _finish runs on every
+        # request and five name lookups per call are measurable there.
+        # Skipped for the null tracer so its shared registry stays empty.
+        if self.tracer.enabled:
+            metrics = self.tracer.metrics
+            self._requests_counter = metrics.counter("server.requests")
+            self._latency_histogram = metrics.histogram(
+                "server.request_seconds"
+            )
+            self._inflight_gauge = metrics.gauge("server.admission.inflight")
+            self._queued_gauge = metrics.gauge("server.admission.queued")
+            self._status_counters = {
+                status: metrics.counter(f"server.responses.{status}")
+                for status in (200, 400, 404, 503)
+            }
         self._routes = {
             ("GET", "/healthz"): self._healthz,
             ("GET", "/healthz/live"): self._healthz_live,
             ("GET", "/healthz/ready"): self._healthz_ready,
+            ("GET", "/healthz/slo"): self._healthz_slo,
             ("GET", "/metrics"): self._metrics,
             ("GET", "/designs"): self._designs_get,
             ("POST", "/designs"): self._designs_post,
@@ -306,6 +365,9 @@ class TimingServerApp:
             ("POST", "/batch"): self._batch,
             ("POST", "/forensics"): self._forensics,
             ("GET", "/trace"): self._trace,
+            ("GET", "/debug/requests"): self._debug_requests,
+            ("GET", "/debug/slow"): self._debug_slow,
+            ("GET", "/debug/profile"): self._debug_profile,
         }
 
     # ------------------------------------------------------------- dispatching
@@ -318,56 +380,69 @@ class TimingServerApp:
         bad request cannot take a handler thread (or the daemon) down.
         """
         trace_id = f"req-{next(self._trace_ids):08d}"
-        path = path.split("?", 1)[0].rstrip("/") or "/"
+        path, _, query = path.partition("?")
+        path = path.rstrip("/") or "/"
         t0 = time.perf_counter()
         gated = (method, path) in GATED_ROUTES
         admitted = False
+        rctx = self._local.rctx = RequestContext()
         try:
-            # Cheap rejections first: oversized bodies and shed load
-            # are answered before a single byte of JSON is parsed.
-            if (
-                self.max_body_bytes is not None
-                and len(body) > self.max_body_bytes
-            ):
-                raise RequestError(
-                    f"request body of {len(body)} bytes exceeds this "
-                    f"server's max_body_bytes limit of "
-                    f"{self.max_body_bytes}",
-                    status=413,
-                    code="body-too-large",
-                )
-            if gated:
-                if self._draining.is_set():
+            # Bind the trace id for the whole dispatch: every span or
+            # event the handler thread emits names this request.
+            with self.tracer.context(trace_id):
+                # Cheap rejections first: oversized bodies and shed load
+                # are answered before a single byte of JSON is parsed.
+                if (
+                    self.max_body_bytes is not None
+                    and len(body) > self.max_body_bytes
+                ):
                     raise RequestError(
-                        "server is draining and no longer accepts "
-                        "analysis requests",
-                        status=503,
-                        code="draining",
+                        f"request body of {len(body)} bytes exceeds this "
+                        f"server's max_body_bytes limit of "
+                        f"{self.max_body_bytes}",
+                        status=413,
+                        code="body-too-large",
                     )
-                admitted, waited = self.admission.try_enter()
-                if self.tracer.enabled and waited > 0:
-                    self.tracer.observe(
-                        "server.admission.queue_seconds", waited
-                    )
-                if not admitted:
-                    status, ctype, out = self._shed(trace_id)
-                    return self._finish(status, ctype, out, t0, gated=False)
-            handler = self._routes.get((method, path))
-            if handler is None:
-                known_paths = {p for _, p in self._routes}
-                if path in known_paths:
+                if gated:
+                    if self._draining.is_set():
+                        raise RequestError(
+                            "server is draining and no longer accepts "
+                            "analysis requests",
+                            status=503,
+                            code="draining",
+                        )
+                    admitted, waited = self.admission.try_enter()
+                    rctx.admission_seconds = waited
+                    if self.tracer.enabled and waited > 0:
+                        self.tracer.observe(
+                            "server.admission.queue_seconds", waited
+                        )
+                    if not admitted:
+                        status, ctype, out = self._shed(trace_id)
+                        return self._finish(
+                            status, ctype, out, t0, gated=False,
+                            method=method, path=path, trace_id=trace_id,
+                            rctx=rctx,
+                        )
+                handler = self._routes.get((method, path))
+                if handler is None:
+                    known_paths = {p for _, p in self._routes}
+                    if path in known_paths:
+                        raise RequestError(
+                            f"{method} not supported on {path}",
+                            status=405,
+                            code="method-not-allowed",
+                        )
                     raise RequestError(
-                        f"{method} not supported on {path}",
-                        status=405,
-                        code="method-not-allowed",
+                        f"unknown endpoint {path!r}",
+                        status=404,
+                        code="not-found",
                     )
-                raise RequestError(
-                    f"unknown endpoint {path!r}",
-                    status=404,
-                    code="not-found",
-                )
-            payload = self._parse_body(method, body)
-            status, ctype, out = handler(payload, trace_id)
+                payload = self._parse_body(method, body)
+                if query:
+                    for key, value in parse_qsl(query):
+                        payload.setdefault(key, value)
+                status, ctype, out = handler(payload, trace_id)
         except RequestError as exc:
             status, ctype, out = self._error(
                 exc.status, exc.code, str(exc), trace_id
@@ -390,13 +465,36 @@ class TimingServerApp:
         finally:
             if admitted:
                 self.admission.leave()
-        return self._finish(status, ctype, out, t0, gated=gated)
+            self._local.rctx = None
+        return self._finish(
+            status, ctype, out, t0, gated=gated,
+            method=method, path=path, trace_id=trace_id, rctx=rctx,
+        )
+
+    def _request_context(self) -> RequestContext:
+        """The current request's mutable annotations (a detached, inert
+        context when called outside :meth:`handle` — direct handler
+        calls in tests still work)."""
+        rctx = getattr(self._local, "rctx", None)
+        if rctx is None:
+            rctx = RequestContext()
+        return rctx
 
     def _finish(
-        self, status: int, ctype: str, out: bytes, t0: float, *, gated: bool
+        self,
+        status: int,
+        ctype: str,
+        out: bytes,
+        t0: float,
+        *,
+        gated: bool,
+        method: str = "",
+        path: str = "",
+        trace_id: str = "",
+        rctx: RequestContext | None = None,
     ) -> tuple[int, str, bytes]:
-        """Common response bookkeeping: metrics and the service-time
-        EWMA behind ``retry_after_ms``."""
+        """Common response bookkeeping: SLO fold, flight record,
+        metrics, and the service-time EWMA behind ``retry_after_ms``."""
         elapsed = time.perf_counter() - t0
         if gated:
             # unsynchronized EWMA update: a lost race skews the hint by
@@ -405,13 +503,44 @@ class TimingServerApp:
             self._ewma_seconds = (
                 elapsed if prev == 0.0 else 0.2 * elapsed + 0.8 * prev
             )
+        if trace_id:
+            if self.slo.enabled:
+                self.slo.observe(path, status, elapsed)
+            if self.flight.enabled:
+                rctx = rctx or RequestContext()
+                self.flight.record(
+                    FlightRecord(
+                        trace_id=trace_id,
+                        method=method,
+                        path=path,
+                        status=status,
+                        finished_at=time.time(),
+                        latency_seconds=elapsed,
+                        design=rctx.design,
+                        batch_id=rctx.batch_id,
+                        batch_size=rctx.batch_size,
+                        queue_seconds=rctx.queue_seconds,
+                        admission_seconds=rctx.admission_seconds,
+                        degraded=rctx.degraded,
+                        error=rctx.error,
+                        degradations=rctx.degradations,
+                    )
+                )
         if self.tracer.enabled:
-            self.tracer.count("server.requests")
-            self.tracer.count(f"server.responses.{status}")
-            self.tracer.observe("server.request_seconds", elapsed)
+            self._requests_counter.inc()
+            by_status = self._status_counters.get(status)
+            if by_status is None:
+                by_status = self._status_counters.setdefault(
+                    status,
+                    self.tracer.metrics.counter(
+                        f"server.responses.{status}"
+                    ),
+                )
+            by_status.inc()
+            self._latency_histogram.observe(elapsed)
             gate = self.admission
-            self.tracer.gauge("server.admission.inflight", gate.inflight)
-            self.tracer.gauge("server.admission.queued", gate.queued)
+            self._inflight_gauge.set(gate.inflight)
+            self._queued_gauge.set(gate.queued)
         return status, ctype, out
 
     def _shed(self, trace_id: str) -> tuple[int, str, bytes]:
@@ -457,6 +586,7 @@ class TimingServerApp:
     def _error(
         self, status: int, code: str, message: str, trace_id: str, **extra
     ) -> tuple[int, str, bytes]:
+        self._request_context().error = code
         doc = {
             "error": {"code": code, "message": message},
             "trace_id": trace_id,
@@ -482,6 +612,12 @@ class TimingServerApp:
                 e.name: e.breaker.snapshot()
                 for e in self.registry.entries()
             },
+            "flight": self.flight.snapshot(),
+            "slo": (
+                self.slo.report()["state"]
+                if self.slo.enabled
+                else "untracked"
+            ),
             "trace_id": trace_id,
         }
         return 200, JSON, _dumps(doc)
@@ -499,8 +635,90 @@ class TimingServerApp:
         return (200 if ready else 503), JSON, _dumps(doc)
 
     def _metrics(self, _payload, _trace_id):
+        if self.slo.enabled and self.tracer.enabled:
+            # refresh the slo.* burn-rate gauges so every scrape sees
+            # current windows, not the values as of the last request
+            self.slo.export_gauges(self.tracer.metrics)
         text = render_prometheus(self.tracer.metrics)
         return 200, PROM, text.encode()
+
+    def _healthz_slo(self, _payload, trace_id):
+        """Per-route SLO burn rates; 503 only on a confirmed breach
+        (both windows past the fast-burn threshold)."""
+        if not self.slo.enabled:
+            doc = {"state": "untracked", "routes": {}, "trace_id": trace_id}
+            return 200, JSON, _dumps(doc)
+        report = self.slo.report()
+        report["trace_id"] = trace_id
+        status = 503 if report["state"] == "breach" else 200
+        return status, JSON, _dumps(report)
+
+    def _debug_requests(self, payload, trace_id):
+        """Flight recorder: recent and error rings, or one record by
+        ``?trace_id=``."""
+        wanted = str(payload.get("trace_id", ""))
+        if wanted:
+            record = self.flight.find(wanted)
+            if record is None:
+                raise RequestError(
+                    f"no flight record for trace id {wanted!r} (evicted, "
+                    "never served here, or recording is disabled)",
+                    status=404,
+                    code="unknown-trace-id",
+                )
+            doc = {"trace_id": trace_id, "record": record.as_dict()}
+            return 200, JSON, _dumps(doc)
+        limit = self._limit_of(payload)
+        doc = {
+            "trace_id": trace_id,
+            "flight": self.flight.snapshot(),
+            "requests": [r.as_dict() for r in self.flight.recent(limit)],
+            "errors": [r.as_dict() for r in self.flight.errors(limit)],
+        }
+        return 200, JSON, _dumps(doc)
+
+    def _debug_slow(self, payload, trace_id):
+        """Flight recorder: the slow-request ring."""
+        limit = self._limit_of(payload)
+        doc = {
+            "trace_id": trace_id,
+            "flight": self.flight.snapshot(),
+            "slow": [r.as_dict() for r in self.flight.slow(limit)],
+        }
+        return 200, JSON, _dumps(doc)
+
+    def _debug_profile(self, payload, trace_id):
+        """Sampling profiler: collapsed stacks (default) or
+        ``?format=json`` for the structured snapshot."""
+        if self.profiler is None:
+            raise RequestError(
+                "profiling is not enabled on this server (start it "
+                "with --sample-hz)",
+                status=404,
+                code="profiler-disabled",
+            )
+        fmt = str(payload.get("format", "collapsed"))
+        if fmt == "json":
+            doc = self.profiler.snapshot(limit=self._limit_of(payload))
+            doc["trace_id"] = trace_id
+            return 200, JSON, _dumps(doc)
+        if fmt != "collapsed":
+            raise RequestError(
+                f"unknown profile format {fmt!r}; expected 'collapsed' "
+                "or 'json'"
+            )
+        text = self.profiler.collapsed()
+        return 200, "text/plain; charset=utf-8", text.encode()
+
+    @staticmethod
+    def _limit_of(payload, default: int = 50) -> int:
+        try:
+            limit = int(payload.get("limit", default))
+        except (TypeError, ValueError):
+            raise RequestError("'limit' must be an integer") from None
+        if limit < 1:
+            raise RequestError("'limit' must be >= 1")
+        return limit
 
     def _designs_get(self, _payload, trace_id):
         return 200, JSON, _dumps(
@@ -575,10 +793,16 @@ class TimingServerApp:
                     ok=True,
                     value=value,
                     batch_size=max(1, outcome.batch_size),
+                    batch_id=outcome.batch_id,
                     queue_seconds=outcome.queue_seconds,
                 )
             if outcome.ok:
                 doc = self._row_doc(entry, outcome.value, include)
+        rctx = self._request_context()
+        rctx.design = entry.name
+        rctx.batch_id = outcome.batch_id
+        rctx.batch_size = outcome.batch_size
+        rctx.queue_seconds = outcome.queue_seconds
         if not outcome.ok:
             return self._outcome_error(outcome, trace_id)
         entry.requests += 1
@@ -591,11 +815,19 @@ class TimingServerApp:
                 "queue_ms": round(outcome.queue_seconds * 1e3, 3),
             }
         )
+        if outcome.batch_id:
+            doc["batch_id"] = outcome.batch_id
         self._attach_degradations(doc, entry, outcome.value)
+        if doc.get("degraded"):
+            rctx.degraded = True
+            rctx.degradations = tuple(
+                d["kind"] for d in doc.get("degradations", ())
+            )
         return 200, JSON, _dumps(doc)
 
     def _batch(self, payload, trace_id):
         entry = self._entry_of(payload)
+        self._request_context().design = entry.name
         family = payload.get("family")
         raw = payload.get("scenarios")
         if (
@@ -672,6 +904,12 @@ class TimingServerApp:
         if include:
             doc["scenarios"] = docs
         self._attach_degradations(doc, entry, rows)
+        self._request_context().note(
+            degraded=bool(doc.get("degraded")),
+            degradations=tuple(
+                d["kind"] for d in doc.get("degradations", ())
+            ),
+        )
         return 200, JSON, _dumps(doc)
 
     def _batch_family(self, entry, payload, spec, trace_id):
@@ -732,6 +970,7 @@ class TimingServerApp:
 
     def _forensics(self, payload, trace_id):
         entry = self._entry_of(payload)
+        self._request_context().design = entry.name
         arrival = self._arrival_of(payload, entry)
         with self.tracer.span(
             "server-forensics", phase="analysis", design=entry.name
@@ -876,6 +1115,16 @@ class TimingServerApp:
             "degradations": [d.as_dict() for d in outcome.degradations],
             "queue_ms": round(outcome.queue_seconds * 1e3, 3),
         }
+        if outcome.batch_id:
+            extra["batch_id"] = outcome.batch_id
+        self._request_context().note(
+            batch_id=outcome.batch_id,
+            batch_size=outcome.batch_size,
+            queue_seconds=outcome.queue_seconds,
+            degradations=tuple(
+                d.kind for d in outcome.degradations
+            ),
+        )
         return self._error(
             status, outcome.error, outcome.detail, trace_id, **extra
         )
@@ -919,7 +1168,10 @@ class TimingServerApp:
         return idle
 
     def close(self) -> None:
-        """Drain every design's coalescer (used at daemon shutdown)."""
+        """Drain every design's coalescer and stop the profiler (used
+        at daemon shutdown)."""
+        if self.profiler is not None:
+            self.profiler.stop()
         self.registry.close()
 
 

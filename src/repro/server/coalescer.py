@@ -34,6 +34,17 @@ queue up while it evaluates.
 kernel call, serialized through the flusher — which is exactly the
 baseline configuration ``tools/bench_server.py`` measures against.
 
+Trace attribution: every dispatched batch gets a process-unique
+``batch_id``.  The flusher evaluates under ``tracer.context(batch_id)``
+inside a ``coalescer.flush`` span whose attributes name the request
+trace ids it serves, so the kernel spans emitted on the flusher thread
+carry the batch id and the flush span carries the request ids — the two
+hops that stitch an HTTP response back to the exact kernel call that
+produced it (the request's own thread-local trace context cannot cross
+the thread boundary).  Each :class:`Outcome` echoes the ``batch_id`` so
+the server can return it to the client and file it in the flight
+recorder.
+
 Deadlines: each request may carry a
 :class:`~repro.resilience.policy.Deadline`.  A request whose deadline
 expires while queued is rejected *without* evaluating it (and without
@@ -46,9 +57,10 @@ the analyzer layers' "every fallback is visible" contract.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.obs.trace import Tracer, ensure_tracer
@@ -101,6 +113,11 @@ class Outcome:
     #: Scenarios evaluated in the same kernel call (0 on rejection
     #: before evaluation).
     batch_size: int = 0
+    #: Process-unique id of the kernel batch that served this request
+    #: ("" when rejected before dispatch); matches the ``batch_id``
+    #: attribute on the flusher's ``coalescer.flush`` span and the
+    #: ``trace_id`` on the kernel spans inside it.
+    batch_id: str = ""
 
 
 class _Pending:
@@ -165,6 +182,8 @@ class RequestCoalescer:
         self.batches = 0
         #: Requests that shared a kernel call with at least one other.
         self.coalesced = 0
+        #: Process-unique batch sequence (feeds Outcome.batch_id).
+        self._batch_ids = itertools.count(1)
         #: Size of the last flushed batch: > 1 means a concurrent
         #: regime, where the quiet-wait debounce is worth paying.
         self._last_batch = 0
@@ -269,12 +288,25 @@ class RequestCoalescer:
                 live.append(pending)
         if not live:
             return
+        # Process-unique batch id: the attribution key.  The flush span
+        # names the request trace ids it serves; binding the batch id
+        # as the flusher thread's trace context stamps it onto every
+        # kernel span the evaluation emits.
+        batch_id = f"batch-{self.name or 'design'}-{next(self._batch_ids):06d}"
+        request_ids = tuple(p.label for p in live if p.label)
         try:
             if self.fault_plan is not None:
                 self.fault_plan.fire(
                     "coalescer.flush", design=self.name, batch=len(live)
                 )
-            values = list(self.evaluate([p.scenario for p in live]))
+            with self.tracer.context(batch_id), self.tracer.span(
+                "coalescer.flush",
+                design=self.name,
+                batch_id=batch_id,
+                batch_size=len(live),
+                requests=request_ids,
+            ):
+                values = list(self.evaluate([p.scenario for p in live]))
         except Exception as exc:
             for pending in live:
                 pending.outcome = Outcome(
@@ -282,6 +314,7 @@ class RequestCoalescer:
                     error="evaluation-error",
                     detail=f"{type(exc).__name__}: {exc}",
                     batch_size=len(live),
+                    batch_id=batch_id,
                     queue_seconds=now - pending.enqueued,
                 )
                 pending.done.set()
@@ -298,6 +331,7 @@ class RequestCoalescer:
                         f"{len(live)} scenarios"
                     ),
                     batch_size=len(live),
+                    batch_id=batch_id,
                     queue_seconds=now - pending.enqueued,
                 )
                 pending.done.set()
@@ -318,6 +352,7 @@ class RequestCoalescer:
                 value=value,
                 queue_seconds=queue_seconds,
                 batch_size=len(live),
+                batch_id=batch_id,
             )
             pending.done.set()
         self.batches += 1

@@ -6,6 +6,7 @@ import json
 from repro.circuits.adders import cascade_adder
 from repro.core.demand import DemandDrivenAnalyzer
 from repro.obs import (
+    BUCKET_BOUNDS,
     JsonlSink,
     Metrics,
     RingBufferSink,
@@ -135,9 +136,9 @@ class TestPrometheus:
                 _, _, family, kind = line.split()
                 types[family] = kind
             elif line:
-                family = line.split()[0]
+                family = line.split()[0].partition("{")[0]
                 base = family
-                for suffix in ("_count", "_sum"):
+                for suffix in ("_count", "_sum", "_bucket"):
                     if family.endswith(suffix):
                         base = family[: -len(suffix)]
                 assert base in types or family in types, line
@@ -153,11 +154,36 @@ class TestPrometheus:
         assert "demand_edges_refined 3" in text
         assert "# TYPE kernel_plan_nodes gauge" in text
         assert "kernel_plan_nodes 17" in text
-        assert "# TYPE kernel_batch_seconds summary" in text
+        assert "# TYPE kernel_batch_seconds histogram" in text
         assert "kernel_batch_seconds_count 2" in text
         assert "kernel_batch_seconds_sum 2" in text
         assert "kernel_batch_seconds_min 0.5" in text
         assert "kernel_batch_seconds_max 1.5" in text
+
+    def test_histogram_buckets_cumulative_and_le_labelled(self):
+        m = Metrics()
+        h = m.histogram("kernel.batch_seconds")
+        h.observe(0.5)
+        h.observe(1.5)
+        text = render_prometheus(m)
+        bucket_lines = [
+            ln
+            for ln in text.splitlines()
+            if ln.startswith("kernel_batch_seconds_bucket{")
+        ]
+        assert len(bucket_lines) == len(BUCKET_BOUNDS) + 1
+        assert bucket_lines[-1] == (
+            'kernel_batch_seconds_bucket{le="+Inf"} 2'
+        )
+        counts = [int(ln.rsplit(" ", 1)[1]) for ln in bucket_lines]
+        assert counts == sorted(counts)  # cumulative, never decreasing
+        # 0.5 lands in the le=1 bucket, 1.5 only past sqrt(10)~3.16.
+        by_le = {
+            ln.split('le="')[1].split('"')[0]: int(ln.rsplit(" ", 1)[1])
+            for ln in bucket_lines
+        }
+        assert by_le["1"] == 1
+        assert by_le["+Inf"] == 2
 
     def test_empty_histogram_has_no_min_max(self):
         m = Metrics()
@@ -175,11 +201,13 @@ class TestPrometheus:
         m.gauge("g").set(1)
         m.histogram("h").observe(2.0)
         target = tmp_path / "metrics.prom"
-        # c, g, h_count, h_sum, h_min, h_max
-        assert write_prometheus(target, m) == 6
+        # c, g, the bucket samples (bounds + +Inf), h_sum, h_count,
+        # h_min, h_max
+        expected = 2 + (len(BUCKET_BOUNDS) + 1) + 4
+        assert write_prometheus(target, m) == expected
         lines = target.read_text().splitlines()
         samples = [ln for ln in lines if ln and not ln.startswith("#")]
-        assert len(samples) == 6
+        assert len(samples) == expected
 
     def test_render_deterministic(self):
         a, b = Metrics(), Metrics()
